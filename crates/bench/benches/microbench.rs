@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks of BiCord's hot paths: the CSI detector,
+//! the white-space estimator, feature extraction, the decision tree, and
+//! k-means fingerprinting.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use bicord_core::allocation::{AllocatorConfig, WhiteSpaceAllocator};
+use bicord_core::cti::{classify, extract_features, KMeans, KMeansConfig};
+use bicord_core::signaling::{CsiDetector, DetectorConfig};
+use bicord_phy::csi::{CsiModel, CsiSample, Disturbance};
+use bicord_phy::interferers::{generate_trace, TraceConfig, TRACE_DURATION};
+use bicord_sim::{stream_rng, SeedDomain, SimTime};
+
+fn bench_csi_detector(c: &mut Criterion) {
+    let model = CsiModel::intel5300();
+    let mut rng = stream_rng(1, SeedDomain::Csi, 50);
+    // A realistic mixed stream: mostly quiet, some ZigBee overlap.
+    let samples: Vec<CsiSample> = (0..10_000u64)
+        .map(|i| {
+            let disturbance = if i % 40 < 8 {
+                Disturbance::Zigbee { sir_db: -14.0 }
+            } else {
+                Disturbance::None
+            };
+            model.sample(&mut rng, SimTime::from_micros(i * 500), disturbance)
+        })
+        .collect();
+    c.bench_function("csi_detector_10k_samples", |b| {
+        b.iter(|| {
+            let mut det = CsiDetector::new(DetectorConfig::default(), model);
+            let mut hits = 0u32;
+            for s in &samples {
+                if det.push(black_box(*s)).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    c.bench_function("white_space_allocator_100_bursts", |b| {
+        b.iter(|| {
+            let mut alloc = WhiteSpaceAllocator::new(AllocatorConfig::default());
+            let mut now = SimTime::from_millis(1);
+            for _ in 0..100 {
+                for _ in 0..3 {
+                    let ws = alloc.on_request(now);
+                    now += ws;
+                }
+                now += bicord_sim::SimDuration::from_millis(25);
+                alloc.on_burst_end(now);
+                now += bicord_sim::SimDuration::from_millis(200);
+            }
+            black_box(alloc.estimate())
+        })
+    });
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let mut rng = stream_rng(2, SeedDomain::Interferers, 60);
+    let trace = generate_trace(&mut rng, &TraceConfig::wifi(-40.0), TRACE_DURATION);
+    c.bench_function("rssi_feature_extraction", |b| {
+        b.iter(|| black_box(extract_features(black_box(&trace), -80.0, -95.0)))
+    });
+    let features = extract_features(&trace, -80.0, -95.0);
+    c.bench_function("decision_tree_classify", |b| {
+        b.iter(|| black_box(classify(black_box(&features))))
+    });
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut rng = stream_rng(3, SeedDomain::Interferers, 61);
+    let mut data = Vec::new();
+    for &p in &[-26.0, -34.3, -41.0] {
+        for _ in 0..60 {
+            let t = generate_trace(&mut rng, &TraceConfig::wifi(p), TRACE_DURATION);
+            data.push(extract_features(&t, -80.0, -95.0).fingerprint().to_vec());
+        }
+    }
+    c.bench_function("kmeans_fit_180_fingerprints", |b| {
+        b.iter(|| {
+            black_box(KMeans::fit(
+                black_box(&data),
+                KMeansConfig {
+                    k: 3,
+                    iterations: 25,
+                    seed: 7,
+                    ..KMeansConfig::default()
+                },
+            ))
+        })
+    });
+    let model = KMeans::fit(
+        &data,
+        KMeansConfig {
+            k: 3,
+            iterations: 25,
+            seed: 7,
+            ..KMeansConfig::default()
+        },
+    );
+    let point = data[0].clone();
+    c.bench_function("kmeans_assign", |b| {
+        b.iter(|| black_box(model.assign(black_box(&point))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_csi_detector,
+    bench_allocator,
+    bench_feature_extraction,
+    bench_kmeans
+);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmarks of whole scenario runs: how much wall-clock one
+//! simulated second of each coordination mode costs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use bicord_scenario::config::SimConfig;
+use bicord_scenario::geometry::Location;
+use bicord_scenario::sim::CoexistenceSim;
+use bicord_sim::SimDuration;
+
+fn one_second(config_builder: impl Fn(u64) -> SimConfig) -> u64 {
+    let mut config = config_builder(1);
+    config.duration = SimDuration::from_secs(1);
+    let results = CoexistenceSim::new(config).run();
+    results.events
+}
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("one_simulated_second");
+    group.sample_size(10);
+    group.bench_function("bicord", |b| {
+        b.iter(|| black_box(one_second(|s| SimConfig::bicord(Location::A, s))))
+    });
+    group.bench_function("ecc_30ms", |b| {
+        b.iter(|| {
+            black_box(one_second(|s| {
+                SimConfig::ecc(Location::A, s, SimDuration::from_millis(30))
+            }))
+        })
+    });
+    group.bench_function("unprotected", |b| {
+        b.iter(|| black_box(one_second(|s| SimConfig::unprotected(Location::A, s))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

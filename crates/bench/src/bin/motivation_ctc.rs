@@ -1,0 +1,87 @@
+//! Regenerates the **Sec. III motivation analysis**: (a) the latency of
+//! existing ZigBee→Wi-Fi CTC schemes versus the white-space timescales a
+//! coordination scheme must hit (Sec. III-B), and (b) why ECC's
+//! interval-estimation ("folding") variant cannot replace explicit
+//! requests (Sec. III-A).
+
+use bicord_ctc::delay_models::CtcScheme;
+use bicord_ctc::folding::{evaluate_folding, FoldingConfig};
+use bicord_metrics::table::{fmt1, pct, TextTable};
+use bicord_scenario::experiments::motivation_ctc;
+use bicord_sim::dist::exponential_duration;
+use bicord_sim::{stream_rng, SeedDomain, SimDuration, SimTime};
+
+fn folding_sweep() {
+    let horizon = SimTime::from_secs(60);
+    let mut table = TextTable::new(vec![
+        "traffic",
+        "mean interval",
+        "hit rate",
+        "wasted reservations",
+    ]);
+    table.title("Sec. III-A — ECC's interval estimation only helps periodic traffic");
+    for interval_ms in [200u64, 400, 1000] {
+        // Strictly periodic arrivals:
+        let periodic: Vec<SimTime> = (1..)
+            .map(|k| SimTime::from_millis(interval_ms * k))
+            .take_while(|t| *t < horizon)
+            .collect();
+        let p = evaluate_folding(FoldingConfig::default(), &periodic, horizon);
+        table.row(vec![
+            "periodic".into(),
+            format!("{interval_ms} ms"),
+            pct(p.hit_rate()),
+            pct(p.waste_rate()),
+        ]);
+        // Poisson arrivals with the same mean:
+        let mut rng = stream_rng(20_210_705, SeedDomain::Traffic, interval_ms);
+        let mut t = SimTime::ZERO;
+        let mut poisson = Vec::new();
+        loop {
+            t += exponential_duration(&mut rng, SimDuration::from_millis(interval_ms));
+            if t >= horizon {
+                break;
+            }
+            poisson.push(t);
+        }
+        let q = evaluate_folding(FoldingConfig::default(), &poisson, horizon);
+        table.row(vec![
+            "Poisson".into(),
+            format!("{interval_ms} ms"),
+            pct(q.hit_rate()),
+            pct(q.waste_rate()),
+        ]);
+    }
+    println!("{table}");
+    println!("Folding phase-locks to periodic arrivals and stops wasting reservations;");
+    println!("under Poisson traffic it stays in blind mode — the paper's argument that");
+    println!("interval estimation cannot substitute for explicit requests.\n");
+}
+
+fn main() {
+    folding_sweep();
+    let rows = motivation_ctc();
+    let mut table = TextTable::new(vec![
+        "scheme",
+        "one-bit latency on busy channel",
+        "works under Wi-Fi traffic",
+    ]);
+    table.title("Sec. III-B — why existing CTC cannot carry the channel request");
+    for scheme in CtcScheme::all() {
+        let row = rows
+            .iter()
+            .find(|r| r.scheme == scheme.name)
+            .expect("all schemes modelled");
+        table.row(vec![
+            scheme.name.to_string(),
+            row.one_bit_ms
+                .map(|ms| format!("{} ms", fmt1(ms)))
+                .unwrap_or_else(|| "cannot operate".to_string()),
+            scheme.works_on_busy_channel.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("A typical burst needs a ~30 ms white space; AdaComm's 110 ms Barker");
+    println!("synchronisation alone overshoots it ~4x. BiCord's one-bit signal needs no");
+    println!("synchronisation at all, which is the paper's central design argument.");
+}

@@ -1,0 +1,50 @@
+//! The Sec. VI extension experiment: **multiple coexisting ZigBee nodes
+//! with different traffic patterns** sharing one Wi-Fi coordinator.
+//!
+//! The paper sketches this case ("if there are multiple ZigBee nodes with
+//! different traffic pattern coexisting in the surroundings, the generated
+//! white space length needs to be re-adjusted") but does not evaluate it;
+//! this bench does, against ECC-30 as the baseline.
+
+use bicord_bench::{run_duration, BENCH_SEED};
+use bicord_metrics::table::{fmt1, pct, TextTable};
+use bicord_scenario::experiments::multi_node;
+
+fn main() {
+    let duration = run_duration(30, 5);
+    eprintln!("Multi-node: 1-3 heterogeneous ZigBee pairs x 2 schemes, {duration} each...");
+    let rows = multi_node(BENCH_SEED, duration);
+
+    let mut table = TextTable::new(vec![
+        "scheme",
+        "nodes",
+        "utilization",
+        "aggregate PDR",
+        "mean delay (ms)",
+        "per-node PDR",
+    ]);
+    table.title("Multiple ZigBee nodes (A: 5-pkt, C: 10-pkt, D: 3-pkt bursts)");
+    for row in &rows {
+        table.row(vec![
+            row.scheme.label(),
+            row.n_nodes.to_string(),
+            pct(row.utilization),
+            pct(row.aggregate_pdr),
+            row.mean_delay_ms.map(fmt1).unwrap_or_else(|| "-".into()),
+            row.per_node_pdr
+                .iter()
+                .map(|p| format!("{:.0}%", p * 100.0))
+                .collect::<Vec<_>>()
+                .join(" / "),
+        ]);
+    }
+    println!("{table}");
+    println!("Finding: every node stays served (PDR ~100%) under both schemes, but");
+    println!("BiCord's single shared estimate thrashes when heterogeneous nodes");
+    println!("interleave their requests — utilization and delay degrade with node");
+    println!("count, while blind periodic ECC is insensitive to it. The paper notes");
+    println!("multi-node re-adjustment as necessary but does not evaluate it; this");
+    println!("bench shows it is the scheme's main open problem (per-node estimates");
+    println!("would need the Wi-Fi side to *identify* the requesting node, which");
+    println!("one-bit signaling cannot).");
+}

@@ -1,0 +1,87 @@
+//! # bicord-bench
+//!
+//! The regeneration harness: one binary per table/figure of the paper
+//! (under `src/bin/`), plus Criterion micro-benchmarks (under `benches/`).
+//!
+//! Every binary accepts `--quick` to run a shortened sweep (useful for
+//! smoke-testing the harness itself); without it, the full paper-scale
+//! parameters are used.
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `table1_2` | Tables I & II (signaling precision/recall) |
+//! | `fig3_csi` | Fig. 3 (CSI traces under noise / ZigBee packets) |
+//! | `fig7_learning` | Fig. 7 (white-space staircase) |
+//! | `fig8_iterations` | Fig. 8 (iterations to converge) |
+//! | `fig9_whitespace` | Fig. 9 (converged white space + over-provision) |
+//! | `fig10_comparison` | Fig. 10a/b/c (utilization, delay, throughput) |
+//! | `fig11_parameters` | Fig. 11a–d (parameter study) |
+//! | `fig12_mobility` | Fig. 12 (mobile scenarios) |
+//! | `fig13_priority` | Fig. 13 (Wi-Fi traffic prioritisation) |
+//! | `cti_accuracy` | Sec. VII-A accuracy numbers |
+//! | `energy_cost` | Sec. VII-B energy overhead (analytic + measured) |
+//! | `motivation_ctc` | Sec. III-A folding analysis + Sec. III-B CTC latency |
+//! | `multi_node` | the Sec. VI multi-node extension (beyond the paper) |
+//! | `ablations` | detector-rule and allocator-stabiliser ablations |
+//!
+//! Set `BICORD_CSV_DIR=<dir>` to additionally export the main tables as
+//! CSV for plotting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bicord_metrics::TextTable;
+use bicord_sim::SimDuration;
+
+/// `true` when the binary was invoked with `--quick`.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Picks the full or quick variant of a run length.
+pub fn run_duration(full_secs: u64, quick_secs: u64) -> SimDuration {
+    if quick_mode() {
+        SimDuration::from_secs(quick_secs)
+    } else {
+        SimDuration::from_secs(full_secs)
+    }
+}
+
+/// Picks the full or quick variant of a repetition/trial count.
+pub fn run_count(full: u32, quick: u32) -> u32 {
+    if quick_mode() {
+        quick
+    } else {
+        full
+    }
+}
+
+/// The master seed shared by the regeneration binaries.
+pub const BENCH_SEED: u64 = 20_210_705;
+
+/// If the `BICORD_CSV_DIR` environment variable is set, writes `table` as
+/// `<dir>/<name>.csv` (for plotting); errors are reported on stderr but
+/// never fail the bench.
+pub fn maybe_write_csv(name: &str, table: &TextTable) {
+    let Ok(dir) = std::env::var("BICORD_CSV_DIR") else {
+        return;
+    };
+    let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
+    if let Err(e) = std::fs::write(&path, table.to_csv()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_counts_without_flag() {
+        // The test harness does not pass --quick.
+        assert_eq!(run_count(600, 60), 600);
+        assert_eq!(run_duration(60, 5), SimDuration::from_secs(60));
+    }
+}

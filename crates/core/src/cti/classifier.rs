@@ -1,0 +1,221 @@
+//! Technology classification of RSSI traces (the ZiSense-style decision
+//! tree).
+//!
+//! The tree encodes physical-layer invariants rather than learned weights:
+//!
+//! * frequency hoppers (Bluetooth) leave AGC undershoots *below* the noise
+//!   floor when they leave the band;
+//! * a magnetron (microwave oven) ramps its emission across the mains
+//!   half-cycle, producing a far larger on-air amplitude spread than any
+//!   digital modulation;
+//! * 802.15.4 frames at 250 kb/s are much longer on air (≈ 1.8 ms for 50 B)
+//!   than 802.11 frames (≈ 1 ms for 100 B even at 1 Mb/s);
+//! * everything else with meaningful occupancy in the 2.4 GHz band is
+//!   treated as Wi-Fi.
+
+use bicord_phy::interferers::InterfererKind;
+
+use super::features::TraceFeatures;
+
+/// The decision-tree thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionTree {
+    /// Below this occupancy the channel is considered idle (no verdict).
+    pub min_occupancy: f64,
+    /// On-air σ (dB) above which the source is a microwave oven.
+    pub microwave_sigma_db: f64,
+    /// Longest on-air run (ms) above which the source is ZigBee (a full
+    /// 50 B 802.15.4 frame lasts 1.79 ms; a 100 B 802.11 frame at 1 Mb/s
+    /// lasts 0.99 ms).
+    pub zigbee_on_air_ms: f64,
+}
+
+impl Default for DecisionTree {
+    fn default() -> Self {
+        DecisionTree {
+            min_occupancy: 0.06,
+            microwave_sigma_db: 4.2,
+            zigbee_on_air_ms: 1.35,
+        }
+    }
+}
+
+impl DecisionTree {
+    /// Classifies a feature vector; `None` means "no classifiable
+    /// activity".
+    pub fn classify(&self, f: &TraceFeatures) -> Option<InterfererKind> {
+        if f.occupancy < self.min_occupancy {
+            return None;
+        }
+        if f.under_noise_floor {
+            return Some(InterfererKind::Bluetooth);
+        }
+        if f.energy_sigma_db > self.microwave_sigma_db {
+            return Some(InterfererKind::Microwave);
+        }
+        if f.max_on_air_ms > self.zigbee_on_air_ms {
+            return Some(InterfererKind::Zigbee);
+        }
+        Some(InterfererKind::Wifi)
+    }
+}
+
+/// Classifies with the default tree.
+///
+/// # Example
+///
+/// ```
+/// use bicord_core::cti::{classify, extract_features};
+/// use bicord_phy::interferers::{generate_trace, InterfererKind, TraceConfig, TRACE_DURATION};
+/// use bicord_sim::{stream_rng, SeedDomain};
+///
+/// let mut rng = stream_rng(4, SeedDomain::Interferers, 1);
+/// let trace = generate_trace(&mut rng, &TraceConfig::wifi(-40.0), TRACE_DURATION);
+/// let verdict = classify(&extract_features(&trace, -80.0, -95.0));
+/// assert_eq!(verdict, Some(InterfererKind::Wifi));
+/// ```
+pub fn classify(features: &TraceFeatures) -> Option<InterfererKind> {
+    DecisionTree::default().classify(features)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cti::features::extract_features;
+    use bicord_phy::interferers::{generate_trace, TraceConfig, TRACE_DURATION};
+    use bicord_sim::{stream_rng, SeedDomain};
+
+    const BUSY: f64 = -80.0;
+    const FLOOR: f64 = -95.0;
+
+    fn accuracy(kind: InterfererKind, cfg: &TraceConfig, n: usize, instance: u64) -> f64 {
+        let mut rng = stream_rng(4242, SeedDomain::Interferers, instance);
+        let mut hits = 0usize;
+        for _ in 0..n {
+            let t = generate_trace(&mut rng, cfg, TRACE_DURATION);
+            let f = extract_features(&t, BUSY, FLOOR);
+            if classify(&f) == Some(kind) {
+                hits += 1;
+            }
+        }
+        hits as f64 / n as f64
+    }
+
+    #[test]
+    fn wifi_traces_classified_as_wifi() {
+        // The paper reports 96.39 % accuracy detecting Wi-Fi; require a
+        // comparable level from the reproduction.
+        let acc = accuracy(InterfererKind::Wifi, &TraceConfig::wifi(-40.0), 200, 0);
+        assert!(acc > 0.9, "wifi accuracy {acc}");
+    }
+
+    #[test]
+    fn wifi_detected_across_distances() {
+        // Wi-Fi senders at 1, 3, 5 m (−26, −34, −41 dBm with the office
+        // model) must all register as Wi-Fi.
+        for (i, p) in [-26.0, -34.3, -41.0].iter().enumerate() {
+            let acc = accuracy(
+                InterfererKind::Wifi,
+                &TraceConfig::wifi(*p),
+                100,
+                10 + i as u64,
+            );
+            assert!(acc > 0.85, "wifi accuracy {acc} at {p} dBm");
+        }
+    }
+
+    #[test]
+    fn zigbee_traces_classified_as_zigbee() {
+        let acc = accuracy(InterfererKind::Zigbee, &TraceConfig::zigbee(-50.0), 200, 1);
+        assert!(acc > 0.85, "zigbee accuracy {acc}");
+    }
+
+    #[test]
+    fn bluetooth_not_mistaken_for_wifi() {
+        // What matters for BiCord is never signaling at a non-Wi-Fi
+        // interferer.
+        let mut rng = stream_rng(77, SeedDomain::Interferers, 2);
+        let mut as_wifi = 0;
+        let n = 200;
+        for _ in 0..n {
+            let t = generate_trace(&mut rng, &TraceConfig::bluetooth(-45.0), TRACE_DURATION);
+            let f = extract_features(&t, BUSY, FLOOR);
+            if classify(&f) == Some(InterfererKind::Wifi) {
+                as_wifi += 1;
+            }
+        }
+        let fp = as_wifi as f64 / n as f64;
+        assert!(fp < 0.15, "bluetooth misread as wifi {fp}");
+    }
+
+    #[test]
+    fn microwave_not_mistaken_for_wifi() {
+        let mut rng = stream_rng(78, SeedDomain::Interferers, 3);
+        let mut as_wifi = 0;
+        let n = 200;
+        for _ in 0..n {
+            let t = generate_trace(&mut rng, &TraceConfig::microwave(-35.0), TRACE_DURATION);
+            let f = extract_features(&t, BUSY, FLOOR);
+            if classify(&f) == Some(InterfererKind::Wifi) {
+                as_wifi += 1;
+            }
+        }
+        let fp = as_wifi as f64 / n as f64;
+        assert!(fp < 0.2, "microwave misread as wifi {fp}");
+    }
+
+    #[test]
+    fn idle_channel_yields_no_verdict() {
+        let f = TraceFeatures {
+            avg_on_air_ms: 0.0,
+            max_on_air_ms: 0.0,
+            min_packet_interval_ms: 5.0,
+            papr_db: 1.0,
+            under_noise_floor: false,
+            occupancy: 0.01,
+            energy_level_dbm: -95.0,
+            energy_span_db: 0.0,
+            energy_sigma_db: 0.0,
+        };
+        assert_eq!(classify(&f), None);
+    }
+
+    #[test]
+    fn tree_branch_order_is_hopper_first() {
+        // A trace that is both under-noise-floor and high-σ must be read
+        // as Bluetooth (hopping evidence is the most specific).
+        let f = TraceFeatures {
+            avg_on_air_ms: 0.4,
+            max_on_air_ms: 2.0,
+            min_packet_interval_ms: 0.3,
+            papr_db: 8.0,
+            under_noise_floor: true,
+            occupancy: 0.2,
+            energy_level_dbm: -45.0,
+            energy_span_db: 30.0,
+            energy_sigma_db: 9.0,
+        };
+        assert_eq!(classify(&f), Some(InterfererKind::Bluetooth));
+    }
+
+    #[test]
+    fn custom_thresholds_change_verdict() {
+        let f = TraceFeatures {
+            avg_on_air_ms: 1.0,
+            max_on_air_ms: 1.0,
+            min_packet_interval_ms: 0.3,
+            papr_db: 4.0,
+            under_noise_floor: false,
+            occupancy: 0.7,
+            energy_level_dbm: -40.0,
+            energy_span_db: 10.0,
+            energy_sigma_db: 2.0,
+        };
+        assert_eq!(classify(&f), Some(InterfererKind::Wifi));
+        let strict = DecisionTree {
+            zigbee_on_air_ms: 0.5,
+            ..DecisionTree::default()
+        };
+        assert_eq!(strict.classify(&f), Some(InterfererKind::Zigbee));
+    }
+}

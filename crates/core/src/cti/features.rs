@@ -1,0 +1,305 @@
+//! RSSI-trace feature extraction.
+//!
+//! The classifier features follow ZiSense (average on-air time, minimum
+//! packet interval, peak-to-average power ratio, under-noise-floor); the
+//! fingerprint features follow Smoggy-Link (energy span, energy level,
+//! energy variance, occupancy).
+
+use bicord_phy::interferers::RssiTrace;
+
+/// Features computed from one RSSI trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceFeatures {
+    /// Mean duration of contiguous busy runs, ms (ZiSense feature 1).
+    pub avg_on_air_ms: f64,
+    /// Longest contiguous busy run, ms. More robust than the mean against
+    /// runs clipped by the trace edges (a clipped run can only shrink, so
+    /// the maximum of a window containing one full frame is exact).
+    pub max_on_air_ms: f64,
+    /// Shortest idle gap between two busy runs, ms; the trace duration if
+    /// fewer than two runs exist (ZiSense feature 2).
+    pub min_packet_interval_ms: f64,
+    /// Peak-to-average power ratio over the whole trace, dB
+    /// (ZiSense feature 3).
+    pub papr_db: f64,
+    /// `true` if any sample dips clearly below the noise floor — the AGC
+    /// signature of frequency hopping (ZiSense feature 4).
+    pub under_noise_floor: bool,
+    /// Fraction of samples above the busy threshold (Smoggy-Link).
+    pub occupancy: f64,
+    /// Mean busy-sample level, dBm (Smoggy-Link "energy level").
+    pub energy_level_dbm: f64,
+    /// Max − min busy-sample level, dB (Smoggy-Link "energy span").
+    pub energy_span_db: f64,
+    /// Standard deviation of busy-sample levels, dB (Smoggy-Link "energy
+    /// variance", reported as σ for unit sanity).
+    pub energy_sigma_db: f64,
+}
+
+impl TraceFeatures {
+    /// The Smoggy-Link fingerprint vector used for device identification:
+    /// `[energy level, energy span, energy sigma, occupancy]`.
+    pub fn fingerprint(&self) -> [f64; 4] {
+        [
+            self.energy_level_dbm,
+            self.energy_span_db,
+            self.energy_sigma_db,
+            self.occupancy,
+        ]
+    }
+}
+
+/// Extracts [`TraceFeatures`] from a trace.
+///
+/// `busy_threshold_dbm` separates on-air samples from idle ones;
+/// `noise_floor_dbm` anchors the under-noise-floor test.
+///
+/// # Example
+///
+/// ```
+/// use bicord_core::cti::extract_features;
+/// use bicord_phy::interferers::{generate_trace, TraceConfig, TRACE_DURATION};
+/// use bicord_sim::{stream_rng, SeedDomain};
+///
+/// let mut rng = stream_rng(1, SeedDomain::Interferers, 0);
+/// let trace = generate_trace(&mut rng, &TraceConfig::wifi(-40.0), TRACE_DURATION);
+/// let f = extract_features(&trace, -80.0, -95.0);
+/// assert!(f.occupancy > 0.3);
+/// ```
+pub fn extract_features(
+    trace: &RssiTrace,
+    busy_threshold_dbm: f64,
+    noise_floor_dbm: f64,
+) -> TraceFeatures {
+    let sample_ms = trace.sample_period.as_millis_f64();
+    let n = trace.len();
+    if n == 0 {
+        return TraceFeatures {
+            avg_on_air_ms: 0.0,
+            max_on_air_ms: 0.0,
+            min_packet_interval_ms: 0.0,
+            papr_db: 0.0,
+            under_noise_floor: false,
+            occupancy: 0.0,
+            energy_level_dbm: noise_floor_dbm,
+            energy_span_db: 0.0,
+            energy_sigma_db: 0.0,
+        };
+    }
+
+    let mut busy_runs: Vec<usize> = Vec::new();
+    let mut idle_runs: Vec<usize> = Vec::new();
+    let mut run = 0usize;
+    let mut idle = 0usize;
+    let mut busy_count = 0usize;
+    let mut busy_samples: Vec<f64> = Vec::new();
+    let mut under_floor = false;
+
+    for &s in &trace.samples {
+        if s > busy_threshold_dbm {
+            busy_count += 1;
+            busy_samples.push(s);
+            run += 1;
+            if idle > 0 {
+                // Interior idle gap only (leading idle is not an interval).
+                if !busy_runs.is_empty() {
+                    idle_runs.push(idle);
+                }
+                idle = 0;
+            }
+        } else {
+            if s < noise_floor_dbm - 2.0 {
+                under_floor = true;
+            }
+            idle += 1;
+            if run > 0 {
+                busy_runs.push(run);
+                run = 0;
+            }
+        }
+    }
+    if run > 0 {
+        busy_runs.push(run);
+    }
+
+    let avg_on_air_ms = if busy_runs.is_empty() {
+        0.0
+    } else {
+        busy_runs.iter().sum::<usize>() as f64 / busy_runs.len() as f64 * sample_ms
+    };
+    let max_on_air_ms = busy_runs
+        .iter()
+        .max()
+        .map(|&r| r as f64 * sample_ms)
+        .unwrap_or(0.0);
+    let min_packet_interval_ms = idle_runs
+        .iter()
+        .min()
+        .map(|&g| g as f64 * sample_ms)
+        .unwrap_or_else(|| trace.duration().as_millis_f64());
+
+    // PAPR in the linear domain over all samples.
+    let linear: Vec<f64> = trace
+        .samples
+        .iter()
+        .map(|&d| 10f64.powf(d / 10.0))
+        .collect();
+    let mean_linear = linear.iter().sum::<f64>() / n as f64;
+    let peak_linear = linear.iter().cloned().fold(f64::MIN, f64::max);
+    let papr_db = if mean_linear > 0.0 {
+        10.0 * (peak_linear / mean_linear).log10()
+    } else {
+        0.0
+    };
+
+    let occupancy = busy_count as f64 / n as f64;
+    let (energy_level_dbm, energy_span_db, energy_sigma_db) = if busy_samples.is_empty() {
+        (noise_floor_dbm, 0.0, 0.0)
+    } else {
+        let m = busy_samples.iter().sum::<f64>() / busy_samples.len() as f64;
+        let max = busy_samples.iter().cloned().fold(f64::MIN, f64::max);
+        let min = busy_samples.iter().cloned().fold(f64::MAX, f64::min);
+        let var =
+            busy_samples.iter().map(|s| (s - m).powi(2)).sum::<f64>() / busy_samples.len() as f64;
+        (m, max - min, var.sqrt())
+    };
+
+    TraceFeatures {
+        avg_on_air_ms,
+        max_on_air_ms,
+        min_packet_interval_ms,
+        papr_db,
+        under_noise_floor: under_floor,
+        occupancy,
+        energy_level_dbm,
+        energy_span_db,
+        energy_sigma_db,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bicord_phy::interferers::{
+        generate_trace, TraceConfig, TRACE_DURATION, TRACE_SAMPLE_PERIOD,
+    };
+    use bicord_sim::{stream_rng, SeedDomain, SimDuration};
+
+    fn trace_from(samples: Vec<f64>) -> RssiTrace {
+        RssiTrace {
+            sample_period: TRACE_SAMPLE_PERIOD,
+            samples,
+        }
+    }
+
+    #[test]
+    fn empty_trace_yields_zeroes() {
+        let f = extract_features(&trace_from(vec![]), -80.0, -95.0);
+        assert_eq!(f.occupancy, 0.0);
+        assert_eq!(f.avg_on_air_ms, 0.0);
+        assert!(!f.under_noise_floor);
+    }
+
+    #[test]
+    fn all_idle_trace() {
+        let f = extract_features(&trace_from(vec![-94.0; 100]), -80.0, -95.0);
+        assert_eq!(f.occupancy, 0.0);
+        assert_eq!(f.energy_level_dbm, -95.0);
+        // No busy runs → min interval degenerates to the trace duration.
+        assert!((f.min_packet_interval_ms - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_run_statistics() {
+        // 8 idle, 4 busy at -40, 8 idle: one 0.1 ms run.
+        let mut v = vec![-94.0; 8];
+        v.extend([-40.0; 4]);
+        v.extend([-94.0; 8]);
+        let f = extract_features(&trace_from(v), -80.0, -95.0);
+        assert!((f.avg_on_air_ms - 0.1).abs() < 1e-9);
+        assert!((f.occupancy - 0.2).abs() < 1e-9);
+        assert!((f.energy_level_dbm - (-40.0)).abs() < 1e-9);
+        assert_eq!(f.energy_span_db, 0.0);
+        assert_eq!(f.energy_sigma_db, 0.0);
+    }
+
+    #[test]
+    fn min_packet_interval_takes_smallest_gap() {
+        // busy(2) idle(4) busy(2) idle(2) busy(2) → min gap 2 samples.
+        let mut v = Vec::new();
+        v.extend([-40.0; 2]);
+        v.extend([-94.0; 4]);
+        v.extend([-40.0; 2]);
+        v.extend([-94.0; 2]);
+        v.extend([-40.0; 2]);
+        let f = extract_features(&trace_from(v), -80.0, -95.0);
+        assert!((f.min_packet_interval_ms - 0.05).abs() < 1e-9);
+        assert_eq!(f.avg_on_air_ms, 0.05);
+    }
+
+    #[test]
+    fn leading_and_trailing_idle_are_not_intervals() {
+        let mut v = vec![-94.0; 10];
+        v.extend([-40.0; 5]);
+        v.extend([-94.0; 10]);
+        let f = extract_features(&trace_from(v), -80.0, -95.0);
+        // One run, no interior gap → interval = trace duration.
+        assert!((f.min_packet_interval_ms - v_len_ms(25)).abs() < 1e-9);
+    }
+
+    fn v_len_ms(n: usize) -> f64 {
+        n as f64 * 0.025
+    }
+
+    #[test]
+    fn under_noise_floor_detection() {
+        let f = extract_features(&trace_from(vec![-94.0, -99.0, -94.0]), -80.0, -95.0);
+        assert!(f.under_noise_floor);
+        let f = extract_features(&trace_from(vec![-94.0, -96.0, -94.0]), -80.0, -95.0);
+        assert!(!f.under_noise_floor, "-96 is within 2 dB of the floor");
+    }
+
+    #[test]
+    fn papr_of_flat_trace_is_zero() {
+        let f = extract_features(&trace_from(vec![-50.0; 20]), -80.0, -95.0);
+        assert!(f.papr_db.abs() < 1e-9);
+    }
+
+    #[test]
+    fn papr_grows_with_duty_cycle_contrast() {
+        // Mostly idle with one strong sample → large PAPR.
+        let mut v = vec![-94.0; 99];
+        v.push(-40.0);
+        let f = extract_features(&trace_from(v), -80.0, -95.0);
+        assert!(f.papr_db > 15.0, "papr {}", f.papr_db);
+    }
+
+    #[test]
+    fn generated_wifi_vs_zigbee_features_separate() {
+        let mut rng = stream_rng(9, SeedDomain::Interferers, 50);
+        let mut wifi_on = 0.0;
+        let mut zb_on = 0.0;
+        let n = 40;
+        for _ in 0..n {
+            let t = generate_trace(&mut rng, &TraceConfig::wifi(-40.0), TRACE_DURATION);
+            wifi_on += extract_features(&t, -80.0, -95.0).avg_on_air_ms;
+            let t = generate_trace(&mut rng, &TraceConfig::zigbee(-50.0), TRACE_DURATION);
+            zb_on += extract_features(&t, -80.0, -95.0).avg_on_air_ms;
+        }
+        assert!(
+            zb_on / n as f64 > wifi_on / n as f64 + 0.2,
+            "zigbee on-air {zb_on} vs wifi {wifi_on}"
+        );
+    }
+
+    #[test]
+    fn fingerprint_vector_layout() {
+        let f = extract_features(&trace_from(vec![-40.0; 10]), -80.0, -95.0);
+        let fp = f.fingerprint();
+        assert_eq!(fp[0], f.energy_level_dbm);
+        assert_eq!(fp[1], f.energy_span_db);
+        assert_eq!(fp[2], f.energy_sigma_db);
+        assert_eq!(fp[3], f.occupancy);
+        let _ = SimDuration::ZERO;
+    }
+}

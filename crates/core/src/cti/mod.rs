@@ -1,0 +1,26 @@
+//! CTI detection (Sec. VII-A of the paper).
+//!
+//! Before signaling, a ZigBee node must answer two questions from a short
+//! RSSI trace:
+//!
+//! 1. **Is the interference Wi-Fi at all?** Bluetooth or a microwave oven
+//!    cannot grant white spaces, so signaling at them is wasted energy.
+//!    [`features`] extracts the four ZiSense features (average on-air time,
+//!    minimum packet interval, peak-to-average power ratio, under-noise-
+//!    floor) and [`classifier`] runs them through a decision tree.
+//! 2. **Which Wi-Fi transmitter is it?** The signaling power must match the
+//!    interferer (strong enough to disturb its receiver's CSI, weak enough
+//!    not to trip its sender's CCA). [`fingerprint`] clusters Smoggy-Link
+//!    fingerprints (energy span / level / variance, occupancy) with
+//!    k-means under the Manhattan distance, and [`power_map`] stores the
+//!    negotiated per-device signaling power.
+
+pub mod classifier;
+pub mod features;
+pub mod fingerprint;
+pub mod power_map;
+
+pub use classifier::{classify, DecisionTree};
+pub use features::{extract_features, TraceFeatures};
+pub use fingerprint::{fingerprint_weights, KMeans, KMeansConfig};
+pub use power_map::{select_power, PowerMap};

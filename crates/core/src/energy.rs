@@ -1,0 +1,337 @@
+//! CC2420 (TelosB) energy model — Sec. VII-B of the paper.
+//!
+//! The paper quantifies BiCord's overhead as 10–21 % extra energy versus
+//! transmitting the same burst in a clear channel, and argues it beats
+//! retransmitting under interference once more than two packets need a
+//! retry. Both figures are ratios of airtime-weighted radio currents,
+//! which this module reproduces from the CC2420 datasheet.
+
+use bicord_phy::units::Dbm;
+use bicord_sim::SimDuration;
+
+/// Radio states with distinct current draw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RadioState {
+    /// Transmitting at the given power setting.
+    Tx(Dbm),
+    /// Receiving / listening.
+    Rx,
+    /// Idle (oscillator on, radio off).
+    Idle,
+    /// Deep sleep.
+    Sleep,
+}
+
+/// CC2420 supply voltage used for energy conversion.
+pub const SUPPLY_VOLTAGE: f64 = 3.0;
+
+/// TX current draw (mA) at output power `p`, linearly interpolated from
+/// the CC2420 datasheet table.
+///
+/// # Example
+///
+/// ```
+/// use bicord_core::energy::tx_current_ma;
+/// use bicord_phy::units::Dbm;
+///
+/// assert!((tx_current_ma(Dbm::new(0.0)) - 17.4).abs() < 1e-9);
+/// assert!(tx_current_ma(Dbm::new(-7.0)) < tx_current_ma(Dbm::new(0.0)));
+/// ```
+pub fn tx_current_ma(p: Dbm) -> f64 {
+    // (power dBm, current mA) — CC2420 datasheet Table 9.
+    const TABLE: [(f64, f64); 8] = [
+        (-25.0, 8.5),
+        (-15.0, 9.9),
+        (-10.0, 11.2),
+        (-7.0, 12.5),
+        (-5.0, 13.9),
+        (-3.0, 15.2),
+        (-1.0, 16.5),
+        (0.0, 17.4),
+    ];
+    let x = p.value();
+    if x <= TABLE[0].0 {
+        return TABLE[0].1;
+    }
+    if x >= TABLE[TABLE.len() - 1].0 {
+        return TABLE[TABLE.len() - 1].1;
+    }
+    for w in TABLE.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if x <= x1 {
+            return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+        }
+    }
+    unreachable!("interpolation covers the table range")
+}
+
+/// RX / listen current draw, mA.
+pub const RX_CURRENT_MA: f64 = 18.8;
+/// Idle current draw, mA.
+pub const IDLE_CURRENT_MA: f64 = 0.426;
+/// Deep-sleep current draw, mA.
+pub const SLEEP_CURRENT_MA: f64 = 0.02;
+
+/// Current draw of a radio state, mA.
+pub fn current_ma(state: RadioState) -> f64 {
+    match state {
+        RadioState::Tx(p) => tx_current_ma(p),
+        RadioState::Rx => RX_CURRENT_MA,
+        RadioState::Idle => IDLE_CURRENT_MA,
+        RadioState::Sleep => SLEEP_CURRENT_MA,
+    }
+}
+
+/// Energy (mJ) consumed by spending `duration` in `state`.
+pub fn energy_mj(state: RadioState, duration: SimDuration) -> f64 {
+    current_ma(state) * SUPPLY_VOLTAGE * duration.as_secs_f64()
+}
+
+/// Accumulates time spent per radio state and converts to energy.
+///
+/// # Example
+///
+/// ```
+/// use bicord_core::energy::{EnergyLedger, RadioState};
+/// use bicord_phy::units::Dbm;
+/// use bicord_sim::SimDuration;
+///
+/// let mut ledger = EnergyLedger::new();
+/// ledger.add(RadioState::Tx(Dbm::new(0.0)), SimDuration::from_millis(4));
+/// ledger.add(RadioState::Rx, SimDuration::from_millis(1));
+/// assert!(ledger.total_mj() > 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnergyLedger {
+    entries: Vec<(RadioState, SimDuration)>,
+}
+
+impl EnergyLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        EnergyLedger::default()
+    }
+
+    /// Records `duration` spent in `state`.
+    pub fn add(&mut self, state: RadioState, duration: SimDuration) {
+        self.entries.push((state, duration));
+    }
+
+    /// Total energy, mJ.
+    pub fn total_mj(&self) -> f64 {
+        self.entries.iter().map(|&(s, d)| energy_mj(s, d)).sum()
+    }
+
+    /// Total time recorded, regardless of state.
+    pub fn total_time(&self) -> SimDuration {
+        self.entries.iter().map(|&(_, d)| d).sum()
+    }
+
+    /// Energy spent transmitting only, mJ.
+    pub fn tx_mj(&self) -> f64 {
+        self.entries
+            .iter()
+            .filter(|(s, _)| matches!(s, RadioState::Tx(_)))
+            .map(|&(s, d)| energy_mj(s, d))
+            .sum()
+    }
+}
+
+/// Builds the ledger for transmitting a burst of `n_packets` × `mpdu_bytes`
+/// (with ACK reception and `packet_interval` idle gaps) in a clear channel —
+/// the paper's baseline.
+pub fn clear_channel_burst(
+    n_packets: u32,
+    mpdu_bytes: usize,
+    tx_power: Dbm,
+    packet_interval: SimDuration,
+) -> EnergyLedger {
+    use bicord_phy::airtime::{zigbee_ack_airtime, zigbee_frame_airtime, zigbee_timing};
+    let mut ledger = EnergyLedger::new();
+    // Mean CSMA backoff on a clear channel: (2^minBE − 1)/2 unit periods,
+    // spent listening, plus the CCA window itself.
+    let csma_listen = zigbee_timing::UNIT_BACKOFF * u64::from((1u32 << zigbee_timing::MIN_BE) - 1)
+        / 2
+        + zigbee_timing::CCA;
+    for i in 0..n_packets {
+        ledger.add(RadioState::Rx, csma_listen);
+        ledger.add(RadioState::Tx(tx_power), zigbee_frame_airtime(mpdu_bytes));
+        // Turnaround + ACK reception.
+        ledger.add(
+            RadioState::Rx,
+            zigbee_timing::TURNAROUND + zigbee_ack_airtime(),
+        );
+        if i + 1 < n_packets {
+            ledger.add(RadioState::Idle, packet_interval);
+        }
+    }
+    ledger
+}
+
+/// The cost of one *failed* transmission attempt under interference: the
+/// CSMA listen, the frame airtime, and the full ACK-wait timeout.
+pub fn failed_attempt(mpdu_bytes: usize, tx_power: Dbm) -> EnergyLedger {
+    use bicord_phy::airtime::{zigbee_frame_airtime, zigbee_timing};
+    let csma_listen = zigbee_timing::UNIT_BACKOFF * u64::from((1u32 << zigbee_timing::MIN_BE) - 1)
+        / 2
+        + zigbee_timing::CCA;
+    let mut ledger = EnergyLedger::new();
+    ledger.add(RadioState::Rx, csma_listen);
+    ledger.add(RadioState::Tx(tx_power), zigbee_frame_airtime(mpdu_bytes));
+    ledger.add(RadioState::Rx, zigbee_timing::ACK_WAIT);
+    ledger
+}
+
+/// Builds the ledger for the same burst coordinated through BiCord:
+/// `n_control` signaling packets (at `control_power`), `listen_time`
+/// spent waiting for the white space, then the data exchange.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's Eq. 1 term list
+pub fn bicord_burst(
+    n_packets: u32,
+    mpdu_bytes: usize,
+    tx_power: Dbm,
+    packet_interval: SimDuration,
+    n_control: u32,
+    control_bytes: usize,
+    control_power: Dbm,
+    listen_time: SimDuration,
+) -> EnergyLedger {
+    use bicord_phy::airtime::zigbee_frame_airtime;
+    let mut ledger = clear_channel_burst(n_packets, mpdu_bytes, tx_power, packet_interval);
+    for _ in 0..n_control {
+        ledger.add(
+            RadioState::Tx(control_power),
+            zigbee_frame_airtime(control_bytes),
+        );
+    }
+    ledger.add(RadioState::Rx, listen_time);
+    ledger
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn datasheet_anchor_points() {
+        assert!((tx_current_ma(Dbm::new(0.0)) - 17.4).abs() < 1e-9);
+        assert!((tx_current_ma(Dbm::new(-1.0)) - 16.5).abs() < 1e-9);
+        assert!((tx_current_ma(Dbm::new(-3.0)) - 15.2).abs() < 1e-9);
+        assert!((tx_current_ma(Dbm::new(-7.0)) - 12.5).abs() < 1e-9);
+        assert!((tx_current_ma(Dbm::new(-25.0)) - 8.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_between_points() {
+        // -2 dBm sits halfway between -3 (15.2) and -1 (16.5).
+        assert!((tx_current_ma(Dbm::new(-2.0)) - 15.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamping_outside_table() {
+        assert_eq!(tx_current_ma(Dbm::new(-40.0)), 8.5);
+        assert_eq!(tx_current_ma(Dbm::new(5.0)), 17.4);
+    }
+
+    #[test]
+    fn rx_draws_more_than_any_tx() {
+        // CC2420 peculiarity the paper's energy argument leans on:
+        // listening is *more* expensive than transmitting.
+        assert!(RX_CURRENT_MA > tx_current_ma(Dbm::new(0.0)));
+    }
+
+    #[test]
+    fn energy_of_known_interval() {
+        // 17.4 mA × 3 V × 1 s = 52.2 mJ.
+        let e = energy_mj(RadioState::Tx(Dbm::new(0.0)), SimDuration::from_secs(1));
+        assert!((e - 52.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ledger_accumulates() {
+        let mut l = EnergyLedger::new();
+        l.add(RadioState::Tx(Dbm::new(0.0)), SimDuration::from_millis(10));
+        l.add(RadioState::Rx, SimDuration::from_millis(10));
+        l.add(RadioState::Sleep, SimDuration::from_millis(10));
+        let total = l.total_mj();
+        let expected = (17.4 + 18.8 + 0.02) * 3.0 * 0.01;
+        assert!((total - expected).abs() < 1e-9);
+        assert_eq!(l.total_time(), SimDuration::from_millis(30));
+        assert!(l.tx_mj() < total);
+    }
+
+    #[test]
+    fn bicord_overhead_matches_paper_range() {
+        // Paper Sec. VII-B: ten 120 B packets under strong interference —
+        // BiCord costs 10-21 % extra versus a clear channel, assuming one
+        // or two control packets and a short listen window.
+        let base = clear_channel_burst(10, 120, Dbm::new(0.0), SimDuration::from_millis(4));
+        for (n_control, listen_ms) in [(1u32, 3u64), (2, 6)] {
+            let bicord = bicord_burst(
+                10,
+                120,
+                Dbm::new(0.0),
+                SimDuration::from_millis(4),
+                n_control,
+                120,
+                Dbm::new(-1.0),
+                SimDuration::from_millis(listen_ms),
+            );
+            let overhead = bicord.total_mj() / base.total_mj() - 1.0;
+            assert!(
+                (0.08..0.25).contains(&overhead),
+                "overhead {overhead:.3} outside the paper's 10-21 % band \
+                 (n_control={n_control}, listen={listen_ms} ms)"
+            );
+        }
+    }
+
+    #[test]
+    fn bicord_beats_two_retransmissions() {
+        // Paper: BiCord's cost is below the cost of retransmitting more
+        // than two packets under interference.
+        let bicord = bicord_burst(
+            10,
+            120,
+            Dbm::new(0.0),
+            SimDuration::from_millis(4),
+            2,
+            120,
+            Dbm::new(-1.0),
+            SimDuration::from_millis(6),
+        );
+        // Uncoordinated alternative: the same burst plus three failed
+        // attempts that each burn a CSMA listen, a frame airtime, and the
+        // ACK-wait timeout before the retry succeeds.
+        let mut retry = clear_channel_burst(10, 120, Dbm::new(0.0), SimDuration::from_millis(4));
+        for _ in 0..3 {
+            for &(s, d) in &failed_attempt(120, Dbm::new(0.0)).entries {
+                retry.add(s, d);
+            }
+        }
+        assert!(
+            bicord.total_mj() < retry.total_mj(),
+            "bicord {} mJ vs 3-retransmission cost {} mJ",
+            bicord.total_mj(),
+            retry.total_mj()
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn tx_current_monotone_in_power(p1 in -25.0f64..0.0, p2 in -25.0f64..0.0) {
+            if p1 <= p2 {
+                prop_assert!(tx_current_ma(Dbm::new(p1)) <= tx_current_ma(Dbm::new(p2)) + 1e-12);
+            }
+        }
+
+        #[test]
+        fn energy_scales_linearly_with_time(ms in 1u64..10_000) {
+            let e1 = energy_mj(RadioState::Rx, SimDuration::from_millis(ms));
+            let e2 = energy_mj(RadioState::Rx, SimDuration::from_millis(2 * ms));
+            prop_assert!((e2 - 2.0 * e1).abs() < 1e-9);
+        }
+    }
+}

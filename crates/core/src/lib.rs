@@ -1,0 +1,38 @@
+//! # bicord-core
+//!
+//! The paper's contribution: **BiCord**, a bidirectional coordination
+//! scheme between ZigBee nodes and Wi-Fi devices sharing the 2.4 GHz band.
+//!
+//! * [`signaling`] — cross-technology signaling (Sec. V): the ZigBee-side
+//!   control-packet policy and the Wi-Fi-side CSI detector with the
+//!   threshold + continuity (N within T) rule.
+//! * [`allocation`] — adaptive white-space allocation (Sec. VI): the
+//!   learning phase implementing Eq. 1 and the
+//!   `T_estimation = (T_w − 2·T_c)·N_round` estimator, the adjustment
+//!   phase, and the 10 s re-estimation expiry.
+//! * [`cti`] — CTI detection (Sec. VII-A): ZiSense-style RSSI features and
+//!   decision tree to recognise Wi-Fi interference, Smoggy-Link-style
+//!   k-means fingerprinting to identify the transmitter, and the PowerMap
+//!   used to pick the signaling power.
+//! * [`coordinator`] — the Wi-Fi-side state machine tying detector +
+//!   allocator together (reservations, burst-end detection, priority
+//!   override).
+//! * [`client`] — the ZigBee-side state machine (normal CSMA first,
+//!   CTI detection on failure, signaling, white-space transmission).
+//! * [`energy`] — the CC2420 energy model behind the paper's Sec. VII-B
+//!   overhead figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocation;
+pub mod client;
+pub mod coordinator;
+pub mod cti;
+pub mod energy;
+pub mod signaling;
+
+pub use allocation::{AllocatorConfig, WhiteSpaceAllocator};
+pub use client::{BicordClient, ClientAction, ClientConfig, ClientTimer};
+pub use coordinator::{BicordCoordinator, CoordinatorAction, CoordinatorConfig, CoordinatorTimer};
+pub use signaling::{CsiDetector, DetectorConfig, SignalingPolicy};

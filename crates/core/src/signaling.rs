@@ -1,0 +1,351 @@
+//! Cross-technology signaling (Sec. V of the paper).
+//!
+//! The Wi-Fi side is [`CsiDetector`]: it watches the CSI amplitude-deviation
+//! stream, classifies each sample against a threshold (slight jitter vs
+//! high fluctuation), and declares a ZigBee channel request when **N high
+//! fluctuations occur within a window T** — the *continuity* rule that
+//! separates ZigBee control packets (which keep disturbing the CSI for
+//! several milliseconds) from isolated strong-noise events. N = 2 and
+//! T = 5 ms in the paper's implementation.
+//!
+//! The ZigBee side is [`SignalingPolicy`]: how many 120 B control packets
+//! to transmit per request, and when to give up.
+
+use std::collections::VecDeque;
+
+use bicord_phy::csi::{CsiClass, CsiModel, CsiSample};
+use bicord_sim::{SimDuration, SimTime};
+
+/// Configuration of the CSI detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// Number of high-fluctuation samples required (paper: N = 2).
+    pub required_highs: usize,
+    /// Continuity window (paper: T = 5 ms).
+    pub window: SimDuration,
+    /// Refractory period after a positive during which further positives
+    /// are suppressed — one channel request should produce one detection,
+    /// not one per subsequent control packet.
+    pub holdoff: SimDuration,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            required_highs: 2,
+            window: SimDuration::from_millis(5),
+            holdoff: SimDuration::from_millis(12),
+        }
+    }
+}
+
+/// A positive detector output: the detector believes a ZigBee node
+/// requested the channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// When the continuity rule fired.
+    pub at: SimTime,
+    /// Timestamp of the earliest high-fluctuation sample that contributed.
+    pub window_start: SimTime,
+    /// How many high samples were in the window when it fired.
+    pub highs_in_window: usize,
+}
+
+/// The sliding-window CSI detector run by the Wi-Fi receiver.
+///
+/// # Example
+///
+/// ```
+/// use bicord_core::signaling::{CsiDetector, DetectorConfig};
+/// use bicord_phy::csi::{CsiModel, CsiSample};
+/// use bicord_sim::SimTime;
+///
+/// let mut det = CsiDetector::new(DetectorConfig::default(), CsiModel::intel5300());
+/// // Two high fluctuations 1 ms apart trigger a detection:
+/// let s1 = CsiSample { time: SimTime::from_millis(10), deviation: 0.6 };
+/// let s2 = CsiSample { time: SimTime::from_millis(11), deviation: 0.7 };
+/// assert!(det.push(s1).is_none());
+/// let hit = det.push(s2).expect("continuity rule fires");
+/// assert_eq!(hit.at, SimTime::from_millis(11));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsiDetector {
+    config: DetectorConfig,
+    model: CsiModel,
+    highs: VecDeque<SimTime>,
+    last_positive: Option<SimTime>,
+    samples_seen: u64,
+    positives: u64,
+}
+
+impl CsiDetector {
+    /// Creates a detector with the given rule configuration and CSI model
+    /// (the model supplies the classification threshold).
+    pub fn new(config: DetectorConfig, model: CsiModel) -> Self {
+        assert!(config.required_highs >= 1, "need at least one high sample");
+        assert!(!config.window.is_zero(), "window must be positive");
+        CsiDetector {
+            config,
+            model,
+            highs: VecDeque::new(),
+            last_positive: None,
+            samples_seen: 0,
+            positives: 0,
+        }
+    }
+
+    /// The detector's configuration.
+    pub fn config(&self) -> DetectorConfig {
+        self.config
+    }
+
+    /// Total samples consumed.
+    pub fn samples_seen(&self) -> u64 {
+        self.samples_seen
+    }
+
+    /// Total positives produced.
+    pub fn positives(&self) -> u64 {
+        self.positives
+    }
+
+    /// Consumes one CSI sample; returns a [`Detection`] when the
+    /// continuity rule fires (and the detector is out of its hold-off).
+    pub fn push(&mut self, sample: CsiSample) -> Option<Detection> {
+        self.samples_seen += 1;
+        // Expire samples that slid out of the window.
+        while let Some(&front) = self.highs.front() {
+            if sample.time.saturating_since(front) > self.config.window {
+                self.highs.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.model.classify(&sample) != CsiClass::HighFluctuation {
+            return None;
+        }
+        self.highs.push_back(sample.time);
+        if self.highs.len() < self.config.required_highs {
+            return None;
+        }
+        // Hold-off: suppress repeats of the same request.
+        if let Some(last) = self.last_positive {
+            if sample.time.saturating_since(last) < self.config.holdoff {
+                return None;
+            }
+        }
+        self.last_positive = Some(sample.time);
+        self.positives += 1;
+        let detection = Detection {
+            at: sample.time,
+            window_start: *self.highs.front().expect("window non-empty"),
+            highs_in_window: self.highs.len(),
+        };
+        // Consume the window so the next detection needs fresh evidence.
+        self.highs.clear();
+        Some(detection)
+    }
+
+    /// Clears the sliding window and hold-off (e.g. after a white space,
+    /// when the CSI stream pauses).
+    pub fn reset_window(&mut self) {
+        self.highs.clear();
+    }
+}
+
+/// ZigBee-side signaling policy (how control packets are emitted).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignalingPolicy {
+    /// Control-packet MPDU length (paper: 120 B, sized to cover two
+    /// consecutive Wi-Fi frames).
+    pub control_bytes: usize,
+    /// Gap between consecutive control packets of one request.
+    pub packet_gap: SimDuration,
+    /// Maximum control packets per request before concluding the Wi-Fi
+    /// device is ignoring us.
+    pub max_packets: u32,
+    /// Fixed number of packets to send regardless of outcome (used by the
+    /// Table I/II experiments); `None` means "until white space or
+    /// max_packets".
+    pub fixed_packets: Option<u32>,
+}
+
+impl Default for SignalingPolicy {
+    fn default() -> Self {
+        SignalingPolicy {
+            control_bytes: 120,
+            packet_gap: SimDuration::from_micros(700),
+            max_packets: 8,
+            fixed_packets: None,
+        }
+    }
+}
+
+impl SignalingPolicy {
+    /// Policy sending exactly `n` control packets (experiment mode).
+    pub fn fixed(n: u32) -> Self {
+        SignalingPolicy {
+            fixed_packets: Some(n),
+            ..SignalingPolicy::default()
+        }
+    }
+
+    /// Whether another control packet should be sent after `sent` packets
+    /// with no white space observed yet.
+    pub fn should_continue(&self, sent: u32) -> bool {
+        match self.fixed_packets {
+            Some(n) => sent < n,
+            None => sent < self.max_packets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(ms: u64, deviation: f64) -> CsiSample {
+        CsiSample {
+            time: SimTime::from_millis(ms),
+            deviation,
+        }
+    }
+
+    fn sample_us(us: u64, deviation: f64) -> CsiSample {
+        CsiSample {
+            time: SimTime::from_micros(us),
+            deviation,
+        }
+    }
+
+    fn detector() -> CsiDetector {
+        CsiDetector::new(DetectorConfig::default(), CsiModel::intel5300())
+    }
+
+    #[test]
+    fn single_high_does_not_trigger() {
+        let mut d = detector();
+        assert!(d.push(sample(1, 0.8)).is_none());
+        // A later isolated high (outside the window) still nothing:
+        assert!(d.push(sample(20, 0.8)).is_none());
+        assert_eq!(d.positives(), 0);
+        assert_eq!(d.samples_seen(), 2);
+    }
+
+    #[test]
+    fn two_highs_within_window_trigger() {
+        let mut d = detector();
+        assert!(d.push(sample_us(1_000, 0.6)).is_none());
+        let hit = d.push(sample_us(4_000, 0.6)).unwrap();
+        assert_eq!(hit.window_start, SimTime::from_millis(1));
+        assert_eq!(hit.at, SimTime::from_millis(4));
+        assert_eq!(hit.highs_in_window, 2);
+    }
+
+    #[test]
+    fn highs_straddling_window_do_not_trigger() {
+        let mut d = detector();
+        assert!(d.push(sample_us(1_000, 0.6)).is_none());
+        // 5.5 ms later — outside T = 5 ms:
+        assert!(d.push(sample_us(6_600, 0.6)).is_none());
+        // But a third high close to the second triggers:
+        assert!(d.push(sample_us(7_000, 0.6)).is_some());
+    }
+
+    #[test]
+    fn low_samples_never_contribute() {
+        let mut d = detector();
+        for i in 0..50 {
+            assert!(d.push(sample_us(i * 500, 0.1)).is_none());
+        }
+        assert_eq!(d.positives(), 0);
+    }
+
+    #[test]
+    fn holdoff_suppresses_repeat_positives() {
+        let mut d = detector();
+        assert!(d.push(sample_us(1_000, 0.6)).is_none());
+        assert!(d.push(sample_us(2_000, 0.6)).is_some());
+        // The same request keeps producing highs — suppressed:
+        assert!(d.push(sample_us(3_000, 0.6)).is_none());
+        assert!(d.push(sample_us(4_000, 0.6)).is_none());
+        // Far enough in the future (>= holdoff), a fresh pair fires again:
+        assert!(d.push(sample_us(15_000, 0.6)).is_none());
+        assert!(d.push(sample_us(16_000, 0.6)).is_some());
+        assert_eq!(d.positives(), 2);
+    }
+
+    #[test]
+    fn reset_window_discards_pending_highs() {
+        let mut d = detector();
+        assert!(d.push(sample_us(1_000, 0.6)).is_none());
+        d.reset_window();
+        assert!(
+            d.push(sample_us(1_500, 0.6)).is_none(),
+            "window was cleared"
+        );
+        assert!(d.push(sample_us(2_000, 0.6)).is_some());
+    }
+
+    #[test]
+    fn custom_n_requires_more_evidence() {
+        let cfg = DetectorConfig {
+            required_highs: 3,
+            ..DetectorConfig::default()
+        };
+        let mut d = CsiDetector::new(cfg, CsiModel::intel5300());
+        assert!(d.push(sample_us(1_000, 0.6)).is_none());
+        assert!(d.push(sample_us(2_000, 0.6)).is_none());
+        let hit = d.push(sample_us(3_000, 0.6)).unwrap();
+        assert_eq!(hit.highs_in_window, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_required_highs_rejected() {
+        let cfg = DetectorConfig {
+            required_highs: 0,
+            ..DetectorConfig::default()
+        };
+        let _ = CsiDetector::new(cfg, CsiModel::intel5300());
+    }
+
+    #[test]
+    fn noise_spike_pattern_is_rejected_but_zigbee_pattern_accepted() {
+        // The paper's Fig. 3 scenario: isolated noise spikes (one high
+        // every ~20 ms) never fire; a control packet producing highs every
+        // 500 µs fires immediately.
+        let mut d = detector();
+        for k in 0..10 {
+            assert!(
+                d.push(sample_us(k * 20_000, 0.7)).is_none(),
+                "isolated spike {k} must not fire"
+            );
+        }
+        // Now a burst of consecutive highs (a control packet):
+        let base = 300_000;
+        assert!(d.push(sample_us(base, 0.7)).is_none());
+        assert!(d.push(sample_us(base + 500, 0.7)).is_some());
+    }
+
+    #[test]
+    fn signaling_policy_fixed_mode() {
+        let p = SignalingPolicy::fixed(4);
+        assert!(p.should_continue(0));
+        assert!(p.should_continue(3));
+        assert!(!p.should_continue(4));
+    }
+
+    #[test]
+    fn signaling_policy_adaptive_mode_stops_at_max() {
+        let p = SignalingPolicy::default();
+        assert!(p.should_continue(0));
+        assert!(p.should_continue(7));
+        assert!(!p.should_continue(8));
+    }
+
+    #[test]
+    fn control_packet_length_matches_paper() {
+        assert_eq!(SignalingPolicy::default().control_bytes, 120);
+    }
+}

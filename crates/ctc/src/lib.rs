@@ -1,0 +1,26 @@
+//! # bicord-ctc
+//!
+//! Cross-technology-communication baselines the paper compares against or
+//! motivates with:
+//!
+//! * [`ecc`] — **ECC** (Yin et al., MobiSys'18), the paper's main baseline:
+//!   Wi-Fi devices *blindly* reserve periodic fixed-length white spaces and
+//!   announce them to ZigBee nodes through one-way CTC. Implemented as a
+//!   Wi-Fi-side scheduler plus a ZigBee-side client that transmits only
+//!   inside announced white spaces.
+//! * [`folding`] — ECC's interval-estimation variant: phase-aligned
+//!   reservations that work only for strictly periodic ZigBee traffic
+//!   (the Sec. III-A limitation BiCord removes).
+//! * [`delay_models`] — published latency characteristics of packet-level
+//!   CTC schemes from ZigBee to Wi-Fi (FreeBee, ZigFi, AdaComm), used by
+//!   the motivation analysis (Sec. III-B): their synchronisation overhead
+//!   is what rules them out as a signaling channel.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delay_models;
+pub mod ecc;
+pub mod folding;
+
+pub use ecc::{EccConfig, EccWifiScheduler, EccZigbeeClient};

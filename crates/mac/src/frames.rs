@@ -1,0 +1,169 @@
+//! Device identifiers and the frame vocabulary of the simulated network.
+
+use std::fmt;
+
+use bicord_sim::SimDuration;
+
+/// Identifies one radio device in a scenario.
+///
+/// # Example
+///
+/// ```
+/// use bicord_mac::DeviceId;
+///
+/// let wifi_sender = DeviceId::new(0);
+/// let wifi_receiver = DeviceId::new(1);
+/// assert_ne!(wifi_sender, wifi_receiver);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(u32);
+
+impl DeviceId {
+    /// Creates a device identifier.
+    pub const fn new(raw: u32) -> Self {
+        DeviceId(raw)
+    }
+
+    /// The raw identifier value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// Priority class of a Wi-Fi frame (Sec. VIII-G of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WifiPriority {
+    /// Delay-sensitive traffic (video streaming); the Wi-Fi device ignores
+    /// ZigBee requests while serving it.
+    High,
+    /// Delay-tolerant traffic (file transfer); the Wi-Fi device makes space
+    /// for ZigBee.
+    #[default]
+    Low,
+}
+
+/// What a Wi-Fi transmission carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WifiFrameKind {
+    /// A data frame of the given MPDU length.
+    Data {
+        /// MPDU length in bytes.
+        mpdu_bytes: usize,
+        /// Traffic priority class.
+        priority: WifiPriority,
+    },
+    /// A CTS(-to-self) reserving the channel for `nav`.
+    Cts {
+        /// The network-allocation-vector duration announced by the frame.
+        nav: SimDuration,
+    },
+}
+
+/// What a ZigBee transmission carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZigbeeFrameKind {
+    /// An application data frame of the given MPDU length.
+    Data {
+        /// MPDU length in bytes.
+        mpdu_bytes: usize,
+        /// Application-level sequence number (for delivery bookkeeping).
+        seq: u32,
+    },
+    /// An acknowledgment for sequence number `seq`.
+    Ack {
+        /// The acknowledged sequence number.
+        seq: u32,
+    },
+    /// A BiCord cross-technology signaling control packet (120 B in the
+    /// paper), transmitted without CCA so that it overlaps Wi-Fi frames.
+    Control {
+        /// MPDU length in bytes.
+        mpdu_bytes: usize,
+    },
+}
+
+impl ZigbeeFrameKind {
+    /// The MPDU length the frame occupies on air.
+    pub fn mpdu_bytes(&self) -> usize {
+        match *self {
+            ZigbeeFrameKind::Data { mpdu_bytes, .. } => mpdu_bytes,
+            ZigbeeFrameKind::Ack { .. } => crate::zigbee::ACK_MPDU_BYTES,
+            ZigbeeFrameKind::Control { mpdu_bytes } => mpdu_bytes,
+        }
+    }
+}
+
+/// The payload of any transmission on the medium.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Payload {
+    /// An IEEE 802.11 frame.
+    Wifi(WifiFrameKind),
+    /// An IEEE 802.15.4 frame.
+    Zigbee(ZigbeeFrameKind),
+    /// Not a frame at all: a wideband noise burst placed on the medium.
+    Noise,
+}
+
+impl Payload {
+    /// `true` if the payload is any ZigBee frame.
+    pub fn is_zigbee(&self) -> bool {
+        matches!(self, Payload::Zigbee(_))
+    }
+
+    /// `true` if the payload is any Wi-Fi frame.
+    pub fn is_wifi(&self) -> bool {
+        matches!(self, Payload::Wifi(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_id_roundtrip_and_display() {
+        let d = DeviceId::new(7);
+        assert_eq!(d.raw(), 7);
+        assert_eq!(d.to_string(), "dev7");
+    }
+
+    #[test]
+    fn default_priority_is_low() {
+        assert_eq!(WifiPriority::default(), WifiPriority::Low);
+    }
+
+    #[test]
+    fn zigbee_frame_lengths() {
+        assert_eq!(
+            ZigbeeFrameKind::Data {
+                mpdu_bytes: 50,
+                seq: 0
+            }
+            .mpdu_bytes(),
+            50
+        );
+        assert_eq!(ZigbeeFrameKind::Ack { seq: 1 }.mpdu_bytes(), 5);
+        assert_eq!(
+            ZigbeeFrameKind::Control { mpdu_bytes: 120 }.mpdu_bytes(),
+            120
+        );
+    }
+
+    #[test]
+    fn payload_predicates() {
+        let w = Payload::Wifi(WifiFrameKind::Data {
+            mpdu_bytes: 100,
+            priority: WifiPriority::Low,
+        });
+        let z = Payload::Zigbee(ZigbeeFrameKind::Ack { seq: 0 });
+        assert!(w.is_wifi() && !w.is_zigbee());
+        assert!(z.is_zigbee() && !z.is_wifi());
+        assert!(!Payload::Noise.is_wifi() && !Payload::Noise.is_zigbee());
+    }
+}

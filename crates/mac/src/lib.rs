@@ -1,0 +1,31 @@
+//! # bicord-mac
+//!
+//! MAC-layer substrate for the BiCord reproduction:
+//!
+//! * [`frames`] — device identifiers and the frame vocabulary shared by the
+//!   Wi-Fi and ZigBee models,
+//! * [`medium`] — the shared RF medium: device registry, active
+//!   transmissions, received-power / interference / carrier-sense queries
+//!   with per-link shadowing and per-transmission fading,
+//! * [`wifi`] — an IEEE 802.11 DCF transmitter (DIFS + binary exponential
+//!   backoff, CTS-to-self channel reservation, NAV, quiet periods),
+//! * [`zigbee`] — an IEEE 802.15.4 unslotted CSMA/CA transceiver (backoff,
+//!   CCA, turnaround, ACK + retransmission) plus the CCA-bypassing control
+//!   transmission mode BiCord's signaling layer needs.
+//!
+//! Both MAC machines are *sans-IO*: they hold protocol state and emit
+//! [`wifi::WifiAction`] / [`zigbee::ZigbeeAction`] values; the scenario
+//! layer owns the event loop and the medium and routes timers, carrier
+//! sense, and frame outcomes back into them. This keeps every protocol
+//! rule unit-testable without a simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frames;
+pub mod medium;
+pub mod wifi;
+pub mod zigbee;
+
+pub use frames::DeviceId;
+pub use medium::{Medium, Transmission, TxId};

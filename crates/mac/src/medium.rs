@@ -1,0 +1,938 @@
+//! The shared RF medium.
+//!
+//! [`Medium`] is the single source of truth for "what is on the air":
+//! device positions, active transmissions, and the propagation model. It
+//! answers the questions every other layer asks:
+//!
+//! * *What power does device R receive from transmission T?* — path loss
+//!   with a static per-link shadowing realisation plus a per-(transmission,
+//!   observer) fading draw. The fading draw is cached, so repeated queries
+//!   about the same pair are consistent (the CCA check and the CSI model
+//!   see the same channel).
+//! * *How much in-band energy does device R sense right now?* — the linear
+//!   sum of all overlapping transmissions, weighted by spectral overlap
+//!   with R's listening band.
+//! * *What is the SINR of transmission T at device R?* — signal versus the
+//!   sum of everything else plus the thermal floor.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+
+use bicord_phy::geometry::Point;
+use bicord_phy::pathloss::PathLossModel;
+use bicord_phy::spectrum::Band;
+use bicord_phy::units::{Dbm, MilliWatt};
+use bicord_sim::dist::normal;
+use bicord_sim::{stream_rng, SeedDomain, SimTime};
+
+use crate::frames::{DeviceId, Payload};
+
+/// Identifies one transmission placed on the medium.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxId(u64);
+
+/// One transmission occupying the medium for `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transmission {
+    /// The transmission's identifier.
+    pub id: TxId,
+    /// The emitting device.
+    pub source: DeviceId,
+    /// Transmit power.
+    pub power: Dbm,
+    /// Occupied frequency band.
+    pub band: Band,
+    /// Start instant.
+    pub start: SimTime,
+    /// End instant (start + airtime).
+    pub end: SimTime,
+    /// What the transmission carries.
+    pub payload: Payload,
+}
+
+impl Transmission {
+    /// `true` if the transmission is on air during `[from, to)`.
+    pub fn overlaps(&self, from: SimTime, to: SimTime) -> bool {
+        self.start < to && self.end > from
+    }
+}
+
+/// Configuration of the medium's stochastic channel components.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelConfig {
+    /// Propagation model.
+    pub path_loss: PathLossModel,
+    /// Std-dev of the per-transmission fading draw, dB. This is the
+    /// fast-fading component that makes individual packets more or less
+    /// visible to a given observer.
+    pub fading_sigma_db: f64,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig {
+            path_loss: PathLossModel::office(),
+            fading_sigma_db: 3.0,
+        }
+    }
+}
+
+/// The shared RF medium.
+///
+/// # Example
+///
+/// ```
+/// use bicord_mac::frames::{DeviceId, Payload};
+/// use bicord_mac::medium::{ChannelConfig, Medium};
+/// use bicord_phy::geometry::Point;
+/// use bicord_phy::spectrum::WifiChannel;
+/// use bicord_phy::units::Dbm;
+/// use bicord_sim::SimTime;
+///
+/// let mut medium = Medium::new(ChannelConfig::default(), 42);
+/// let tx = DeviceId::new(0);
+/// let rx = DeviceId::new(1);
+/// medium.add_device(tx, Point::new(0.0, 0.0));
+/// medium.add_device(rx, Point::new(3.0, 0.0));
+///
+/// let band = WifiChannel::new(11)?.band();
+/// let id = medium.begin_transmission(
+///     tx, Dbm::new(20.0), band, SimTime::ZERO, SimTime::from_millis(1), Payload::Noise,
+/// );
+/// let sensed = medium.sensed_power(rx, &band, SimTime::from_micros(500), None);
+/// assert!(sensed.to_dbm().value() > -70.0);
+/// medium.end_transmission(id);
+/// # Ok::<(), bicord_phy::spectrum::ChannelError>(())
+/// ```
+pub struct Medium {
+    config: ChannelConfig,
+    devices: HashMap<DeviceId, Point>,
+    active: HashMap<TxId, Transmission>,
+    next_tx: u64,
+    /// Static shadowing per unordered device pair, dB.
+    shadowing: HashMap<(DeviceId, DeviceId), f64>,
+    /// Per-(transmission, observer) fading, dB.
+    fading: HashMap<(TxId, DeviceId), f64>,
+    shadowing_rng: StdRng,
+    fading_rng: StdRng,
+}
+
+impl Medium {
+    /// Creates an empty medium with the given channel configuration and
+    /// master seed.
+    pub fn new(config: ChannelConfig, master_seed: u64) -> Self {
+        Medium {
+            config,
+            devices: HashMap::new(),
+            active: HashMap::new(),
+            next_tx: 0,
+            shadowing: HashMap::new(),
+            fading: HashMap::new(),
+            shadowing_rng: stream_rng(master_seed, SeedDomain::Shadowing, 0),
+            fading_rng: stream_rng(master_seed, SeedDomain::Shadowing, 1),
+        }
+    }
+
+    /// Registers a device at `position`.
+    ///
+    /// Re-registering an existing device moves it (used by mobility).
+    pub fn add_device(&mut self, id: DeviceId, position: Point) {
+        self.devices.insert(id, position);
+    }
+
+    /// Moves a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is unknown.
+    pub fn set_position(&mut self, id: DeviceId, position: Point) {
+        let slot = self
+            .devices
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unknown device {id}"));
+        *slot = position;
+    }
+
+    /// The device's current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is unknown.
+    pub fn position(&self, id: DeviceId) -> Point {
+        *self
+            .devices
+            .get(&id)
+            .unwrap_or_else(|| panic!("unknown device {id}"))
+    }
+
+    /// Places a transmission on the medium and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start` or the source device is unknown.
+    pub fn begin_transmission(
+        &mut self,
+        source: DeviceId,
+        power: Dbm,
+        band: Band,
+        start: SimTime,
+        end: SimTime,
+        payload: Payload,
+    ) -> TxId {
+        assert!(end > start, "transmission must have positive duration");
+        assert!(
+            self.devices.contains_key(&source),
+            "unknown source device {source}"
+        );
+        let id = TxId(self.next_tx);
+        self.next_tx += 1;
+        self.active.insert(
+            id,
+            Transmission {
+                id,
+                source,
+                power,
+                band,
+                start,
+                end,
+                payload,
+            },
+        );
+        id
+    }
+
+    /// Removes a finished transmission and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transmission is not active (double removal is a
+    /// scenario bookkeeping bug worth failing loudly on).
+    pub fn end_transmission(&mut self, id: TxId) -> Transmission {
+        let tx = self
+            .active
+            .remove(&id)
+            .unwrap_or_else(|| panic!("transmission {id:?} not active"));
+        // Drop the fading cache entries for this transmission.
+        self.fading.retain(|(t, _), _| *t != id);
+        tx
+    }
+
+    /// A transmission by id, if still active.
+    pub fn transmission(&self, id: TxId) -> Option<&Transmission> {
+        self.active.get(&id)
+    }
+
+    /// Iterates over all active transmissions (unspecified order).
+    pub fn active_transmissions(&self) -> impl Iterator<Item = &Transmission> {
+        self.active.values()
+    }
+
+    /// Number of active transmissions.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// The static shadowing offset (dB) of the link between two devices.
+    fn link_shadowing(&mut self, a: DeviceId, b: DeviceId) -> f64 {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        let sigma = self.config.path_loss.shadowing_sigma_db();
+        let rng = &mut self.shadowing_rng;
+        *self
+            .shadowing
+            .entry(key)
+            .or_insert_with(|| normal(rng, 0.0, sigma))
+    }
+
+    /// The fading offset (dB) a given observer experiences for a given
+    /// transmission; drawn once and cached.
+    fn tx_fading(&mut self, tx: TxId, observer: DeviceId) -> f64 {
+        let sigma = self.config.fading_sigma_db;
+        let rng = &mut self.fading_rng;
+        *self
+            .fading
+            .entry((tx, observer))
+            .or_insert_with(|| normal(rng, 0.0, sigma))
+    }
+
+    /// Power of transmission `tx` received by `observer`, before any
+    /// spectral-overlap weighting.
+    ///
+    /// Includes path loss, static link shadowing, and the cached
+    /// per-transmission fading draw. A device does not receive its own
+    /// transmission ([`Dbm::FLOOR`] is returned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transmission or observer is unknown.
+    pub fn received_power(&mut self, tx: TxId, observer: DeviceId) -> Dbm {
+        let t = *self
+            .active
+            .get(&tx)
+            .unwrap_or_else(|| panic!("transmission {tx:?} not active"));
+        if t.source == observer {
+            return Dbm::FLOOR;
+        }
+        let src_pos = self.position(t.source);
+        let obs_pos = self.position(observer);
+        let mean = self
+            .config
+            .path_loss
+            .received_power(t.power, src_pos, obs_pos);
+        let shadow = self.link_shadowing(t.source, observer);
+        let fading = self.tx_fading(tx, observer);
+        mean + shadow + fading
+    }
+
+    /// Power of transmission `tx` coupled into `observer`'s `listening`
+    /// band, as linear power.
+    ///
+    /// Under the flat-spectrum approximation the coupled fraction is the
+    /// share of the *transmitter's* band that falls inside the listening
+    /// band: a 2 MHz ZigBee frame lands entirely inside a 20 MHz Wi-Fi
+    /// channel (full power reaches the Wi-Fi energy detector), while a
+    /// 20 MHz Wi-Fi frame deposits only 1/10 of its power into a 2 MHz
+    /// ZigBee receiver.
+    pub fn received_power_in_band(
+        &mut self,
+        tx: TxId,
+        observer: DeviceId,
+        listening: &Band,
+    ) -> MilliWatt {
+        let t = *self
+            .active
+            .get(&tx)
+            .unwrap_or_else(|| panic!("transmission {tx:?} not active"));
+        let overlap = t.band.overlap_fraction(listening);
+        if overlap <= 0.0 {
+            return MilliWatt::ZERO;
+        }
+        self.received_power(tx, observer)
+            .to_milliwatt()
+            .scale(overlap)
+    }
+
+    /// Total in-band power `observer` senses at `now`, excluding
+    /// transmissions from `exclude_source` (a device never senses itself,
+    /// and a receiver evaluating a frame excludes that frame's source).
+    pub fn sensed_power(
+        &mut self,
+        observer: DeviceId,
+        listening: &Band,
+        now: SimTime,
+        exclude_source: Option<DeviceId>,
+    ) -> MilliWatt {
+        let ids: Vec<TxId> = self
+            .active
+            .values()
+            .filter(|t| t.start <= now && t.end > now)
+            .filter(|t| t.source != observer)
+            .filter(|t| Some(t.source) != exclude_source)
+            .map(|t| t.id)
+            .collect();
+        ids.into_iter()
+            .map(|id| self.received_power_in_band(id, observer, listening))
+            .sum()
+    }
+
+    /// Interference power against transmission `signal` at `observer`:
+    /// the in-band sum of every *other* transmission overlapping `signal`'s
+    /// airtime, evaluated over the whole frame (worst case: any overlap
+    /// counts for its full coupled power).
+    pub fn interference_against(
+        &mut self,
+        signal: TxId,
+        observer: DeviceId,
+        listening: &Band,
+    ) -> MilliWatt {
+        let s = *self
+            .active
+            .get(&signal)
+            .unwrap_or_else(|| panic!("transmission {signal:?} not active"));
+        let ids: Vec<TxId> = self
+            .active
+            .values()
+            .filter(|t| t.id != signal && t.source != observer)
+            .filter(|t| t.overlaps(s.start, s.end))
+            .map(|t| t.id)
+            .collect();
+        ids.into_iter()
+            .map(|id| self.received_power_in_band(id, observer, listening))
+            .sum()
+    }
+
+    /// The SINR (dB) of transmission `signal` at `observer` listening on
+    /// `listening`, against `noise_floor`.
+    pub fn sinr_db(
+        &mut self,
+        signal: TxId,
+        observer: DeviceId,
+        listening: &Band,
+        noise_floor: Dbm,
+    ) -> f64 {
+        let s = self.received_power(signal, observer);
+        let i = self.interference_against(signal, observer, listening);
+        bicord_phy::units::sinr_db(s, i, noise_floor)
+    }
+
+    /// Active transmissions (other than `observer`'s own) whose airtime
+    /// overlaps `[from, to)` and whose band overlaps `listening`.
+    pub fn overlapping(
+        &self,
+        observer: DeviceId,
+        listening: &Band,
+        from: SimTime,
+        to: SimTime,
+    ) -> Vec<Transmission> {
+        let mut txs: Vec<Transmission> = self
+            .active
+            .values()
+            .filter(|t| t.source != observer)
+            .filter(|t| t.overlaps(from, to))
+            .filter(|t| listening.overlap_fraction(&t.band) > 0.0)
+            .copied()
+            .collect();
+        txs.sort_by_key(|t| (t.start, t.id));
+        txs
+    }
+
+    /// Draws a fresh random value from the medium's fading stream —
+    /// used by scenario code that needs channel-correlated randomness
+    /// without owning another RNG.
+    pub fn fading_draw(&mut self, sigma_db: f64) -> f64 {
+        normal(&mut self.fading_rng, 0.0, sigma_db)
+    }
+
+    /// Clears cached shadowing for links touching `device` — called when a
+    /// device moves materially (the realisation is position-dependent).
+    pub fn invalidate_shadowing(&mut self, device: DeviceId) {
+        self.shadowing
+            .retain(|(a, b), _| *a != device && *b != device);
+    }
+}
+
+impl std::fmt::Debug for Medium {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Medium")
+            .field("devices", &self.devices.len())
+            .field("active", &self.active.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frames::{WifiFrameKind, WifiPriority, ZigbeeFrameKind};
+    use bicord_phy::spectrum::{WifiChannel, ZigbeeChannel};
+    use bicord_sim::SimDuration;
+
+    fn wifi_band() -> Band {
+        WifiChannel::new(11).unwrap().band()
+    }
+
+    fn zigbee_band() -> Band {
+        ZigbeeChannel::new(24).unwrap().band()
+    }
+
+    fn setup() -> Medium {
+        let mut m = Medium::new(ChannelConfig::default(), 77);
+        m.add_device(DeviceId::new(0), Point::new(0.0, 0.0)); // Wi-Fi TX (E)
+        m.add_device(DeviceId::new(1), Point::new(3.0, 0.0)); // Wi-Fi RX (F)
+        m.add_device(DeviceId::new(2), Point::new(4.2, 1.0)); // ZigBee at A
+        m
+    }
+
+    fn wifi_data() -> Payload {
+        Payload::Wifi(WifiFrameKind::Data {
+            mpdu_bytes: 100,
+            priority: WifiPriority::Low,
+        })
+    }
+
+    #[test]
+    fn transmissions_lifecycle() {
+        let mut m = setup();
+        assert_eq!(m.active_count(), 0);
+        let id = m.begin_transmission(
+            DeviceId::new(0),
+            Dbm::new(20.0),
+            wifi_band(),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            wifi_data(),
+        );
+        assert_eq!(m.active_count(), 1);
+        assert!(m.transmission(id).is_some());
+        let t = m.end_transmission(id);
+        assert_eq!(t.id, id);
+        assert_eq!(m.active_count(), 0);
+        assert!(m.transmission(id).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "not active")]
+    fn double_end_panics() {
+        let mut m = setup();
+        let id = m.begin_transmission(
+            DeviceId::new(0),
+            Dbm::new(20.0),
+            wifi_band(),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            wifi_data(),
+        );
+        m.end_transmission(id);
+        m.end_transmission(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive duration")]
+    fn zero_duration_rejected() {
+        let mut m = setup();
+        m.begin_transmission(
+            DeviceId::new(0),
+            Dbm::new(20.0),
+            wifi_band(),
+            SimTime::from_millis(1),
+            SimTime::from_millis(1),
+            wifi_data(),
+        );
+    }
+
+    #[test]
+    fn received_power_is_consistent_across_queries() {
+        let mut m = setup();
+        let id = m.begin_transmission(
+            DeviceId::new(0),
+            Dbm::new(20.0),
+            wifi_band(),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            wifi_data(),
+        );
+        let p1 = m.received_power(id, DeviceId::new(1));
+        let p2 = m.received_power(id, DeviceId::new(1));
+        assert_eq!(p1, p2, "fading draw must be cached per (tx, observer)");
+    }
+
+    #[test]
+    fn own_transmission_is_not_received() {
+        let mut m = setup();
+        let id = m.begin_transmission(
+            DeviceId::new(0),
+            Dbm::new(20.0),
+            wifi_band(),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            wifi_data(),
+        );
+        assert_eq!(m.received_power(id, DeviceId::new(0)), Dbm::FLOOR);
+    }
+
+    #[test]
+    fn received_power_reasonable_at_3m() {
+        let mut m = setup();
+        let id = m.begin_transmission(
+            DeviceId::new(0),
+            Dbm::new(20.0),
+            wifi_band(),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            wifi_data(),
+        );
+        // Mean is 20 - (46 + 30 log10 3) = -40.3 dBm; shadowing+fading add
+        // a few dB of spread.
+        let p = m.received_power(id, DeviceId::new(1)).value();
+        assert!((-60.0..-25.0).contains(&p), "rx power {p} dBm");
+    }
+
+    #[test]
+    fn out_of_band_transmission_couples_nothing() {
+        let mut m = setup();
+        // ZigBee channel 11 (2405 MHz) vs Wi-Fi channel 11 (2452-2472):
+        // disjoint.
+        let far_band = ZigbeeChannel::new(11).unwrap().band();
+        let id = m.begin_transmission(
+            DeviceId::new(2),
+            Dbm::new(0.0),
+            far_band,
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            Payload::Zigbee(ZigbeeFrameKind::Control { mpdu_bytes: 120 }),
+        );
+        let p = m.received_power_in_band(id, DeviceId::new(1), &wifi_band());
+        assert_eq!(p, MilliWatt::ZERO);
+    }
+
+    #[test]
+    fn coupling_direction_is_asymmetric() {
+        let mut m = setup();
+        // A narrowband ZigBee frame deposits its FULL power into a Wi-Fi
+        // energy detector (its 2 MHz sit inside the 20 MHz channel):
+        let id = m.begin_transmission(
+            DeviceId::new(2),
+            Dbm::new(0.0),
+            zigbee_band(),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            Payload::Zigbee(ZigbeeFrameKind::Control { mpdu_bytes: 120 }),
+        );
+        let full = m.received_power(id, DeviceId::new(1)).to_milliwatt();
+        let at_wifi = m.received_power_in_band(id, DeviceId::new(1), &wifi_band());
+        assert!((at_wifi.value() - full.value()).abs() < 1e-15);
+        m.end_transmission(id);
+        // ... while a wideband Wi-Fi frame couples only 1/10 into a 2 MHz
+        // ZigBee receiver:
+        let id = m.begin_transmission(
+            DeviceId::new(0),
+            Dbm::new(20.0),
+            wifi_band(),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            wifi_data(),
+        );
+        let full = m.received_power(id, DeviceId::new(2)).to_milliwatt();
+        let at_zigbee = m.received_power_in_band(id, DeviceId::new(2), &zigbee_band());
+        assert!((at_zigbee.value() / full.value() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sensed_power_sums_concurrent_transmissions() {
+        let mut m = setup();
+        let now = SimTime::from_micros(500);
+        let t1 = m.begin_transmission(
+            DeviceId::new(0),
+            Dbm::new(20.0),
+            wifi_band(),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            wifi_data(),
+        );
+        let single = m.sensed_power(DeviceId::new(2), &zigbee_band(), now, None);
+        let _t2 = m.begin_transmission(
+            DeviceId::new(1),
+            Dbm::new(20.0),
+            wifi_band(),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            wifi_data(),
+        );
+        let both = m.sensed_power(DeviceId::new(2), &zigbee_band(), now, None);
+        assert!(both.value() > single.value());
+        // Excluding device 0 removes t1's contribution:
+        let excl = m.sensed_power(
+            DeviceId::new(2),
+            &zigbee_band(),
+            now,
+            Some(DeviceId::new(0)),
+        );
+        assert!(excl.value() < both.value());
+        let _ = t1;
+    }
+
+    #[test]
+    fn sensed_power_respects_time_window() {
+        let mut m = setup();
+        m.begin_transmission(
+            DeviceId::new(0),
+            Dbm::new(20.0),
+            wifi_band(),
+            SimTime::from_millis(2),
+            SimTime::from_millis(3),
+            wifi_data(),
+        );
+        let before = m.sensed_power(
+            DeviceId::new(2),
+            &zigbee_band(),
+            SimTime::from_millis(1),
+            None,
+        );
+        let during = m.sensed_power(
+            DeviceId::new(2),
+            &zigbee_band(),
+            SimTime::from_micros(2_500),
+            None,
+        );
+        assert_eq!(before, MilliWatt::ZERO);
+        assert!(during.value() > 0.0);
+    }
+
+    #[test]
+    fn sinr_collapses_under_cochannel_interference() {
+        let mut m = setup();
+        // ZigBee signal from A to a receiver colocated with F.
+        let sig = m.begin_transmission(
+            DeviceId::new(2),
+            Dbm::new(0.0),
+            zigbee_band(),
+            SimTime::ZERO,
+            SimTime::from_millis(2),
+            Payload::Zigbee(ZigbeeFrameKind::Data {
+                mpdu_bytes: 50,
+                seq: 0,
+            }),
+        );
+        let clean = m.sinr_db(
+            sig,
+            DeviceId::new(1),
+            &zigbee_band(),
+            bicord_phy::noise::ZIGBEE_NOISE_FLOOR,
+        );
+        // Start the Wi-Fi sender on the overlapping channel:
+        m.begin_transmission(
+            DeviceId::new(0),
+            Dbm::new(20.0),
+            wifi_band(),
+            SimTime::ZERO,
+            SimTime::from_millis(2),
+            wifi_data(),
+        );
+        let jammed = m.sinr_db(
+            sig,
+            DeviceId::new(1),
+            &zigbee_band(),
+            bicord_phy::noise::ZIGBEE_NOISE_FLOOR,
+        );
+        assert!(clean > 20.0, "clean SINR {clean}");
+        assert!(jammed < 0.0, "jammed SINR {jammed}");
+    }
+
+    #[test]
+    fn overlapping_filters_and_sorts() {
+        let mut m = setup();
+        let a = m.begin_transmission(
+            DeviceId::new(0),
+            Dbm::new(20.0),
+            wifi_band(),
+            SimTime::from_millis(1),
+            SimTime::from_millis(2),
+            wifi_data(),
+        );
+        let b = m.begin_transmission(
+            DeviceId::new(1),
+            Dbm::new(20.0),
+            wifi_band(),
+            SimTime::from_millis(3),
+            SimTime::from_millis(4),
+            wifi_data(),
+        );
+        let hits = m.overlapping(
+            DeviceId::new(2),
+            &zigbee_band(),
+            SimTime::ZERO,
+            SimTime::from_millis(10),
+        );
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].id, a);
+        assert_eq!(hits[1].id, b);
+        // A window touching only the second:
+        let hits = m.overlapping(
+            DeviceId::new(2),
+            &zigbee_band(),
+            SimTime::from_micros(2_500),
+            SimTime::from_millis(10),
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, b);
+        // The observer's own transmissions are excluded:
+        let hits = m.overlapping(
+            DeviceId::new(0),
+            &zigbee_band(),
+            SimTime::ZERO,
+            SimTime::from_millis(10),
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, b);
+    }
+
+    #[test]
+    fn mobility_updates_position_and_shadowing() {
+        let mut m = setup();
+        let d = DeviceId::new(2);
+        assert_eq!(m.position(d), Point::new(4.2, 1.0));
+        m.set_position(d, Point::new(1.0, 1.0));
+        assert_eq!(m.position(d), Point::new(1.0, 1.0));
+        m.invalidate_shadowing(d);
+        // Closer now: received power should be higher on average. Compare
+        // mean over several transmissions to wash out fading.
+        let mut totals = [0.0f64; 2];
+        for (i, pos) in [Point::new(1.0, 0.5), Point::new(8.0, 8.0)]
+            .iter()
+            .enumerate()
+        {
+            m.set_position(d, *pos);
+            m.invalidate_shadowing(d);
+            for k in 0..40 {
+                let id = m.begin_transmission(
+                    DeviceId::new(0),
+                    Dbm::new(20.0),
+                    wifi_band(),
+                    SimTime::from_millis(10 + k),
+                    SimTime::from_millis(11 + k),
+                    wifi_data(),
+                );
+                totals[i] += m.received_power(id, d).value();
+                m.end_transmission(id);
+            }
+        }
+        assert!(totals[0] / 40.0 > totals[1] / 40.0 + 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown device")]
+    fn unknown_device_position_panics() {
+        let m = setup();
+        let _ = m.position(DeviceId::new(99));
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let run = |seed: u64| {
+            let mut m = Medium::new(ChannelConfig::default(), seed);
+            m.add_device(DeviceId::new(0), Point::new(0.0, 0.0));
+            m.add_device(DeviceId::new(1), Point::new(3.0, 0.0));
+            let id = m.begin_transmission(
+                DeviceId::new(0),
+                Dbm::new(20.0),
+                WifiChannel::new(11).unwrap().band(),
+                SimTime::ZERO,
+                SimTime::from_millis(1),
+                Payload::Noise,
+            );
+            m.received_power(id, DeviceId::new(1)).value()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A random interleaving of begin/end operations keeps the medium
+        /// bookkeeping consistent.
+        #[derive(Debug, Clone)]
+        enum Op {
+            Begin {
+                device: u8,
+                start_ms: u64,
+                len_ms: u64,
+            },
+            EndOldest,
+            QueryPower {
+                observer: u8,
+            },
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (0u8..3, 0u64..100, 1u64..10).prop_map(|(device, start_ms, len_ms)| Op::Begin {
+                    device,
+                    start_ms,
+                    len_ms
+                }),
+                Just(Op::EndOldest),
+                (0u8..3).prop_map(|observer| Op::QueryPower { observer }),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+            #[test]
+            fn random_op_sequences_stay_consistent(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+                let mut m = Medium::new(ChannelConfig::default(), 4242);
+                for d in 0..3u32 {
+                    m.add_device(DeviceId::new(d), Point::new(d as f64, 0.0));
+                }
+                let band = WifiChannel::new(11).unwrap().band();
+                let mut live: Vec<TxId> = Vec::new();
+                for op in ops {
+                    match op {
+                        Op::Begin { device, start_ms, len_ms } => {
+                            let id = m.begin_transmission(
+                                DeviceId::new(u32::from(device)),
+                                Dbm::new(0.0),
+                                band,
+                                SimTime::from_millis(start_ms),
+                                SimTime::from_millis(start_ms + len_ms),
+                                Payload::Noise,
+                            );
+                            live.push(id);
+                        }
+                        Op::EndOldest => {
+                            if !live.is_empty() {
+                                let id = live.remove(0);
+                                let tx = m.end_transmission(id);
+                                prop_assert_eq!(tx.id, id);
+                            }
+                        }
+                        Op::QueryPower { observer } => {
+                            let obs = DeviceId::new(u32::from(observer));
+                            for &id in &live {
+                                let p1 = m.received_power(id, obs);
+                                let p2 = m.received_power(id, obs);
+                                prop_assert_eq!(p1, p2, "query must be idempotent");
+                                let src = m.transmission(id).unwrap().source;
+                                if src == obs {
+                                    prop_assert_eq!(p1, Dbm::FLOOR);
+                                } else {
+                                    prop_assert!(p1.value().is_finite());
+                                }
+                            }
+                        }
+                    }
+                    prop_assert_eq!(m.active_count(), live.len());
+                }
+            }
+
+            #[test]
+            fn sensed_power_monotone_in_transmissions(n in 1usize..6, seed in any::<u64>()) {
+                let mut m = Medium::new(ChannelConfig::default(), seed);
+                m.add_device(DeviceId::new(0), Point::new(0.0, 0.0));
+                for d in 1..=n as u32 {
+                    m.add_device(DeviceId::new(d), Point::new(1.0 + d as f64, 0.5));
+                }
+                let band = WifiChannel::new(11).unwrap().band();
+                let now = SimTime::from_micros(500);
+                let mut last = MilliWatt::ZERO;
+                for d in 1..=n as u32 {
+                    m.begin_transmission(
+                        DeviceId::new(d),
+                        Dbm::new(10.0),
+                        band,
+                        SimTime::ZERO,
+                        SimTime::from_millis(1),
+                        Payload::Noise,
+                    );
+                    let sensed = m.sensed_power(DeviceId::new(0), &band, now, None);
+                    prop_assert!(sensed.value() >= last.value(),
+                        "adding a transmission reduced sensed power");
+                    last = sensed;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fading_cache_cleared_on_end() {
+        let mut m = setup();
+        let band = wifi_band();
+        let mk = |m: &mut Medium, s| {
+            m.begin_transmission(
+                DeviceId::new(0),
+                Dbm::new(20.0),
+                band,
+                SimTime::from_millis(s),
+                SimTime::from_millis(s + 1),
+                Payload::Noise,
+            )
+        };
+        let a = mk(&mut m, 0);
+        let _pa = m.received_power(a, DeviceId::new(1));
+        m.end_transmission(a);
+        assert!(m.fading.is_empty(), "fading cache leaks");
+        let _ = SimDuration::ZERO;
+    }
+}

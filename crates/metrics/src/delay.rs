@@ -1,0 +1,195 @@
+//! Packet-delay tracking.
+//!
+//! The paper's per-packet delay (Fig. 10b, 11d) is the time from the
+//! burst's arrival at the application to the packet's acknowledged
+//! delivery.
+
+use bicord_sim::{SimDuration, SimTime};
+
+use crate::stats::Summary;
+
+/// Records packet delays.
+///
+/// # Example
+///
+/// ```
+/// use bicord_metrics::delay::DelayTracker;
+/// use bicord_sim::SimTime;
+///
+/// let mut t = DelayTracker::new();
+/// t.record(SimTime::from_millis(100), SimTime::from_millis(128));
+/// assert_eq!(t.count(), 1);
+/// assert_eq!(t.mean_ms(), 28.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DelayTracker {
+    delays: Vec<SimDuration>,
+    abandoned: u64,
+}
+
+impl DelayTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        DelayTracker::default()
+    }
+
+    /// Records one delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delivered < arrived` (causality violation — always a
+    /// scenario bug).
+    pub fn record(&mut self, arrived: SimTime, delivered: SimTime) {
+        let delay = delivered
+            .checked_since(arrived)
+            .expect("delivery before arrival");
+        self.delays.push(delay);
+    }
+
+    /// Records a packet that was abandoned (never delivered).
+    pub fn record_abandoned(&mut self) {
+        self.abandoned += 1;
+    }
+
+    /// Number of recorded deliveries.
+    pub fn count(&self) -> usize {
+        self.delays.len()
+    }
+
+    /// Number of abandoned packets.
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned
+    }
+
+    /// Mean delay in milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no deliveries were recorded.
+    pub fn mean_ms(&self) -> f64 {
+        assert!(!self.delays.is_empty(), "no deliveries recorded");
+        self.delays.iter().map(|d| d.as_millis_f64()).sum::<f64>() / self.delays.len() as f64
+    }
+
+    /// Largest observed delay in milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no deliveries were recorded.
+    pub fn max_ms(&self) -> f64 {
+        self.delays
+            .iter()
+            .map(|d| d.as_millis_f64())
+            .fold(f64::NAN, f64::max)
+            .max(f64::MIN)
+    }
+
+    /// Full summary statistics in milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no deliveries were recorded.
+    pub fn summary_ms(&self) -> Summary {
+        let values: Vec<f64> = self.delays.iter().map(|d| d.as_millis_f64()).collect();
+        Summary::from_values(&values)
+    }
+
+    /// A histogram of delays with `bin` wide buckets: returns
+    /// `(bucket lower edge, count)` pairs for every non-empty bucket, in
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is zero.
+    pub fn histogram(&self, bin: SimDuration) -> Vec<(SimDuration, usize)> {
+        assert!(!bin.is_zero(), "histogram bin must be positive");
+        use std::collections::BTreeMap;
+        let mut buckets: BTreeMap<u64, usize> = BTreeMap::new();
+        for d in &self.delays {
+            let idx = d.as_micros() / bin.as_micros();
+            *buckets.entry(idx).or_insert(0) += 1;
+        }
+        buckets
+            .into_iter()
+            .map(|(idx, count)| (bin * idx, count))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarises() {
+        let mut t = DelayTracker::new();
+        t.record(SimTime::from_millis(0), SimTime::from_millis(10));
+        t.record(SimTime::from_millis(100), SimTime::from_millis(130));
+        t.record(SimTime::from_millis(200), SimTime::from_millis(250));
+        assert_eq!(t.count(), 3);
+        assert_eq!(t.mean_ms(), 30.0);
+        let s = t.summary_ms();
+        assert_eq!(s.min(), 10.0);
+        assert_eq!(s.max(), 50.0);
+    }
+
+    #[test]
+    fn zero_delay_is_valid() {
+        let mut t = DelayTracker::new();
+        t.record(SimTime::from_millis(5), SimTime::from_millis(5));
+        assert_eq!(t.mean_ms(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before arrival")]
+    fn causality_violation_panics() {
+        let mut t = DelayTracker::new();
+        t.record(SimTime::from_millis(10), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn abandoned_counted_separately() {
+        let mut t = DelayTracker::new();
+        t.record_abandoned();
+        t.record_abandoned();
+        assert_eq!(t.abandoned(), 2);
+        assert_eq!(t.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no deliveries")]
+    fn mean_of_empty_panics() {
+        let t = DelayTracker::new();
+        let _ = t.mean_ms();
+    }
+
+    #[test]
+    fn histogram_buckets_delays() {
+        let mut t = DelayTracker::new();
+        for ms in [1u64, 2, 9, 11, 11, 25] {
+            t.record(SimTime::ZERO, SimTime::from_millis(ms));
+        }
+        let h = t.histogram(SimDuration::from_millis(10));
+        assert_eq!(
+            h,
+            vec![
+                (SimDuration::from_millis(0), 3),
+                (SimDuration::from_millis(10), 2),
+                (SimDuration::from_millis(20), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn histogram_of_empty_is_empty() {
+        let t = DelayTracker::new();
+        assert!(t.histogram(SimDuration::from_millis(5)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bin_rejected() {
+        let t = DelayTracker::new();
+        let _ = t.histogram(SimDuration::ZERO);
+    }
+}

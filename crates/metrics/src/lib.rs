@@ -1,0 +1,31 @@
+//! # bicord-metrics
+//!
+//! Measurement infrastructure for the BiCord evaluation:
+//!
+//! * [`stats`] — summary statistics (mean, σ, percentiles),
+//! * [`utilization`] — per-technology channel-occupancy accounting
+//!   (Fig. 10a, 11, 12, 13),
+//! * [`delay`] — packet delay tracking (Fig. 10b, 11d, 12, 13),
+//! * [`throughput`] — delivered-bytes accounting (Fig. 10c),
+//! * [`precision_recall`] — detector quality (Tables I and II),
+//! * [`replicates`] — mean ± 95 % CI across repeated seeded runs,
+//! * [`table`] — fixed-width text tables for the bench harness output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delay;
+pub mod precision_recall;
+pub mod replicates;
+pub mod stats;
+pub mod table;
+pub mod throughput;
+pub mod utilization;
+
+pub use delay::DelayTracker;
+pub use precision_recall::PrecisionRecall;
+pub use replicates::Replicates;
+pub use stats::Summary;
+pub use table::TextTable;
+pub use throughput::ThroughputTracker;
+pub use utilization::UtilizationTracker;

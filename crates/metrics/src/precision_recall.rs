@@ -1,0 +1,157 @@
+//! Detector-quality counters for the Table I/II experiments.
+//!
+//! The paper's definitions (Sec. VIII-B): *precision* is the ratio of true
+//! positives to all positives output by the Wi-Fi device; *recall* is the
+//! ratio of ZigBee requests that produced a positive.
+
+/// True-positive / false-positive / false-negative counters.
+///
+/// # Example
+///
+/// ```
+/// use bicord_metrics::precision_recall::PrecisionRecall;
+///
+/// let mut pr = PrecisionRecall::new();
+/// pr.true_positive();
+/// pr.true_positive();
+/// pr.false_positive();
+/// pr.false_negative();
+/// assert!((pr.precision() - 2.0 / 3.0).abs() < 1e-9);
+/// assert!((pr.recall() - 2.0 / 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrecisionRecall {
+    tp: u64,
+    fp: u64,
+    fn_: u64,
+}
+
+impl PrecisionRecall {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        PrecisionRecall::default()
+    }
+
+    /// Records a true positive (a detected real request).
+    pub fn true_positive(&mut self) {
+        self.tp += 1;
+    }
+
+    /// Records a false positive (a detection with no request behind it).
+    pub fn false_positive(&mut self) {
+        self.fp += 1;
+    }
+
+    /// Records a false negative (a missed request).
+    pub fn false_negative(&mut self) {
+        self.fn_ += 1;
+    }
+
+    /// True-positive count.
+    pub fn tp(&self) -> u64 {
+        self.tp
+    }
+
+    /// False-positive count.
+    pub fn fp(&self) -> u64 {
+        self.fp
+    }
+
+    /// False-negative count.
+    pub fn fn_count(&self) -> u64 {
+        self.fn_
+    }
+
+    /// `TP / (TP + FP)`; 0 when no positives were output.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// `TP / (TP + FN)`; 0 when no requests existed.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// The harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &PrecisionRecall) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_detector() {
+        let mut pr = PrecisionRecall::new();
+        for _ in 0..10 {
+            pr.true_positive();
+        }
+        assert_eq!(pr.precision(), 1.0);
+        assert_eq!(pr.recall(), 1.0);
+        assert_eq!(pr.f1(), 1.0);
+    }
+
+    #[test]
+    fn empty_counters_are_zero_not_nan() {
+        let pr = PrecisionRecall::new();
+        assert_eq!(pr.precision(), 0.0);
+        assert_eq!(pr.recall(), 0.0);
+        assert_eq!(pr.f1(), 0.0);
+    }
+
+    #[test]
+    fn asymmetric_counts() {
+        let mut pr = PrecisionRecall::new();
+        for _ in 0..90 {
+            pr.true_positive();
+        }
+        for _ in 0..10 {
+            pr.false_positive();
+        }
+        for _ in 0..30 {
+            pr.false_negative();
+        }
+        assert!((pr.precision() - 0.9).abs() < 1e-9);
+        assert!((pr.recall() - 0.75).abs() < 1e-9);
+        assert_eq!(pr.tp(), 90);
+        assert_eq!(pr.fp(), 10);
+        assert_eq!(pr.fn_count(), 30);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = PrecisionRecall::new();
+        a.true_positive();
+        a.false_positive();
+        let mut b = PrecisionRecall::new();
+        b.true_positive();
+        b.false_negative();
+        a.merge(&b);
+        assert_eq!(a.tp(), 2);
+        assert_eq!(a.fp(), 1);
+        assert_eq!(a.fn_count(), 1);
+    }
+}

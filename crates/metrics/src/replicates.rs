@@ -1,0 +1,222 @@
+//! Replicated-measurement statistics: mean ± confidence interval across
+//! independent seeded runs.
+//!
+//! The paper repeats experiments (30 runs for Fig. 8/9); this helper turns
+//! a set of per-seed metric values into the `mean ± half-width` figures
+//! the bench harness prints.
+
+use std::fmt;
+
+/// A collection of replicated metric values.
+///
+/// # Example
+///
+/// ```
+/// use bicord_metrics::replicates::Replicates;
+///
+/// let mut r = Replicates::new();
+/// for v in [0.81, 0.79, 0.80, 0.82] {
+///     r.push(v);
+/// }
+/// assert!((r.mean() - 0.805).abs() < 1e-9);
+/// assert!(r.ci95_halfwidth() < 0.03);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Replicates {
+    values: Vec<f64>,
+}
+
+impl Replicates {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Replicates::default()
+    }
+
+    /// Adds one replicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn push(&mut self, value: f64) {
+        assert!(value.is_finite(), "replicate must be finite, got {value}");
+        self.values.push(value);
+    }
+
+    /// Number of replicates.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` with no replicates recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty set.
+    pub fn mean(&self) -> f64 {
+        assert!(!self.values.is_empty(), "no replicates recorded");
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Sample standard deviation (n − 1 denominator); 0 for a single
+    /// replicate.
+    pub fn std_dev(&self) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let ss: f64 = self.values.iter().map(|v| (v - mean).powi(2)).sum();
+        (ss / (n - 1) as f64).sqrt()
+    }
+
+    /// Half-width of the ~95 % confidence interval of the mean
+    /// (`t · s / √n`, with the t-quantile looked up for small n).
+    pub fn ci95_halfwidth(&self) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        // Two-sided 97.5 % t-quantiles for df = 1..=30, then the normal
+        // quantile.
+        const T: [f64; 30] = [
+            12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+            2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+            2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        ];
+        let df = n - 1;
+        let t = if df <= 30 { T[df - 1] } else { 1.96 };
+        t * self.std_dev() / (n as f64).sqrt()
+    }
+
+    /// The smallest replicate.
+    pub fn min(&self) -> f64 {
+        self.values.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// The largest replicate.
+    pub fn max(&self) -> f64 {
+        self.values
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+impl FromIterator<f64> for Replicates {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut r = Replicates::new();
+        for v in iter {
+            r.push(v);
+        }
+        r
+    }
+}
+
+impl Extend<f64> for Replicates {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl fmt::Display for Replicates {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "n=0")
+        } else {
+            write!(f, "{:.3} ± {:.3}", self.mean(), self.ci95_halfwidth())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_std_of_known_sample() {
+        let r: Replicates = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert_eq!(r.mean(), 5.0);
+        // Sample std-dev with n-1: sqrt(32/7).
+        assert!((r.std_dev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(r.min(), 2.0);
+        assert_eq!(r.max(), 9.0);
+        assert_eq!(r.count(), 8);
+    }
+
+    #[test]
+    fn single_replicate_has_zero_spread() {
+        let r: Replicates = [3.5].into_iter().collect();
+        assert_eq!(r.mean(), 3.5);
+        assert_eq!(r.std_dev(), 0.0);
+        assert_eq!(r.ci95_halfwidth(), 0.0);
+    }
+
+    #[test]
+    fn ci_uses_t_quantile_for_small_n() {
+        let r: Replicates = [1.0, 2.0].into_iter().collect();
+        // df = 1 -> t = 12.706; s = sqrt(0.5); hw = 12.706 * s / sqrt(2).
+        let expected = 12.706 * (0.5f64).sqrt() / (2.0f64).sqrt();
+        assert!((r.ci95_halfwidth() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_n_approaches_normal_quantile() {
+        let r: Replicates = (0..100).map(|i| (i % 10) as f64).collect();
+        let hw = r.ci95_halfwidth();
+        let normal_hw = 1.96 * r.std_dev() / 10.0;
+        assert!((hw - normal_hw).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_rejected() {
+        let mut r = Replicates::new();
+        r.push(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "no replicates")]
+    fn mean_of_empty_panics() {
+        let r = Replicates::new();
+        let _ = r.mean();
+    }
+
+    #[test]
+    fn display_formats() {
+        let r: Replicates = [1.0, 1.0, 1.0].into_iter().collect();
+        assert_eq!(r.to_string(), "1.000 ± 0.000");
+        assert_eq!(Replicates::new().to_string(), "n=0");
+    }
+
+    proptest! {
+        #[test]
+        fn mean_within_min_max(values in proptest::collection::vec(-1e6f64..1e6, 1..60)) {
+            let r: Replicates = values.iter().copied().collect();
+            prop_assert!(r.mean() >= r.min() - 1e-9);
+            prop_assert!(r.mean() <= r.max() + 1e-9);
+            prop_assert!(r.ci95_halfwidth() >= 0.0);
+        }
+
+        #[test]
+        fn ci_shrinks_with_more_data(base in proptest::collection::vec(-10.0f64..10.0, 4..8)) {
+            // Duplicating the sample halves the variance of the mean.
+            let small: Replicates = base.iter().copied().collect();
+            let mut doubled = base.clone();
+            doubled.extend(base.iter().copied());
+            let big: Replicates = doubled.into_iter().collect();
+            if small.std_dev() > 1e-9 {
+                prop_assert!(big.ci95_halfwidth() < small.ci95_halfwidth());
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Summary statistics.
+
+use std::fmt;
+
+/// Summary statistics of a sample of `f64` values.
+///
+/// # Example
+///
+/// ```
+/// use bicord_metrics::stats::Summary;
+///
+/// let s = Summary::from_values(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Summary {
+    /// Computes a summary; NaN values are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains NaN.
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarise an empty sample");
+        assert!(values.iter().all(|v| !v.is_nan()), "sample contains NaN");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let n = sorted.len() as f64;
+        let mean = sorted.iter().sum::<f64>() / n;
+        let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        Summary {
+            sorted,
+            mean,
+            std_dev: var.sqrt(),
+        }
+    }
+
+    /// Sample size.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Smallest value.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest value.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// The `p`-th percentile (nearest-rank), `p` in `[0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.sorted.len() == 1 {
+            return self.sorted[0];
+        }
+        let rank = (p / 100.0 * (self.sorted.len() - 1) as f64).round() as usize;
+        self.sorted[rank]
+    }
+
+    /// The median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} p50={:.3} p95={:.3} max={:.3}",
+            self.count(),
+            self.mean(),
+            self.std_dev(),
+            self.min(),
+            self.median(),
+            self.percentile(95.0),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_sample() {
+        let s = Summary::from_values(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.std_dev(), 2.0);
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        // Nearest-rank median of 8 values: rank round(3.5) = 4 → 5.0.
+        assert_eq!(s.median(), 5.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::from_values(&[3.5]);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.percentile(0.0), 3.5);
+        assert_eq!(s.percentile(100.0), 3.5);
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::from_values(&values);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert!((s.percentile(50.0) - 50.0).abs() <= 1.0);
+        assert!((s.percentile(95.0) - 95.0).abs() <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_rejected() {
+        let _ = Summary::from_values(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Summary::from_values(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Summary::from_values(&[1.0, 2.0, 3.0]);
+        let out = s.to_string();
+        assert!(out.contains("n=3"));
+        assert!(out.contains("mean=2.000"));
+    }
+
+    proptest! {
+        #[test]
+        fn mean_within_min_max(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let s = Summary::from_values(&values);
+            prop_assert!(s.mean() >= s.min() - 1e-9);
+            prop_assert!(s.mean() <= s.max() + 1e-9);
+            prop_assert!(s.std_dev() >= 0.0);
+        }
+
+        #[test]
+        fn percentile_monotone(values in proptest::collection::vec(-1e3f64..1e3, 2..100),
+                               p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+            let s = Summary::from_values(&values);
+            if p1 <= p2 {
+                prop_assert!(s.percentile(p1) <= s.percentile(p2) + 1e-9);
+            }
+        }
+    }
+}

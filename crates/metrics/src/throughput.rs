@@ -1,0 +1,104 @@
+//! Delivered-bytes accounting (Fig. 10c).
+
+use bicord_sim::{SimDuration, SimTime};
+
+/// Tracks delivered payload over an observation window.
+///
+/// # Example
+///
+/// ```
+/// use bicord_metrics::throughput::ThroughputTracker;
+/// use bicord_sim::SimTime;
+///
+/// let mut t = ThroughputTracker::new(SimTime::ZERO);
+/// t.add_bytes(12_500); // 100 kbit
+/// t.finish(SimTime::from_secs(1));
+/// assert_eq!(t.kbps(), 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputTracker {
+    start: SimTime,
+    end: Option<SimTime>,
+    bytes: u64,
+    packets: u64,
+}
+
+impl ThroughputTracker {
+    /// Starts a window at `start`.
+    pub fn new(start: SimTime) -> Self {
+        ThroughputTracker {
+            start,
+            end: None,
+            bytes: 0,
+            packets: 0,
+        }
+    }
+
+    /// Records a delivered packet of `bytes` payload.
+    pub fn add_bytes(&mut self, bytes: u64) {
+        self.bytes += bytes;
+        self.packets += 1;
+    }
+
+    /// Closes the window at `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` is not after the start.
+    pub fn finish(&mut self, end: SimTime) {
+        assert!(end > self.start, "window must have positive length");
+        self.end = Some(end);
+    }
+
+    fn window(&self) -> SimDuration {
+        let end = self.end.expect("call finish() before reading throughput");
+        end - self.start
+    }
+
+    /// Total delivered bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total delivered packets.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Throughput in kilobits per second.
+    pub fn kbps(&self) -> f64 {
+        self.bytes as f64 * 8.0 / 1000.0 / self.window().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_kbps() {
+        let mut t = ThroughputTracker::new(SimTime::from_secs(10));
+        for _ in 0..100 {
+            t.add_bytes(50);
+        }
+        t.finish(SimTime::from_secs(12));
+        // 5000 B = 40 kbit over 2 s = 20 kbps.
+        assert_eq!(t.kbps(), 20.0);
+        assert_eq!(t.bytes(), 5_000);
+        assert_eq!(t.packets(), 100);
+    }
+
+    #[test]
+    fn empty_window_is_zero_throughput() {
+        let mut t = ThroughputTracker::new(SimTime::ZERO);
+        t.finish(SimTime::from_secs(1));
+        assert_eq!(t.kbps(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finish")]
+    fn reading_before_finish_panics() {
+        let t = ThroughputTracker::new(SimTime::ZERO);
+        let _ = t.kbps();
+    }
+}

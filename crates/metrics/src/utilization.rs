@@ -1,0 +1,174 @@
+//! Channel-utilization accounting.
+//!
+//! The paper computes channel utilization by "measuring the transmission
+//! time of both Wi-Fi and ZigBee devices and adding them together"
+//! (Sec. VIII-D), relative to the observation window. The tracker keeps
+//! per-category airtime so the ZigBee/Wi-Fi split of Fig. 11 can be
+//! reported too.
+
+use bicord_sim::{SimDuration, SimTime};
+
+/// Who occupied the channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Occupant {
+    /// Wi-Fi data frames.
+    WifiData,
+    /// Wi-Fi CTS (reservation) frames.
+    WifiCts,
+    /// ZigBee data + ACK frames.
+    ZigbeeData,
+    /// ZigBee control (signaling) frames.
+    ZigbeeControl,
+}
+
+/// Accumulates per-occupant airtime over an observation window.
+///
+/// # Example
+///
+/// ```
+/// use bicord_metrics::utilization::{Occupant, UtilizationTracker};
+/// use bicord_sim::{SimDuration, SimTime};
+///
+/// let mut t = UtilizationTracker::new(SimTime::ZERO);
+/// t.add(Occupant::WifiData, SimDuration::from_millis(80));
+/// t.add(Occupant::ZigbeeData, SimDuration::from_millis(10));
+/// t.finish(SimTime::from_millis(100));
+/// assert!((t.total_utilization() - 0.9).abs() < 1e-9);
+/// assert!((t.zigbee_utilization() - 0.1).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationTracker {
+    start: SimTime,
+    end: Option<SimTime>,
+    wifi_data: SimDuration,
+    wifi_cts: SimDuration,
+    zigbee_data: SimDuration,
+    zigbee_control: SimDuration,
+}
+
+impl UtilizationTracker {
+    /// Starts an observation window at `start`.
+    pub fn new(start: SimTime) -> Self {
+        UtilizationTracker {
+            start,
+            end: None,
+            wifi_data: SimDuration::ZERO,
+            wifi_cts: SimDuration::ZERO,
+            zigbee_data: SimDuration::ZERO,
+            zigbee_control: SimDuration::ZERO,
+        }
+    }
+
+    /// Records `airtime` of occupancy by `occupant`.
+    pub fn add(&mut self, occupant: Occupant, airtime: SimDuration) {
+        match occupant {
+            Occupant::WifiData => self.wifi_data += airtime,
+            Occupant::WifiCts => self.wifi_cts += airtime,
+            Occupant::ZigbeeData => self.zigbee_data += airtime,
+            Occupant::ZigbeeControl => self.zigbee_control += airtime,
+        }
+    }
+
+    /// Closes the window at `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` is not after the window start.
+    pub fn finish(&mut self, end: SimTime) {
+        assert!(end > self.start, "window must have positive length");
+        self.end = Some(end);
+    }
+
+    fn window(&self) -> SimDuration {
+        let end = self.end.expect("call finish() before reading utilization");
+        end - self.start
+    }
+
+    /// Useful-transmission utilization: Wi-Fi data + ZigBee data, as the
+    /// paper counts it (control/CTS overhead is not "transmission time of
+    /// the devices' data").
+    pub fn total_utilization(&self) -> f64 {
+        let busy = self.wifi_data + self.zigbee_data;
+        (busy.as_secs_f64() / self.window().as_secs_f64()).min(1.0)
+    }
+
+    /// The ZigBee share of the window (the pink bars of Fig. 11).
+    pub fn zigbee_utilization(&self) -> f64 {
+        (self.zigbee_data.as_secs_f64() / self.window().as_secs_f64()).min(1.0)
+    }
+
+    /// The Wi-Fi data share of the window.
+    pub fn wifi_utilization(&self) -> f64 {
+        (self.wifi_data.as_secs_f64() / self.window().as_secs_f64()).min(1.0)
+    }
+
+    /// Overhead share: CTS + control signaling airtime.
+    pub fn overhead_fraction(&self) -> f64 {
+        let o = self.wifi_cts + self.zigbee_control;
+        (o.as_secs_f64() / self.window().as_secs_f64()).min(1.0)
+    }
+
+    /// Raw accumulated airtime for an occupant.
+    pub fn airtime(&self, occupant: Occupant) -> SimDuration {
+        match occupant {
+            Occupant::WifiData => self.wifi_data,
+            Occupant::WifiCts => self.wifi_cts,
+            Occupant::ZigbeeData => self.zigbee_data,
+            Occupant::ZigbeeControl => self.zigbee_control,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_category() {
+        let mut t = UtilizationTracker::new(SimTime::from_secs(1));
+        t.add(Occupant::WifiData, SimDuration::from_millis(500));
+        t.add(Occupant::WifiData, SimDuration::from_millis(100));
+        t.add(Occupant::ZigbeeData, SimDuration::from_millis(200));
+        t.add(Occupant::ZigbeeControl, SimDuration::from_millis(50));
+        t.add(Occupant::WifiCts, SimDuration::from_millis(10));
+        t.finish(SimTime::from_secs(2));
+        assert!((t.total_utilization() - 0.8).abs() < 1e-9);
+        assert!((t.zigbee_utilization() - 0.2).abs() < 1e-9);
+        assert!((t.wifi_utilization() - 0.6).abs() < 1e-9);
+        assert!((t.overhead_fraction() - 0.06).abs() < 1e-9);
+        assert_eq!(t.airtime(Occupant::WifiData), SimDuration::from_millis(600));
+    }
+
+    #[test]
+    fn utilization_caps_at_one() {
+        // Overlapping transmissions can sum past the window; report 1.0.
+        let mut t = UtilizationTracker::new(SimTime::ZERO);
+        t.add(Occupant::WifiData, SimDuration::from_millis(900));
+        t.add(Occupant::ZigbeeData, SimDuration::from_millis(300));
+        t.finish(SimTime::from_millis(1000));
+        assert_eq!(t.total_utilization(), 1.0);
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let mut t = UtilizationTracker::new(SimTime::ZERO);
+        t.finish(SimTime::from_secs(1));
+        assert_eq!(t.total_utilization(), 0.0);
+        assert_eq!(t.zigbee_utilization(), 0.0);
+        assert_eq!(t.overhead_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finish")]
+    fn reading_before_finish_panics() {
+        let t = UtilizationTracker::new(SimTime::ZERO);
+        let _ = t.total_utilization();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn zero_window_rejected() {
+        let mut t = UtilizationTracker::new(SimTime::from_secs(1));
+        t.finish(SimTime::from_secs(1));
+    }
+}

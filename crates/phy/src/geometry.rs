@@ -1,0 +1,135 @@
+//! 2-D positions for the office deployment geometry (Fig. 6 of the paper).
+
+use std::fmt;
+
+/// A position on the office floor plan, in metres.
+///
+/// # Example
+///
+/// ```
+/// use bicord_phy::geometry::Point;
+///
+/// let wifi_sender = Point::new(0.0, 0.0);
+/// let wifi_receiver = Point::new(3.0, 0.0);
+/// assert_eq!(wifi_sender.distance_to(wifi_receiver), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// East-west coordinate, metres.
+    pub x: f64,
+    /// North-south coordinate, metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point at `(x, y)` metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is non-finite.
+    pub fn new(x: f64, y: f64) -> Self {
+        assert!(
+            x.is_finite() && y.is_finite(),
+            "point coordinates must be finite, got ({x}, {y})"
+        );
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`, in metres.
+    pub fn distance_to(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// The point displaced by `(dx, dy)` metres.
+    pub fn offset(self, dx: f64, dy: f64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
+    ///
+    /// `t` is clamped to `[0, 1]`.
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        let t = t.clamp(0.0, 1.0);
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2} m, {:.2} m)", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance_to(b), 5.0);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let p = Point::new(1.5, -2.5);
+        assert_eq!(p.distance_to(p), 0.0);
+    }
+
+    #[test]
+    fn offset_moves_point() {
+        let p = Point::new(1.0, 1.0).offset(-1.0, 2.0);
+        assert_eq!(p, Point::new(0.0, 3.0));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(1.0, 2.0));
+        // Clamping:
+        assert_eq!(a.lerp(b, 2.0), b);
+        assert_eq!(a.lerp(b, -1.0), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_coordinates_rejected() {
+        let _ = Point::new(f64::INFINITY, 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Point::new(1.0, -2.0).to_string(), "(1.00 m, -2.00 m)");
+    }
+
+    proptest! {
+        #[test]
+        fn distance_symmetric(ax in -100.0f64..100.0, ay in -100.0f64..100.0,
+                              bx in -100.0f64..100.0, by in -100.0f64..100.0) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            prop_assert!((a.distance_to(b) - b.distance_to(a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn triangle_inequality(ax in -50.0f64..50.0, ay in -50.0f64..50.0,
+                               bx in -50.0f64..50.0, by in -50.0f64..50.0,
+                               cx in -50.0f64..50.0, cy in -50.0f64..50.0) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            prop_assert!(a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # bicord-phy
+//!
+//! The radio-frequency substrate of the BiCord reproduction. The paper's
+//! system ran on real 2.4 GHz hardware (Intel 5300 Wi-Fi NICs and TelosB
+//! ZigBee motes); this crate provides the calibrated statistical stand-in
+//! that the rest of the workspace builds on:
+//!
+//! * [`units`] — decibel / milliwatt power arithmetic with newtypes,
+//! * [`geometry`] — 2-D positions and distances,
+//! * [`pathloss`] — log-distance propagation with shadowing,
+//! * [`spectrum`] — Wi-Fi and ZigBee channelisation and spectral overlap,
+//! * [`airtime`] — exact frame durations for 802.11b/g and 802.15.4,
+//! * [`noise`] — thermal floor and bursty wideband noise,
+//! * [`reception`] — SINR-based packet-reception model,
+//! * [`csi`] — the channel-state-information stream a Wi-Fi receiver
+//!   observes, including the disturbances ZigBee overlap leaves on it
+//!   (Fig. 3 of the paper),
+//! * [`interferers`] — RSSI-trace generators for Wi-Fi, ZigBee, Bluetooth
+//!   and microwave-oven interference used by the CTI-detection experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use bicord_phy::geometry::Point;
+//! use bicord_phy::pathloss::PathLossModel;
+//! use bicord_phy::units::Dbm;
+//!
+//! let model = PathLossModel::office();
+//! let rx = model.received_power(Dbm::new(20.0), Point::new(0.0, 0.0), Point::new(3.0, 0.0));
+//! assert!(rx < Dbm::new(-20.0) && rx > Dbm::new(-70.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod airtime;
+pub mod csi;
+pub mod geometry;
+pub mod interferers;
+pub mod noise;
+pub mod pathloss;
+pub mod reception;
+pub mod spectrum;
+pub mod units;
+
+pub use geometry::Point;
+pub use pathloss::PathLossModel;
+pub use units::{Dbm, MilliWatt};

@@ -1,0 +1,259 @@
+//! Thermal noise floor and bursty wideband noise.
+//!
+//! Two noise phenomena matter to BiCord:
+//!
+//! 1. the flat **thermal floor** entering every SINR computation, and
+//! 2. occasional **strong noise bursts** (appliances, harmonics, far-away
+//!    transmitters) that perturb the Wi-Fi CSI stream and are the main
+//!    source of *false positives* in cross-technology signaling — Fig. 3 (a)
+//!    of the paper. The detector's continuity rule exists precisely to
+//!    reject them.
+
+use rand::Rng;
+
+use bicord_sim::dist::{exponential_duration, normal};
+use bicord_sim::{SimDuration, SimTime};
+
+use crate::units::Dbm;
+
+/// Thermal noise floor seen by a 2 MHz ZigBee receiver.
+pub const ZIGBEE_NOISE_FLOOR: Dbm = Dbm::new(-95.0);
+
+/// Thermal noise floor seen by a 20 MHz Wi-Fi receiver (10 dB more
+/// bandwidth than ZigBee).
+pub const WIFI_NOISE_FLOOR: Dbm = Dbm::new(-85.0);
+
+/// One burst of strong wideband noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseBurst {
+    /// When the burst starts.
+    pub start: SimTime,
+    /// How long it lasts.
+    pub duration: SimDuration,
+    /// Received noise power during the burst.
+    pub power: Dbm,
+}
+
+impl NoiseBurst {
+    /// The instant the burst ends.
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+
+    /// `true` if the burst overlaps the interval `[from, to)`.
+    pub fn overlaps(&self, from: SimTime, to: SimTime) -> bool {
+        self.start < to && self.end() > from
+    }
+}
+
+/// A stationary Poisson process of strong noise bursts.
+///
+/// Bursts arrive at `rate_hz`, last an exponentially distributed time
+/// (`mean_duration`), and have a Gaussian-in-dB received power. Most bursts
+/// are shorter than two CSI samples (500 µs each at 2 kHz), which is what
+/// lets the continuity rule separate them from ZigBee control packets.
+///
+/// # Example
+///
+/// ```
+/// use bicord_phy::noise::NoiseBurstProcess;
+/// use bicord_sim::{stream_rng, SeedDomain, SimTime};
+///
+/// let process = NoiseBurstProcess::office();
+/// let mut rng = stream_rng(1, SeedDomain::Noise, 0);
+/// let bursts = process.bursts_in(&mut rng, SimTime::ZERO, SimTime::from_secs(10));
+/// // Roughly rate × duration arrivals:
+/// assert!(!bursts.is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseBurstProcess {
+    rate_hz: f64,
+    mean_duration: SimDuration,
+    power_mean_dbm: f64,
+    power_sigma_db: f64,
+}
+
+impl NoiseBurstProcess {
+    /// Creates a process with the given arrival rate, mean burst duration,
+    /// and received-power distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_hz` is negative/non-finite or `mean_duration` is zero
+    /// while the rate is positive.
+    pub fn new(
+        rate_hz: f64,
+        mean_duration: SimDuration,
+        power_mean_dbm: f64,
+        power_sigma_db: f64,
+    ) -> Self {
+        assert!(
+            rate_hz.is_finite() && rate_hz >= 0.0,
+            "burst rate must be non-negative"
+        );
+        assert!(
+            rate_hz == 0.0 || !mean_duration.is_zero(),
+            "mean burst duration must be positive"
+        );
+        assert!(power_sigma_db >= 0.0, "power sigma must be >= 0");
+        NoiseBurstProcess {
+            rate_hz,
+            mean_duration,
+            power_mean_dbm,
+            power_sigma_db,
+        }
+    }
+
+    /// The calibrated office environment: a strong burst every ~250 ms on
+    /// average, mean duration 0.8 ms, received around −55 dBm.
+    pub fn office() -> Self {
+        NoiseBurstProcess::new(4.0, SimDuration::from_micros(800), -55.0, 4.0)
+    }
+
+    /// A quiet environment with practically no bursts (for unit tests).
+    pub fn quiet() -> Self {
+        NoiseBurstProcess::new(0.0, SimDuration::from_micros(1), -90.0, 0.0)
+    }
+
+    /// Burst arrival rate, Hz.
+    pub fn rate_hz(&self) -> f64 {
+        self.rate_hz
+    }
+
+    /// Samples every burst starting within `[from, to)`.
+    ///
+    /// Arrivals are a homogeneous Poisson process; the result is sorted by
+    /// start time.
+    pub fn bursts_in<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        from: SimTime,
+        to: SimTime,
+    ) -> Vec<NoiseBurst> {
+        let mut bursts = Vec::new();
+        if self.rate_hz <= 0.0 || to <= from {
+            return bursts;
+        }
+        let mean_gap = SimDuration::from_secs_f64(1.0 / self.rate_hz);
+        let mut t = from + exponential_duration(rng, mean_gap);
+        while t < to {
+            let duration =
+                exponential_duration(rng, self.mean_duration).max(SimDuration::from_micros(50));
+            let power = Dbm::new(normal(rng, self.power_mean_dbm, self.power_sigma_db));
+            bursts.push(NoiseBurst {
+                start: t,
+                duration,
+                power,
+            });
+            t += exponential_duration(rng, mean_gap);
+        }
+        bursts
+    }
+}
+
+impl Default for NoiseBurstProcess {
+    fn default() -> Self {
+        NoiseBurstProcess::office()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bicord_sim::{stream_rng, SeedDomain};
+
+    #[test]
+    fn floors_are_sane() {
+        assert_eq!(ZIGBEE_NOISE_FLOOR.value(), -95.0);
+        assert_eq!(WIFI_NOISE_FLOOR.value(), -85.0);
+        assert!(WIFI_NOISE_FLOOR > ZIGBEE_NOISE_FLOOR);
+    }
+
+    #[test]
+    fn burst_rate_converges() {
+        let p = NoiseBurstProcess::office();
+        let mut rng = stream_rng(42, SeedDomain::Noise, 0);
+        let horizon = SimTime::from_secs(100);
+        let bursts = p.bursts_in(&mut rng, SimTime::ZERO, horizon);
+        let rate = bursts.len() as f64 / 100.0;
+        assert!(
+            (rate - p.rate_hz()).abs() < 0.8,
+            "empirical rate {rate} vs nominal {}",
+            p.rate_hz()
+        );
+    }
+
+    #[test]
+    fn bursts_are_sorted_and_in_range() {
+        let p = NoiseBurstProcess::office();
+        let mut rng = stream_rng(43, SeedDomain::Noise, 1);
+        let from = SimTime::from_secs(5);
+        let to = SimTime::from_secs(6);
+        let bursts = p.bursts_in(&mut rng, from, to);
+        for w in bursts.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+        for b in &bursts {
+            assert!(b.start >= from && b.start < to);
+            assert!(!b.duration.is_zero());
+        }
+    }
+
+    #[test]
+    fn quiet_process_produces_nothing() {
+        let p = NoiseBurstProcess::quiet();
+        let mut rng = stream_rng(44, SeedDomain::Noise, 2);
+        assert!(p
+            .bursts_in(&mut rng, SimTime::ZERO, SimTime::from_secs(60))
+            .is_empty());
+    }
+
+    #[test]
+    fn empty_interval_produces_nothing() {
+        let p = NoiseBurstProcess::office();
+        let mut rng = stream_rng(45, SeedDomain::Noise, 3);
+        assert!(p
+            .bursts_in(&mut rng, SimTime::from_secs(1), SimTime::from_secs(1))
+            .is_empty());
+    }
+
+    #[test]
+    fn most_bursts_are_shorter_than_two_csi_samples() {
+        // The continuity rule relies on noise bursts rarely spanning two
+        // 500 µs CSI samples.
+        let p = NoiseBurstProcess::office();
+        let mut rng = stream_rng(46, SeedDomain::Noise, 4);
+        let bursts = p.bursts_in(&mut rng, SimTime::ZERO, SimTime::from_secs(200));
+        let short = bursts
+            .iter()
+            .filter(|b| b.duration < SimDuration::from_micros(1_000))
+            .count();
+        let frac = short as f64 / bursts.len() as f64;
+        assert!(frac > 0.6, "only {frac} of bursts are short");
+    }
+
+    #[test]
+    fn overlap_predicate() {
+        let b = NoiseBurst {
+            start: SimTime::from_millis(10),
+            duration: SimDuration::from_millis(2),
+            power: Dbm::new(-50.0),
+        };
+        assert!(b.overlaps(SimTime::from_millis(11), SimTime::from_millis(13)));
+        assert!(b.overlaps(SimTime::from_millis(5), SimTime::from_millis(11)));
+        assert!(!b.overlaps(SimTime::from_millis(12), SimTime::from_millis(13)));
+        assert!(!b.overlaps(SimTime::from_millis(5), SimTime::from_millis(10)));
+        assert_eq!(b.end(), SimTime::from_millis(12));
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let p = NoiseBurstProcess::office();
+        let run = |seed| {
+            let mut rng = stream_rng(seed, SeedDomain::Noise, 9);
+            p.bursts_in(&mut rng, SimTime::ZERO, SimTime::from_secs(3))
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

@@ -1,0 +1,233 @@
+//! Log-distance path-loss propagation with log-normal shadowing.
+//!
+//! The standard indoor model: the mean loss grows as
+//! `PL(d) = PL(d₀) + 10·n·log₁₀(d/d₀)` and individual links deviate from the
+//! mean by a zero-mean Gaussian (the *shadowing* term). The office
+//! parameters are calibrated so that the paper's link budgets come out
+//! right: a −7 dBm ZigBee sender a few metres from a 20 dBm Wi-Fi sender is
+//! inaudible to Wi-Fi CCA but visible in CSI, and ZigBee reception collapses
+//! (> 95 % loss) while Wi-Fi transmits.
+
+use rand::Rng;
+
+use bicord_sim::dist::normal;
+
+use crate::geometry::Point;
+use crate::units::Dbm;
+
+/// A log-distance path-loss model.
+///
+/// # Example
+///
+/// ```
+/// use bicord_phy::geometry::Point;
+/// use bicord_phy::pathloss::PathLossModel;
+/// use bicord_phy::units::Dbm;
+///
+/// let model = PathLossModel::office();
+/// let near = model.received_power(Dbm::new(0.0), Point::ORIGIN, Point::new(1.0, 0.0));
+/// let far = model.received_power(Dbm::new(0.0), Point::ORIGIN, Point::new(5.0, 0.0));
+/// assert!(near > far);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathLossModel {
+    /// Loss at the reference distance `d0`, in dB.
+    pl0_db: f64,
+    /// Path-loss exponent `n` (2 = free space; 2.5–4 indoors).
+    exponent: f64,
+    /// Reference distance, metres.
+    d0_m: f64,
+    /// Shadowing standard deviation, dB.
+    shadowing_sigma_db: f64,
+    /// Minimum modelled distance (receivers cannot be inside the antenna).
+    min_distance_m: f64,
+}
+
+impl PathLossModel {
+    /// Builds a model from explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-finite, `d0_m`/`min_distance_m` are
+    /// not positive, `exponent` is not positive, or `shadowing_sigma_db` is
+    /// negative.
+    pub fn new(
+        pl0_db: f64,
+        exponent: f64,
+        d0_m: f64,
+        shadowing_sigma_db: f64,
+        min_distance_m: f64,
+    ) -> Self {
+        assert!(
+            pl0_db.is_finite() && exponent.is_finite(),
+            "path-loss parameters must be finite"
+        );
+        assert!(exponent > 0.0, "path-loss exponent must be positive");
+        assert!(d0_m > 0.0, "reference distance must be positive");
+        assert!(shadowing_sigma_db >= 0.0, "shadowing sigma must be >= 0");
+        assert!(min_distance_m > 0.0, "minimum distance must be positive");
+        PathLossModel {
+            pl0_db,
+            exponent,
+            d0_m,
+            shadowing_sigma_db,
+            min_distance_m,
+        }
+    }
+
+    /// The calibrated office environment used throughout the evaluation.
+    ///
+    /// 46.0 dB loss at 1 m (2.4 GHz free-space is 40.05 dB; the extra 6 dB
+    /// accounts for antenna inefficiency and polarisation mismatch of
+    /// consumer hardware), exponent 3.0 (cluttered office), 3 dB shadowing.
+    pub fn office() -> Self {
+        PathLossModel::new(46.0, 3.0, 1.0, 3.0, 0.1)
+    }
+
+    /// Free-space propagation at 2.4 GHz (exponent 2, no shadowing) —
+    /// useful in unit tests where determinism and simple numbers matter.
+    pub fn free_space() -> Self {
+        PathLossModel::new(40.05, 2.0, 1.0, 0.0, 0.1)
+    }
+
+    /// The shadowing standard deviation, dB.
+    pub fn shadowing_sigma_db(&self) -> f64 {
+        self.shadowing_sigma_db
+    }
+
+    /// Mean path loss over `distance_m` metres, in dB.
+    pub fn path_loss_db(&self, distance_m: f64) -> f64 {
+        let d = distance_m.max(self.min_distance_m);
+        self.pl0_db + 10.0 * self.exponent * (d / self.d0_m).log10()
+    }
+
+    /// Mean received power at `rx` for a transmitter at `tx` emitting
+    /// `tx_power` (no shadowing draw).
+    pub fn received_power(&self, tx_power: Dbm, tx: Point, rx: Point) -> Dbm {
+        tx_power - self.path_loss_db(tx.distance_to(rx))
+    }
+
+    /// Received power including a shadowing draw from `rng`.
+    ///
+    /// Shadowing is sampled per call; callers that want a static shadowing
+    /// realisation per link should draw once and cache (see
+    /// `bicord-mac`'s link table).
+    pub fn received_power_shadowed<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        tx_power: Dbm,
+        tx: Point,
+        rx: Point,
+    ) -> Dbm {
+        let mean = self.received_power(tx_power, tx, rx);
+        mean + normal(rng, 0.0, self.shadowing_sigma_db)
+    }
+
+    /// Draws one static shadowing offset (dB) for a link.
+    pub fn draw_shadowing<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        normal(rng, 0.0, self.shadowing_sigma_db)
+    }
+}
+
+impl Default for PathLossModel {
+    fn default() -> Self {
+        PathLossModel::office()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bicord_sim::{stream_rng, SeedDomain};
+    use proptest::prelude::*;
+
+    #[test]
+    fn loss_grows_with_distance() {
+        let m = PathLossModel::office();
+        assert!(m.path_loss_db(5.0) > m.path_loss_db(2.0));
+        assert!(m.path_loss_db(2.0) > m.path_loss_db(1.0));
+    }
+
+    #[test]
+    fn reference_distance_loss() {
+        let m = PathLossModel::office();
+        assert!((m.path_loss_db(1.0) - 46.0).abs() < 1e-9);
+        // n = 3.0: each decade adds 30 dB.
+        assert!((m.path_loss_db(10.0) - 76.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn below_min_distance_clamps() {
+        let m = PathLossModel::office();
+        assert_eq!(m.path_loss_db(0.0), m.path_loss_db(0.1));
+        assert_eq!(m.path_loss_db(0.05), m.path_loss_db(0.1));
+    }
+
+    #[test]
+    fn office_link_budgets_match_paper_setting() {
+        // A 20 dBm Wi-Fi sender 3 m from the ZigBee receiver lands far above
+        // the ZigBee busy threshold (-82 dBm): ZigBee hears Wi-Fi.
+        let m = PathLossModel::office();
+        let wifi_at_zigbee = m.received_power(Dbm::new(20.0), Point::ORIGIN, Point::new(3.0, 0.0));
+        assert!(wifi_at_zigbee.value() > -82.0 + 20.0);
+
+        // A -7 dBm ZigBee sender 3 m from the Wi-Fi sender lands below
+        // Wi-Fi's energy-detection threshold (-62 dBm): Wi-Fi ignores it,
+        // which is the asymmetry motivating the whole paper.
+        let zigbee_at_wifi = m.received_power(Dbm::new(-7.0), Point::ORIGIN, Point::new(3.0, 0.0));
+        assert!(zigbee_at_wifi.value() < -62.0);
+    }
+
+    #[test]
+    fn shadowed_power_centers_on_mean() {
+        let m = PathLossModel::office();
+        let mut rng = stream_rng(7, SeedDomain::Shadowing, 0);
+        let tx = Point::ORIGIN;
+        let rx = Point::new(4.0, 0.0);
+        let mean = m.received_power(Dbm::new(0.0), tx, rx).value();
+        let n = 20_000;
+        let sum: f64 = (0..n)
+            .map(|_| {
+                m.received_power_shadowed(&mut rng, Dbm::new(0.0), tx, rx)
+                    .value()
+            })
+            .sum();
+        assert!((sum / n as f64 - mean).abs() < 0.1);
+    }
+
+    #[test]
+    fn free_space_has_no_shadowing() {
+        let m = PathLossModel::free_space();
+        let mut rng = stream_rng(7, SeedDomain::Shadowing, 1);
+        let a =
+            m.received_power_shadowed(&mut rng, Dbm::new(0.0), Point::ORIGIN, Point::new(2.0, 0.0));
+        let b = m.received_power(Dbm::new(0.0), Point::ORIGIN, Point::new(2.0, 0.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn zero_exponent_rejected() {
+        let _ = PathLossModel::new(40.0, 0.0, 1.0, 0.0, 0.1);
+    }
+
+    proptest! {
+        #[test]
+        fn received_power_monotone_in_distance(d1 in 0.2f64..50.0, d2 in 0.2f64..50.0) {
+            let m = PathLossModel::office();
+            let p1 = m.received_power(Dbm::new(0.0), Point::ORIGIN, Point::new(d1, 0.0));
+            let p2 = m.received_power(Dbm::new(0.0), Point::ORIGIN, Point::new(d2, 0.0));
+            if d1 < d2 {
+                prop_assert!(p1 >= p2);
+            }
+        }
+
+        #[test]
+        fn tx_power_shifts_linearly(p in -20.0f64..30.0, d in 0.5f64..20.0) {
+            let m = PathLossModel::office();
+            let base = m.received_power(Dbm::new(0.0), Point::ORIGIN, Point::new(d, 0.0));
+            let shifted = m.received_power(Dbm::new(p), Point::ORIGIN, Point::new(d, 0.0));
+            prop_assert!((shifted.value() - base.value() - p).abs() < 1e-9);
+        }
+    }
+}

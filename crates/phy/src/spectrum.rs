@@ -1,0 +1,289 @@
+//! 2.4 GHz channelisation for IEEE 802.11 (Wi-Fi) and IEEE 802.15.4
+//! (ZigBee), and the spectral overlap between them.
+//!
+//! Wi-Fi channels 1–13 are 20 MHz wide with 5 MHz spacing starting at
+//! 2412 MHz; ZigBee channels 11–26 are 2 MHz wide with 5 MHz spacing
+//! starting at 2405 MHz. The paper runs Wi-Fi on channel 11 or 13 and
+//! ZigBee on channel 24 or 26 so the bands overlap.
+
+use std::fmt;
+
+/// A frequency band, `[low, high]` in MHz.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Band {
+    /// Lower band edge, MHz.
+    pub low_mhz: f64,
+    /// Upper band edge, MHz.
+    pub high_mhz: f64,
+}
+
+impl Band {
+    /// Creates a band centred at `center_mhz` with the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_mhz` is not positive or inputs are non-finite.
+    pub fn centered(center_mhz: f64, width_mhz: f64) -> Self {
+        assert!(
+            center_mhz.is_finite() && width_mhz.is_finite() && width_mhz > 0.0,
+            "invalid band: center={center_mhz} MHz width={width_mhz} MHz"
+        );
+        Band {
+            low_mhz: center_mhz - width_mhz / 2.0,
+            high_mhz: center_mhz + width_mhz / 2.0,
+        }
+    }
+
+    /// The band's width in MHz.
+    pub fn width_mhz(&self) -> f64 {
+        self.high_mhz - self.low_mhz
+    }
+
+    /// The band's centre frequency in MHz.
+    pub fn center_mhz(&self) -> f64 {
+        (self.low_mhz + self.high_mhz) / 2.0
+    }
+
+    /// Width of the frequency range shared with `other`, MHz (0 if disjoint).
+    pub fn overlap_mhz(&self, other: &Band) -> f64 {
+        (self.high_mhz.min(other.high_mhz) - self.low_mhz.max(other.low_mhz)).max(0.0)
+    }
+
+    /// Fraction of *this* band covered by `other`, in `[0, 1]`.
+    ///
+    /// This is the factor by which an interferer occupying `other` couples
+    /// into a receiver listening on `self` (flat-spectrum approximation).
+    pub fn overlap_fraction(&self, other: &Band) -> f64 {
+        self.overlap_mhz(other) / self.width_mhz()
+    }
+}
+
+impl fmt::Display for Band {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.1}, {:.1}] MHz", self.low_mhz, self.high_mhz)
+    }
+}
+
+/// An IEEE 802.11 (Wi-Fi) 2.4 GHz channel, 1–13.
+///
+/// # Example
+///
+/// ```
+/// use bicord_phy::spectrum::{WifiChannel, ZigbeeChannel};
+///
+/// let wifi = WifiChannel::new(11)?;
+/// let zigbee = ZigbeeChannel::new(24)?;
+/// // ZigBee channel 24 sits entirely inside Wi-Fi channel 11:
+/// assert_eq!(zigbee.band().overlap_fraction(&wifi.band()), 1.0);
+/// # Ok::<(), bicord_phy::spectrum::ChannelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WifiChannel(u8);
+
+/// An IEEE 802.15.4 (ZigBee) 2.4 GHz channel, 11–26.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ZigbeeChannel(u8);
+
+/// Error returned when a channel number is out of range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelError {
+    kind: &'static str,
+    number: u8,
+    range: (u8, u8),
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid {} channel {} (valid: {}..={})",
+            self.kind, self.number, self.range.0, self.range.1
+        )
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+impl WifiChannel {
+    /// Creates channel `n` (1–13).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError`] if `n` is outside 1–13.
+    pub fn new(n: u8) -> Result<Self, ChannelError> {
+        if (1..=13).contains(&n) {
+            Ok(WifiChannel(n))
+        } else {
+            Err(ChannelError {
+                kind: "Wi-Fi",
+                number: n,
+                range: (1, 13),
+            })
+        }
+    }
+
+    /// The channel number.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Centre frequency, MHz (2412 + 5·(n−1)).
+    pub fn center_mhz(self) -> f64 {
+        2412.0 + 5.0 * f64::from(self.0 - 1)
+    }
+
+    /// The occupied 20 MHz band.
+    pub fn band(self) -> Band {
+        Band::centered(self.center_mhz(), 20.0)
+    }
+}
+
+impl ZigbeeChannel {
+    /// Creates channel `n` (11–26).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError`] if `n` is outside 11–26.
+    pub fn new(n: u8) -> Result<Self, ChannelError> {
+        if (11..=26).contains(&n) {
+            Ok(ZigbeeChannel(n))
+        } else {
+            Err(ChannelError {
+                kind: "ZigBee",
+                number: n,
+                range: (11, 26),
+            })
+        }
+    }
+
+    /// The channel number.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Centre frequency, MHz (2405 + 5·(n−11)).
+    pub fn center_mhz(self) -> f64 {
+        2405.0 + 5.0 * f64::from(self.0 - 11)
+    }
+
+    /// The occupied 2 MHz band.
+    pub fn band(self) -> Band {
+        Band::centered(self.center_mhz(), 2.0)
+    }
+}
+
+impl fmt::Display for WifiChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Wi-Fi ch {} ({:.0} MHz)", self.0, self.center_mhz())
+    }
+}
+
+impl fmt::Display for ZigbeeChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ZigBee ch {} ({:.0} MHz)", self.0, self.center_mhz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn wifi_channel_frequencies() {
+        assert_eq!(WifiChannel::new(1).unwrap().center_mhz(), 2412.0);
+        assert_eq!(WifiChannel::new(6).unwrap().center_mhz(), 2437.0);
+        assert_eq!(WifiChannel::new(11).unwrap().center_mhz(), 2462.0);
+        assert_eq!(WifiChannel::new(13).unwrap().center_mhz(), 2472.0);
+    }
+
+    #[test]
+    fn zigbee_channel_frequencies() {
+        assert_eq!(ZigbeeChannel::new(11).unwrap().center_mhz(), 2405.0);
+        assert_eq!(ZigbeeChannel::new(24).unwrap().center_mhz(), 2470.0);
+        assert_eq!(ZigbeeChannel::new(26).unwrap().center_mhz(), 2480.0);
+    }
+
+    #[test]
+    fn out_of_range_channels_error() {
+        assert!(WifiChannel::new(0).is_err());
+        assert!(WifiChannel::new(14).is_err());
+        assert!(ZigbeeChannel::new(10).is_err());
+        assert!(ZigbeeChannel::new(27).is_err());
+        let e = ZigbeeChannel::new(5).unwrap_err();
+        assert_eq!(e.to_string(), "invalid ZigBee channel 5 (valid: 11..=26)");
+    }
+
+    #[test]
+    fn paper_channel_pairs_fully_overlap() {
+        // The evaluation uses Wi-Fi 11 / ZigBee 24 and Wi-Fi 13 / ZigBee 26.
+        let pairs = [(11u8, 24u8), (13, 26)];
+        for (w, z) in pairs {
+            let wifi = WifiChannel::new(w).unwrap().band();
+            let zb = ZigbeeChannel::new(z).unwrap().band();
+            assert_eq!(
+                zb.overlap_fraction(&wifi),
+                1.0,
+                "ZigBee {z} should sit inside Wi-Fi {w}"
+            );
+            // ... while ZigBee only disturbs a 2/20 slice of Wi-Fi:
+            assert!((wifi.overlap_fraction(&zb) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn orthogonal_channels_do_not_overlap() {
+        // Wi-Fi channel 1 vs ZigBee channel 26 — disjoint.
+        let wifi = WifiChannel::new(1).unwrap().band();
+        let zb = ZigbeeChannel::new(26).unwrap().band();
+        assert_eq!(wifi.overlap_mhz(&zb), 0.0);
+        assert_eq!(zb.overlap_fraction(&wifi), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_with_synthetic_bands() {
+        // Both real channel grids sit on 5 MHz rasters, so Wi-Fi/ZigBee
+        // pairs are always either disjoint or fully nested; partial overlap
+        // is exercised with synthetic bands.
+        let a = Band::centered(2450.0, 20.0); // 2440..2460
+        let b = Band::centered(2459.0, 2.0); // 2458..2460
+        assert!((b.overlap_mhz(&a) - 2.0).abs() < 1e-9);
+        let c = Band::centered(2461.0, 2.0); // 2460..2462
+        assert_eq!(c.overlap_mhz(&a), 0.0);
+        let d = Band::centered(2460.0, 2.0); // 2459..2461 — half inside
+        assert!((d.overlap_fraction(&a) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn band_accessors() {
+        let b = Band::centered(2450.0, 20.0);
+        assert_eq!(b.width_mhz(), 20.0);
+        assert_eq!(b.center_mhz(), 2450.0);
+        assert_eq!(b.to_string(), "[2440.0, 2460.0] MHz");
+    }
+
+    proptest! {
+        #[test]
+        fn overlap_symmetric_in_mhz(c1 in 2400.0f64..2500.0, w1 in 1.0f64..40.0,
+                                    c2 in 2400.0f64..2500.0, w2 in 1.0f64..40.0) {
+            let a = Band::centered(c1, w1);
+            let b = Band::centered(c2, w2);
+            prop_assert!((a.overlap_mhz(&b) - b.overlap_mhz(&a)).abs() < 1e-9);
+            prop_assert!(a.overlap_fraction(&b) >= 0.0 && a.overlap_fraction(&b) <= 1.0 + 1e-12);
+        }
+
+        #[test]
+        fn all_wifi_channels_valid(n in 1u8..=13) {
+            let ch = WifiChannel::new(n).unwrap();
+            prop_assert_eq!(ch.band().width_mhz(), 20.0);
+            prop_assert!((2402.0..=2482.0).contains(&ch.band().low_mhz));
+        }
+
+        #[test]
+        fn all_zigbee_channels_valid(n in 11u8..=26) {
+            let ch = ZigbeeChannel::new(n).unwrap();
+            prop_assert_eq!(ch.band().width_mhz(), 2.0);
+            prop_assert!((2404.0..=2481.0).contains(&ch.band().low_mhz));
+        }
+    }
+}

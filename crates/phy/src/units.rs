@@ -1,0 +1,320 @@
+//! Power units: dBm and milliwatts.
+//!
+//! RF power is quoted in dBm (decibels relative to 1 mW) but *combines*
+//! linearly in milliwatts. The two newtypes here make the distinction
+//! explicit so that no call site can accidentally add two dBm figures when
+//! it meant to sum powers.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A power level in dBm (decibels referenced to 1 mW).
+///
+/// `Dbm` supports the operations that are meaningful in the log domain:
+/// adding or subtracting a *gain/loss in dB* (plain `f64`), and computing
+/// the difference between two levels (an SNR/SIR, in dB). To sum the powers
+/// of concurrent signals, convert to [`MilliWatt`] first.
+///
+/// # Example
+///
+/// ```
+/// use bicord_phy::units::{Dbm, MilliWatt};
+///
+/// let tx = Dbm::new(20.0);           // Wi-Fi transmitter
+/// let rx = tx - 60.0;                // 60 dB path loss
+/// assert_eq!(rx, Dbm::new(-40.0));
+///
+/// // Two equal-power interferers add 3 dB:
+/// let combined = (rx.to_milliwatt() + rx.to_milliwatt()).to_dbm();
+/// assert!((combined.value() - (-37.0)).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Dbm(f64);
+
+impl Dbm {
+    /// A level far below every receiver's sensitivity — "no signal".
+    pub const FLOOR: Dbm = Dbm(-200.0);
+
+    /// Creates a power level of `value` dBm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub const fn new(value: f64) -> Self {
+        assert!(!value.is_nan(), "dBm value must not be NaN");
+        Dbm(value)
+    }
+
+    /// The raw dBm figure.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to linear power.
+    pub fn to_milliwatt(self) -> MilliWatt {
+        MilliWatt(10f64.powf(self.0 / 10.0))
+    }
+
+    /// The level difference `self − other`, in dB (e.g. an SNR).
+    pub fn db_above(self, other: Dbm) -> f64 {
+        self.0 - other.0
+    }
+
+    /// The larger of two levels.
+    pub fn max(self, other: Dbm) -> Dbm {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two levels.
+    pub fn min(self, other: Dbm) -> Dbm {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+/// Gain: shift a level up by `rhs` dB.
+impl Add<f64> for Dbm {
+    type Output = Dbm;
+    fn add(self, rhs: f64) -> Dbm {
+        Dbm::new(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for Dbm {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = *self + rhs;
+    }
+}
+
+/// Loss: shift a level down by `rhs` dB.
+impl Sub<f64> for Dbm {
+    type Output = Dbm;
+    fn sub(self, rhs: f64) -> Dbm {
+        Dbm::new(self.0 - rhs)
+    }
+}
+
+impl fmt::Display for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} dBm", self.0)
+    }
+}
+
+/// A linear power in milliwatts.
+///
+/// Linear power is what superimposed signals contribute to a receiver:
+/// concurrent transmissions *sum* in this domain.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct MilliWatt(f64);
+
+impl MilliWatt {
+    /// Zero power.
+    pub const ZERO: MilliWatt = MilliWatt(0.0);
+
+    /// Creates a linear power of `value` mW.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or NaN.
+    pub fn new(value: f64) -> Self {
+        assert!(
+            value >= 0.0 && !value.is_nan(),
+            "milliwatt value must be non-negative, got {value}"
+        );
+        MilliWatt(value)
+    }
+
+    /// The raw milliwatt figure.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to the log domain. Zero power maps to [`Dbm::FLOOR`].
+    pub fn to_dbm(self) -> Dbm {
+        if self.0 <= 0.0 {
+            Dbm::FLOOR
+        } else {
+            Dbm::new(10.0 * self.0.log10()).max(Dbm::FLOOR)
+        }
+    }
+
+    /// Scales the power by a dimensionless factor (e.g. spectral overlap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or NaN.
+    pub fn scale(self, factor: f64) -> MilliWatt {
+        MilliWatt::new(self.0 * factor)
+    }
+}
+
+impl Add for MilliWatt {
+    type Output = MilliWatt;
+    fn add(self, rhs: MilliWatt) -> MilliWatt {
+        MilliWatt(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for MilliWatt {
+    fn add_assign(&mut self, rhs: MilliWatt) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for MilliWatt {
+    fn sum<I: Iterator<Item = MilliWatt>>(iter: I) -> MilliWatt {
+        iter.fold(MilliWatt::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for MilliWatt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6} mW", self.0)
+    }
+}
+
+/// The signal-to-interference-plus-noise ratio, in dB.
+///
+/// Convenience helper combining the unit conversions:
+/// `SINR = signal / (noise + Σ interference)` computed in linear power.
+///
+/// # Example
+///
+/// ```
+/// use bicord_phy::units::{sinr_db, Dbm};
+///
+/// // Signal 30 dB above an interferer that sits at the noise floor:
+/// let s = sinr_db(Dbm::new(-50.0), Dbm::new(-80.0).to_milliwatt(), Dbm::new(-95.0));
+/// assert!((s - 29.8).abs() < 0.3);
+/// ```
+pub fn sinr_db(signal: Dbm, interference: MilliWatt, noise_floor: Dbm) -> f64 {
+    let denom = interference + noise_floor.to_milliwatt();
+    signal.db_above(denom.to_dbm())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dbm_milliwatt_roundtrip_known_points() {
+        assert!((Dbm::new(0.0).to_milliwatt().value() - 1.0).abs() < 1e-12);
+        assert!((Dbm::new(10.0).to_milliwatt().value() - 10.0).abs() < 1e-9);
+        assert!((Dbm::new(-30.0).to_milliwatt().value() - 1e-3).abs() < 1e-12);
+        assert!((MilliWatt::new(100.0).to_dbm().value() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gain_and_loss_shift_levels() {
+        let p = Dbm::new(-7.0);
+        assert_eq!((p + 3.0).value(), -4.0);
+        assert_eq!((p - 3.0).value(), -10.0);
+        let mut q = p;
+        q += 7.0;
+        assert_eq!(q.value(), 0.0);
+    }
+
+    #[test]
+    fn db_above_is_level_difference() {
+        assert_eq!(Dbm::new(-40.0).db_above(Dbm::new(-70.0)), 30.0);
+    }
+
+    #[test]
+    fn equal_powers_combine_to_plus_three_db() {
+        let p = Dbm::new(-50.0).to_milliwatt();
+        let sum = (p + p).to_dbm();
+        assert!((sum.value() - (-46.99)).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_power_maps_to_floor() {
+        assert_eq!(MilliWatt::ZERO.to_dbm(), Dbm::FLOOR);
+    }
+
+    #[test]
+    fn milliwatt_sum_collects() {
+        let total: MilliWatt = [1.0, 2.0, 3.0].iter().map(|&v| MilliWatt::new(v)).sum();
+        assert!((total.value() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_applies_factor() {
+        assert!((MilliWatt::new(2.0).scale(0.25).value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_milliwatt_rejected() {
+        let _ = MilliWatt::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_dbm_rejected() {
+        let _ = Dbm::new(f64::NAN);
+    }
+
+    #[test]
+    fn sinr_reduces_to_snr_without_interference() {
+        let s = sinr_db(Dbm::new(-60.0), MilliWatt::ZERO, Dbm::new(-95.0));
+        assert!((s - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strong_interference_dominates_sinr() {
+        let s = sinr_db(
+            Dbm::new(-60.0),
+            Dbm::new(-50.0).to_milliwatt(),
+            Dbm::new(-95.0),
+        );
+        assert!((s - (-10.0)).abs() < 0.01);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Dbm::new(-7.25).to_string(), "-7.2 dBm");
+        assert_eq!(MilliWatt::new(0.5).to_string(), "0.500000 mW");
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_via_milliwatt(level in -150.0f64..30.0) {
+            let d = Dbm::new(level);
+            let back = d.to_milliwatt().to_dbm();
+            prop_assert!((back.value() - level).abs() < 1e-9);
+        }
+
+        #[test]
+        fn combining_never_reduces_power(a in -120.0f64..0.0, b in -120.0f64..0.0) {
+            let pa = Dbm::new(a).to_milliwatt();
+            let pb = Dbm::new(b).to_milliwatt();
+            let combined = (pa + pb).to_dbm();
+            prop_assert!(combined.value() >= a - 1e-9);
+            prop_assert!(combined.value() >= b - 1e-9);
+            // ... and by at most 3.02 dB over the stronger one.
+            prop_assert!(combined.value() <= a.max(b) + 3.02);
+        }
+
+        #[test]
+        fn sinr_monotone_in_signal(
+            s1 in -100.0f64..0.0,
+            delta in 0.0f64..50.0,
+            i in -120.0f64..-30.0,
+        ) {
+            let interference = Dbm::new(i).to_milliwatt();
+            let noise = Dbm::new(-95.0);
+            let low = sinr_db(Dbm::new(s1), interference, noise);
+            let high = sinr_db(Dbm::new(s1 + delta), interference, noise);
+            prop_assert!(high >= low - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,2087 @@
+//! The event-driven coexistence runtime.
+//!
+//! [`CoexistenceSim`] wires every substrate together into the paper's
+//! office scenario: a saturated (or paced) Wi-Fi link E→F, one or more
+//! ZigBee pairs Z→R at Fig. 6 locations, the shared medium with path
+//! loss / shadowing / fading, ambient noise bursts, the CSI stream at F,
+//! and one of four coordination modes (BiCord, ECC, unprotected CSMA, or
+//! the Table I/II signaling-trial harness).
+//!
+//! All protocol logic lives in the sans-IO state machines of
+//! `bicord-mac`, `bicord-core` and `bicord-ctc`; this module owns the event
+//! queue and routes timers, carrier-sense transitions, transmissions,
+//! receptions and CSI samples between them.
+//!
+//! Multiple ZigBee nodes (Sec. VI's "multiple ZigBee nodes with different
+//! traffic pattern") are supported via [`crate::config::SimConfig::extra_nodes`]:
+//! every node runs its own MAC/receiver/client, they carrier-sense each
+//! other, and the single Wi-Fi-side allocator must serve the union of
+//! their requests.
+
+use std::collections::{HashMap, VecDeque};
+
+use rand::rngs::StdRng;
+
+use bicord_core::client::{BicordClient, ClientAction, ClientConfig, ClientTimer};
+use bicord_core::coordinator::{
+    BicordCoordinator, CoordinatorAction, CoordinatorConfig, CoordinatorTimer,
+};
+use bicord_core::signaling::CsiDetector;
+use bicord_ctc::ecc::{EccClientAction, EccConfig, EccWifiScheduler, EccZigbeeClient};
+use bicord_mac::frames::{DeviceId, Payload, WifiFrameKind, WifiPriority, ZigbeeFrameKind};
+use bicord_mac::medium::{ChannelConfig, Medium, Transmission, TxId};
+use bicord_mac::wifi::{WifiAction, WifiFrameSpec, WifiMac, WifiTimer};
+use bicord_mac::zigbee::{ZigbeeAction, ZigbeeMac, ZigbeeReceiver, ZigbeeTimer};
+use bicord_metrics::delay::DelayTracker;
+use bicord_metrics::precision_recall::PrecisionRecall;
+use bicord_metrics::throughput::ThroughputTracker;
+use bicord_metrics::utilization::{Occupant, UtilizationTracker};
+use bicord_phy::csi::{CsiModel, Disturbance};
+use bicord_phy::interferers::{generate_trace, TraceConfig, TRACE_DURATION};
+use bicord_phy::noise::{NoiseBurst, WIFI_NOISE_FLOOR, ZIGBEE_NOISE_FLOOR};
+use bicord_phy::reception::PrrModel;
+use bicord_phy::spectrum::{Band, WifiChannel, ZigbeeChannel};
+use bicord_phy::units::{Dbm, MilliWatt};
+use bicord_sim::{stream_rng, Engine, SeedDomain, SimDuration, SimTime};
+use bicord_workloads::priority::TrafficClass;
+use bicord_workloads::traffic::{ArrivalProcess, BurstSpec, BurstTrafficGenerator};
+
+use crate::config::{
+    AllocationResults, DetectionResults, Mode, NodeResults, RunResults, SimConfig, WifiResults,
+    ZigbeeResults,
+};
+use crate::geometry;
+use crate::geometry::Location;
+use crate::trace::{ChannelTrace, SpanKind};
+
+/// Device E: the Wi-Fi sender.
+pub const WIFI_TX: DeviceId = DeviceId::new(0);
+/// Device F: the Wi-Fi receiver (runs the CSI extractor).
+pub const WIFI_RX: DeviceId = DeviceId::new(1);
+/// The primary ZigBee sender (node 0).
+pub const ZIGBEE_TX: DeviceId = DeviceId::new(2);
+/// The primary ZigBee receiver (node 0).
+pub const ZIGBEE_RX: DeviceId = DeviceId::new(3);
+/// The active Bluetooth interferer, when configured.
+pub const BLUETOOTH_DEV: DeviceId = DeviceId::new(1_000);
+/// The second contending Wi-Fi station, when configured.
+pub const EXTRA_WIFI_TX: DeviceId = DeviceId::new(500);
+
+/// Gap below which consecutive ZigBee frames count as one activity span
+/// (covers the CSMA backoff, turnaround, IFS and packet interval between
+/// the exchanges of one burst).
+const ZB_SPAN_MERGE_GAP: SimDuration = SimDuration::from_millis(8);
+
+fn zb_tx_device(node: usize) -> DeviceId {
+    DeviceId::new(2 + 2 * node as u32)
+}
+
+fn zb_rx_device(node: usize) -> DeviceId {
+    DeviceId::new(3 + 2 * node as u32)
+}
+
+/// Maps a ZigBee device id back to `(node index, is_sender)`.
+fn zb_node_of(device: DeviceId) -> Option<(usize, bool)> {
+    let raw = device.raw();
+    if raw < 2 {
+        return None;
+    }
+    Some((((raw - 2) / 2) as usize, raw.is_multiple_of(2)))
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum TimerKey {
+    Wifi(WifiTimer),
+    Wifi2(WifiTimer),
+    Zb(u8, ZigbeeTimer),
+    ZbRx(u8, ZigbeeTimer),
+    Coord(CoordinatorTimer),
+    Client(u8, ClientTimer),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    Timer(TimerKey),
+    TxEnd(TxId),
+    ZigbeeBurst { node: u8, n: u32, bytes: usize },
+    WifiEnqueue,
+    EccReserve,
+    TrialStart,
+    TrialEnd,
+    ChannelClearCheck,
+    MobilityStep(usize),
+    PriorityBoundary(usize),
+    BluetoothSlot,
+}
+
+/// Reception bookkeeping for one in-flight frame.
+#[derive(Debug, Clone, Copy)]
+struct RxWatch {
+    tx: TxId,
+    observer: DeviceId,
+    listening: Band,
+    /// Linear sum of interfering in-band power accumulated so far.
+    interference: MilliWatt,
+    /// Strongest single ZigBee in-band power seen (CSI disturbance).
+    max_zigbee: Option<MilliWatt>,
+}
+
+#[derive(Debug, Default)]
+struct TrialState {
+    active: bool,
+    detected_this_trial: bool,
+    index: u32,
+}
+
+struct UnprotectedDriver {
+    pending: VecDeque<(u32, usize)>,
+    in_flight: bool,
+}
+
+/// One ZigBee sender/receiver pair with its protocol stack.
+struct ZbNode {
+    mac: ZigbeeMac,
+    rx: ZigbeeReceiver,
+    client: Option<BicordClient>,
+    ecc_client: Option<EccZigbeeClient>,
+    unprotected: Option<UnprotectedDriver>,
+    tx_dev: DeviceId,
+    rx_dev: DeviceId,
+    /// Current transmit power for control packets.
+    signal_power: Dbm,
+    data_power: Dbm,
+    burst: BurstSpec,
+    seq: u32,
+    arrivals: HashMap<u32, SimTime>,
+    generated: u64,
+    delivered: u64,
+    delay: DelayTracker,
+}
+
+/// The full coexistence simulation.
+///
+/// Construct with [`CoexistenceSim::new`] and execute with
+/// [`CoexistenceSim::run`]; the run is fully determined by the
+/// [`SimConfig::seed`].
+pub struct CoexistenceSim {
+    config: SimConfig,
+    engine: Engine<Event>,
+    medium: Medium,
+    wifi: WifiMac,
+    wifi2: Option<WifiMac>,
+    nodes: Vec<ZbNode>,
+    coordinator: Option<BicordCoordinator>,
+    ecc_sched: Option<EccWifiScheduler>,
+    trial_detector: Option<CsiDetector>,
+    trial: TrialState,
+
+    wifi_band: Band,
+    zigbee_band: Band,
+    wifi_sensed_busy: bool,
+    wifi2_sensed_busy: bool,
+
+    timers: HashMap<TimerKey, bicord_sim::event::EventHandle>,
+    noise: Vec<NoiseBurst>,
+    max_noise_duration: SimDuration,
+    csi_model: CsiModel,
+    csi_rng: StdRng,
+    reception_rng: StdRng,
+    trace_rng: StdRng,
+    bluetooth_rng: StdRng,
+
+    watches: Vec<RxWatch>,
+
+    util: UtilizationTracker,
+    delay: DelayTracker,
+    throughput: ThroughputTracker,
+    pr: PrecisionRecall,
+    high_truth: VecDeque<(SimTime, bool)>,
+    ws_history: Vec<SimDuration>,
+    /// Current merged ZigBee activity span (start, end). The paper counts
+    /// "the transmission time of both Wi-Fi and ZigBee devices": for a
+    /// ZigBee burst that is the whole exchange footprint (data + ACK +
+    /// turnarounds + CSMA + packet intervals), so consecutive frames
+    /// separated by less than [`ZB_SPAN_MERGE_GAP`] merge into one span.
+    zb_span: Option<(SimTime, SimTime)>,
+    wifi_enqueue_times: VecDeque<SimTime>,
+    wifi_low_delays: Vec<f64>,
+    wifi_frames_received: u64,
+    trace: Option<ChannelTrace>,
+    end_at: SimTime,
+}
+
+impl CoexistenceSim {
+    /// Builds the scenario described by `config`.
+    pub fn new(config: SimConfig) -> Self {
+        let seed = config.seed;
+        let mut medium = Medium::new(ChannelConfig::default(), seed);
+        medium.add_device(WIFI_TX, geometry::wifi_sender_position());
+        medium.add_device(WIFI_RX, geometry::wifi_receiver_position());
+
+        let mut engine = Engine::new();
+        let end_at = SimTime::ZERO + config.duration;
+
+        // Ambient noise bursts for the whole run.
+        let mut noise_rng = stream_rng(seed, SeedDomain::Noise, 0);
+        let noise = config
+            .noise
+            .bursts_in(&mut noise_rng, SimTime::ZERO, end_at);
+        let max_noise_duration = noise
+            .iter()
+            .map(|b| b.duration)
+            .fold(SimDuration::ZERO, SimDuration::max);
+
+        // Mode-agnostic components.
+        let csi_model = CsiModel::intel5300();
+        let mut coordinator = None;
+        let mut ecc_sched = None;
+        let mut trial_detector = None;
+        match &config.mode {
+            Mode::Bicord => {
+                coordinator = Some(BicordCoordinator::new(
+                    CoordinatorConfig {
+                        detector: config.detector,
+                        allocator: config.allocator,
+                        respond_to_requests: true,
+                    },
+                    csi_model,
+                ));
+            }
+            Mode::Ecc(ecc_config) => {
+                ecc_sched = Some(EccWifiScheduler::new(*ecc_config, SimTime::ZERO));
+            }
+            Mode::Unprotected => {}
+            Mode::SignalingTrial { .. } => {
+                trial_detector = Some(CsiDetector::new(config.detector, csi_model));
+            }
+        }
+
+        // Build the node roster: the primary node plus any extra nodes.
+        struct NodeSpec {
+            location: Location,
+            burst: BurstSpec,
+            arrivals: ArrivalProcess,
+            data_power: Dbm,
+            signal_power: Dbm,
+        }
+        let mut specs = vec![NodeSpec {
+            location: config.location,
+            burst: config.zigbee.burst,
+            arrivals: config.zigbee.arrivals,
+            data_power: config.zigbee.data_power,
+            signal_power: config.effective_signal_power(),
+        }];
+        for extra in &config.extra_nodes {
+            specs.push(NodeSpec {
+                location: extra.location,
+                burst: extra.burst,
+                arrivals: extra.arrivals,
+                data_power: extra.data_power,
+                signal_power: extra
+                    .signal_power
+                    .unwrap_or_else(|| extra.location.paper_signal_power()),
+            });
+        }
+
+        let mut nodes = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            let tx_dev = zb_tx_device(i);
+            let rx_dev = zb_rx_device(i);
+            medium.add_device(tx_dev, spec.location.sender_position());
+            medium.add_device(rx_dev, spec.location.receiver_position());
+
+            let mut client = None;
+            let mut ecc_client = None;
+            let mut unprotected = None;
+            match &config.mode {
+                Mode::Bicord => {
+                    let client_config = ClientConfig {
+                        default_signal_power: spec.signal_power,
+                        data_power: spec.data_power,
+                        ..config.client.clone()
+                    };
+                    client = Some(BicordClient::new(client_config));
+                }
+                Mode::Ecc(ecc_config) => {
+                    ecc_client = Some(EccZigbeeClient::new(*ecc_config));
+                }
+                Mode::Unprotected => {
+                    unprotected = Some(UnprotectedDriver {
+                        pending: VecDeque::new(),
+                        in_flight: false,
+                    });
+                }
+                Mode::SignalingTrial { .. } => {}
+            }
+
+            nodes.push(ZbNode {
+                mac: ZigbeeMac::with_defaults(seed, i as u64),
+                rx: ZigbeeReceiver::new(),
+                client,
+                ecc_client,
+                unprotected,
+                tx_dev,
+                rx_dev,
+                signal_power: spec.signal_power,
+                data_power: spec.data_power,
+                burst: spec.burst,
+                seq: 0,
+                arrivals: HashMap::new(),
+                generated: 0,
+                delivered: 0,
+                delay: DelayTracker::new(),
+            });
+        }
+
+        // Workload events.
+        match &config.mode {
+            Mode::SignalingTrial {
+                trial_period,
+                trials,
+                ..
+            } => {
+                for i in 0..*trials {
+                    let start =
+                        SimTime::ZERO + *trial_period * u64::from(i) + SimDuration::from_millis(5);
+                    engine.schedule_at(start, Event::TrialStart);
+                    engine.schedule_at(
+                        start + *trial_period - SimDuration::from_micros(200),
+                        Event::TrialEnd,
+                    );
+                }
+            }
+            _ => {
+                for (i, spec) in specs.iter().enumerate() {
+                    let mut traffic_rng = stream_rng(seed, SeedDomain::Traffic, i as u64);
+                    let mut generator = BurstTrafficGenerator::new(spec.burst, spec.arrivals);
+                    for at in generator.arrivals_until(&mut traffic_rng, end_at) {
+                        engine.schedule_at(
+                            at,
+                            Event::ZigbeeBurst {
+                                node: i as u8,
+                                n: spec.burst.n_packets,
+                                bytes: spec.burst.mpdu_bytes,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        if let Mode::Ecc(ecc_config) = &config.mode {
+            engine.schedule_at(SimTime::ZERO + ecc_config.period, Event::EccReserve);
+        }
+        if let Some(interval) = config.wifi.enqueue_interval {
+            engine.schedule_at(SimTime::ZERO + interval, Event::WifiEnqueue);
+        }
+        if let Some(mobility) = &config.device_mobility {
+            for (i, (at, _)) in mobility.samples().enumerate() {
+                if at > SimTime::ZERO && at < end_at {
+                    engine.schedule_at(at, Event::MobilityStep(i));
+                }
+            }
+        }
+        if let Some(priority) = &config.priority {
+            for (i, at) in priority.boundaries().into_iter().enumerate() {
+                if at < end_at {
+                    engine.schedule_at(at.max(SimTime::ZERO), Event::PriorityBoundary(i));
+                }
+            }
+        }
+        if let Some(bt) = &config.bluetooth {
+            medium.add_device(BLUETOOTH_DEV, bt.position);
+            engine.schedule_at(
+                SimTime::ZERO + SimDuration::from_micros(625),
+                Event::BluetoothSlot,
+            );
+        }
+        let wifi2 = config.extra_wifi.map(|w| {
+            medium.add_device(EXTRA_WIFI_TX, w.position);
+            WifiMac::new(config.wifi.rate, seed, 1)
+        });
+
+        let wifi = WifiMac::new(config.wifi.rate, seed, 0);
+
+        CoexistenceSim {
+            engine,
+            medium,
+            wifi,
+            wifi2,
+            nodes,
+            coordinator,
+            ecc_sched,
+            trial_detector,
+            trial: TrialState::default(),
+            wifi_band: WifiChannel::new(config.wifi_channel)
+                .expect("valid Wi-Fi channel")
+                .band(),
+            zigbee_band: ZigbeeChannel::new(config.zigbee_channel)
+                .expect("valid ZigBee channel")
+                .band(),
+            wifi_sensed_busy: false,
+            wifi2_sensed_busy: false,
+            timers: HashMap::new(),
+            noise,
+            max_noise_duration,
+            csi_model,
+            csi_rng: stream_rng(seed, SeedDomain::Csi, 0),
+            reception_rng: stream_rng(seed, SeedDomain::Reception, 0),
+            trace_rng: stream_rng(seed, SeedDomain::Interferers, 0),
+            bluetooth_rng: stream_rng(seed, SeedDomain::Interferers, 1),
+            watches: Vec::new(),
+            util: UtilizationTracker::new(SimTime::ZERO),
+            delay: DelayTracker::new(),
+            throughput: ThroughputTracker::new(SimTime::ZERO),
+            pr: PrecisionRecall::new(),
+            high_truth: VecDeque::new(),
+            ws_history: Vec::new(),
+            zb_span: None,
+            wifi_enqueue_times: VecDeque::new(),
+            wifi_low_delays: Vec::new(),
+            wifi_frames_received: 0,
+            trace: if config.record_trace {
+                Some(ChannelTrace::new())
+            } else {
+                None
+            },
+            end_at,
+            config,
+        }
+    }
+
+    /// Runs the scenario to completion and returns the measured results.
+    pub fn run(mut self) -> RunResults {
+        // Kick the Wi-Fi sender.
+        if self.config.wifi.enqueue_interval.is_none() {
+            self.wifi
+                .set_saturated(Some((self.config.wifi.mpdu_bytes, WifiPriority::Low)));
+        }
+        let start_actions = self.wifi.on_channel_idle(SimTime::ZERO);
+        self.apply_wifi_actions(SimTime::ZERO, start_actions);
+        if let Some(w2) = self.wifi2.as_mut() {
+            let bytes = self
+                .config
+                .extra_wifi
+                .expect("wifi2 implies extra_wifi config")
+                .mpdu_bytes;
+            w2.set_saturated(Some((bytes, WifiPriority::Low)));
+            let actions = w2.on_channel_idle(SimTime::ZERO);
+            self.apply_wifi2_actions(SimTime::ZERO, actions);
+        }
+
+        let end = self.end_at;
+        while let Some((now, event)) = self.engine.next_event_before(end) {
+            self.handle(now, event);
+        }
+        self.finalize()
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::Timer(key) => {
+                self.timers.remove(&key);
+                self.on_timer(now, key);
+            }
+            Event::TxEnd(tx) => self.on_tx_end(now, tx),
+            Event::ZigbeeBurst { node, n, bytes } => {
+                self.on_zigbee_burst(now, node as usize, n, bytes)
+            }
+            Event::WifiEnqueue => self.on_wifi_enqueue(now),
+            Event::EccReserve => self.on_ecc_reserve(now),
+            Event::TrialStart => self.on_trial_start(now),
+            Event::TrialEnd => self.on_trial_end(now),
+            Event::ChannelClearCheck => self.on_channel_clear_check(now),
+            Event::MobilityStep(i) => self.on_mobility_step(now, i),
+            Event::PriorityBoundary(i) => self.on_priority_boundary(now, i),
+            Event::BluetoothSlot => self.on_bluetooth_slot(now),
+        }
+    }
+
+    fn on_timer(&mut self, now: SimTime, key: TimerKey) {
+        match key {
+            TimerKey::Wifi(t) => {
+                let actions = self.wifi.on_timer(now, t);
+                self.apply_wifi_actions(now, actions);
+            }
+            TimerKey::Wifi2(t) => {
+                if let Some(w2) = self.wifi2.as_mut() {
+                    let actions = w2.on_timer(now, t);
+                    self.apply_wifi2_actions(now, actions);
+                }
+            }
+            TimerKey::Zb(node, ZigbeeTimer::Cca) => {
+                // CCA verdict: total in-band energy at this ZigBee sender.
+                let node = node as usize;
+                let busy = self.zigbee_channel_busy(now, node);
+                let actions = self.nodes[node].mac.on_cca_result(now, busy);
+                self.apply_zb_actions(now, node, actions);
+            }
+            TimerKey::Zb(node, t) => {
+                let node = node as usize;
+                let actions = self.nodes[node].mac.on_timer(now, t);
+                self.apply_zb_actions(now, node, actions);
+            }
+            TimerKey::ZbRx(node, t) => {
+                let node = node as usize;
+                let actions = self.nodes[node].rx.on_timer(now, t);
+                self.apply_zb_rx_actions(now, node, actions);
+            }
+            TimerKey::Coord(t) => {
+                if let Some(coordinator) = self.coordinator.as_mut() {
+                    let actions = coordinator.on_timer(now, t);
+                    self.apply_coord_actions(now, actions);
+                }
+            }
+            TimerKey::Client(node, t) => {
+                let node = node as usize;
+                match &self.config.mode {
+                    Mode::Bicord => {
+                        if let Some(client) = self.nodes[node].client.as_mut() {
+                            let actions = client.on_timer(now, t);
+                            self.apply_client_actions(now, node, actions);
+                        }
+                    }
+                    Mode::Ecc(_) => {
+                        if t == ClientTimer::NextPacket {
+                            self.ecc_try_send(now, node);
+                        }
+                    }
+                    Mode::Unprotected => {
+                        if t == ClientTimer::NextPacket {
+                            self.unprotected_send_next(now, node);
+                        }
+                    }
+                    Mode::SignalingTrial { .. } => {}
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transmissions
+    // ------------------------------------------------------------------
+
+    fn begin_tx(
+        &mut self,
+        source: DeviceId,
+        power: Dbm,
+        band: Band,
+        now: SimTime,
+        airtime: SimDuration,
+        payload: Payload,
+    ) -> TxId {
+        let tx = self
+            .medium
+            .begin_transmission(source, power, band, now, now + airtime, payload);
+        self.engine.schedule_at(now + airtime, Event::TxEnd(tx));
+
+        // Contribute to existing reception watches.
+        let watch_specs: Vec<(usize, DeviceId, Band)> = self
+            .watches
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.tx != tx && self.medium.transmission(w.tx).is_some())
+            .map(|(i, w)| (i, w.observer, w.listening))
+            .collect();
+        for (i, observer, listening) in watch_specs {
+            if observer == source {
+                continue;
+            }
+            let p = self.medium.received_power_in_band(tx, observer, &listening);
+            let watch = &mut self.watches[i];
+            watch.interference += p;
+            if payload.is_zigbee() && p.value() > 0.0 {
+                watch.max_zigbee = Some(match watch.max_zigbee {
+                    Some(prev) if prev.value() >= p.value() => prev,
+                    _ => p,
+                });
+            }
+        }
+
+        // Open a watch for frames that need a reception (or CSI) decision.
+        let watch_wanted = match payload {
+            Payload::Wifi(WifiFrameKind::Data { .. }) => Some((WIFI_RX, self.wifi_band)),
+            Payload::Zigbee(ZigbeeFrameKind::Data { .. }) => {
+                zb_node_of(source).map(|(node, _)| (self.nodes[node].rx_dev, self.zigbee_band))
+            }
+            Payload::Zigbee(ZigbeeFrameKind::Ack { .. }) => {
+                zb_node_of(source).map(|(node, _)| (self.nodes[node].tx_dev, self.zigbee_band))
+            }
+            _ => None,
+        };
+        if let Some((observer, listening)) = watch_wanted {
+            let other_ids: Vec<TxId> = self
+                .medium
+                .active_transmissions()
+                .filter(|t| t.id != tx && t.source != observer)
+                .map(|t| t.id)
+                .collect();
+            let mut interference = MilliWatt::ZERO;
+            let mut max_zigbee: Option<MilliWatt> = None;
+            for id in other_ids {
+                let is_zigbee = self
+                    .medium
+                    .transmission(id)
+                    .map(|t| t.payload.is_zigbee())
+                    .unwrap_or(false);
+                let p = self.medium.received_power_in_band(id, observer, &listening);
+                interference += p;
+                if is_zigbee && p.value() > 0.0 {
+                    max_zigbee = Some(match max_zigbee {
+                        Some(prev) if prev.value() >= p.value() => prev,
+                        _ => p,
+                    });
+                }
+            }
+            self.watches.push(RxWatch {
+                tx,
+                observer,
+                listening,
+                interference,
+                max_zigbee,
+            });
+        }
+
+        if payload.is_zigbee() || payload.is_wifi() || payload == Payload::Noise {
+            self.update_wifi_carrier(now);
+            self.update_wifi2_carrier(now);
+        }
+        if source == WIFI_TX {
+            // Every ZigBee node hears the Wi-Fi device resume: any white
+            // space it believed in is over.
+            for node in 0..self.nodes.len() {
+                let actions = match self.nodes[node].client.as_mut() {
+                    Some(client) => client.on_channel_busy(now),
+                    None => Vec::new(),
+                };
+                if !actions.is_empty() {
+                    self.apply_client_actions(now, node, actions);
+                }
+            }
+        }
+        tx
+    }
+
+    fn take_watch(&mut self, tx: TxId) -> Option<RxWatch> {
+        let idx = self.watches.iter().position(|w| w.tx == tx)?;
+        Some(self.watches.swap_remove(idx))
+    }
+
+    fn on_tx_end(&mut self, now: SimTime, tx_id: TxId) {
+        let tx = *self
+            .medium
+            .transmission(tx_id)
+            .expect("TxEnd for unknown transmission");
+        let airtime = tx.end - tx.start;
+        let watch = self.take_watch(tx_id);
+
+        if let Some(trace) = self.trace.as_mut() {
+            let kind = match tx.payload {
+                Payload::Wifi(WifiFrameKind::Data { .. }) => Some(SpanKind::WifiData),
+                Payload::Wifi(WifiFrameKind::Cts { nav }) => {
+                    trace.record(tx.end, tx.end + nav, SpanKind::WhiteSpace);
+                    Some(SpanKind::WifiCts)
+                }
+                Payload::Zigbee(k) => zb_node_of(tx.source).map(|(node, _)| match k {
+                    ZigbeeFrameKind::Control { .. } => SpanKind::ZigbeeControl { node },
+                    _ => SpanKind::ZigbeeData { node },
+                }),
+                Payload::Noise => None,
+            };
+            if let Some(kind) = kind {
+                trace.record(tx.start, tx.end, kind);
+            }
+        }
+
+        match tx.payload {
+            Payload::Wifi(kind) => {
+                match kind {
+                    WifiFrameKind::Data { mpdu_bytes, .. } => {
+                        self.util.add(Occupant::WifiData, airtime);
+                        self.handle_wifi_frame_received(now, &tx, mpdu_bytes, watch);
+                    }
+                    WifiFrameKind::Cts { nav } => {
+                        self.util.add(Occupant::WifiCts, airtime);
+                        // Surrounding Wi-Fi stations decode the CTS and set
+                        // their NAV — the mechanism that actually protects
+                        // the white space.
+                        if let Some(w2) = self.wifi2.as_mut() {
+                            let actions = w2.set_nav(now, now + nav);
+                            self.apply_wifi2_actions(now, actions);
+                        }
+                        self.on_white_space_begin(now, nav);
+                    }
+                }
+                self.medium.end_transmission(tx_id);
+                if tx.source == EXTRA_WIFI_TX {
+                    let (_, actions) = self
+                        .wifi2
+                        .as_mut()
+                        .expect("frame from wifi2 implies wifi2 exists")
+                        .on_tx_end(now);
+                    self.apply_wifi2_actions(now, actions);
+                } else {
+                    let (_, actions) = self.wifi.on_tx_end(now);
+                    self.apply_wifi_actions(now, actions);
+                }
+                self.update_wifi_carrier(now);
+                self.update_wifi2_carrier(now);
+            }
+            Payload::Zigbee(kind) => {
+                let (node, is_sender) =
+                    zb_node_of(tx.source).expect("zigbee frame from unknown device");
+                if is_sender {
+                    match kind {
+                        ZigbeeFrameKind::Data { mpdu_bytes, seq } => {
+                            self.note_zigbee_activity(tx.start, tx.end);
+                            let ok = self.decide_reception(
+                                &tx,
+                                watch,
+                                &PrrModel::zigbee(),
+                                mpdu_bytes,
+                                ZIGBEE_NOISE_FLOOR,
+                            );
+                            if ok {
+                                let actions = self.nodes[node].rx.on_data_received(now, seq);
+                                self.apply_zb_rx_actions(now, node, actions);
+                            }
+                        }
+                        ZigbeeFrameKind::Control { .. } => {
+                            self.util.add(Occupant::ZigbeeControl, airtime);
+                        }
+                        ZigbeeFrameKind::Ack { .. } => {
+                            unreachable!("ZigBee senders do not emit ACKs")
+                        }
+                    }
+                    self.medium.end_transmission(tx_id);
+                    let (_, actions) = self.nodes[node].mac.on_tx_end(now);
+                    self.apply_zb_actions(now, node, actions);
+                    self.update_wifi_carrier(now);
+                    self.update_wifi2_carrier(now);
+                } else {
+                    // A ZigBee receiver's ACK.
+                    self.note_zigbee_activity(tx.start, tx.end);
+                    let seq = match kind {
+                        ZigbeeFrameKind::Ack { seq } => seq,
+                        other => unreachable!("unexpected receiver frame {other:?}"),
+                    };
+                    let ok = self.decide_reception(
+                        &tx,
+                        watch,
+                        &PrrModel::zigbee(),
+                        bicord_mac::zigbee::ACK_MPDU_BYTES,
+                        ZIGBEE_NOISE_FLOOR,
+                    );
+                    self.medium.end_transmission(tx_id);
+                    self.nodes[node].rx.on_tx_end(now);
+                    if ok {
+                        let actions = self.nodes[node].mac.on_ack_received(now, seq);
+                        self.apply_zb_actions(now, node, actions);
+                    }
+                    self.update_wifi_carrier(now);
+                    self.update_wifi2_carrier(now);
+                }
+            }
+            Payload::Noise => {
+                // A Bluetooth slot (or other non-decodable interferer):
+                // occupies the medium, carries nothing.
+                self.medium.end_transmission(tx_id);
+                self.update_wifi_carrier(now);
+                self.update_wifi2_carrier(now);
+            }
+        }
+    }
+
+    /// Merges a ZigBee frame into the running activity span (the paper's
+    /// "transmission time" of a device covers the whole burst footprint).
+    fn note_zigbee_activity(&mut self, start: SimTime, end: SimTime) {
+        match self.zb_span {
+            Some((s, e)) if start.saturating_since(e) <= ZB_SPAN_MERGE_GAP => {
+                self.zb_span = Some((s, e.max(end)));
+            }
+            Some((s, e)) => {
+                self.util.add(Occupant::ZigbeeData, e - s);
+                self.zb_span = Some((start, end));
+            }
+            None => self.zb_span = Some((start, end)),
+        }
+    }
+
+    /// SINR-based reception decision for a finished frame.
+    fn decide_reception(
+        &mut self,
+        tx: &Transmission,
+        watch: Option<RxWatch>,
+        model: &PrrModel,
+        len_bytes: usize,
+        floor: Dbm,
+    ) -> bool {
+        let watch = watch.expect("reception decision requires a watch");
+        let signal = self.medium.received_power(tx.id, watch.observer);
+        let noise_burst = self.noise_power_during(tx.start, tx.end);
+        let denominator = watch.interference + noise_burst + floor.to_milliwatt();
+        let sinr = signal.db_above(denominator.to_dbm());
+        model.receive(&mut self.reception_rng, sinr, len_bytes)
+    }
+
+    /// CSI generation + detector feeding for one received Wi-Fi frame.
+    fn handle_wifi_frame_received(
+        &mut self,
+        now: SimTime,
+        tx: &Transmission,
+        mpdu_bytes: usize,
+        watch: Option<RxWatch>,
+    ) {
+        let watch = watch.expect("wifi data frames always carry a watch");
+        // Frame reception at F (the paper's 1-6 % PRR effect under
+        // signaling shows up here).
+        let signal = self.medium.received_power(tx.id, WIFI_RX);
+        let noise_burst = self.noise_power_during(tx.start, tx.end);
+        let denominator = watch.interference + noise_burst + WIFI_NOISE_FLOOR.to_milliwatt();
+        let sinr = signal.db_above(denominator.to_dbm());
+        let received = PrrModel::wifi().receive(&mut self.reception_rng, sinr, mpdu_bytes);
+        if !received {
+            return; // no CSI reading without a decoded frame
+        }
+        self.wifi_frames_received += 1;
+
+        // The CSI extractor needs a consumer.
+        if self.coordinator.is_none() && self.trial_detector.is_none() {
+            return;
+        }
+
+        let (disturbance, zigbee_truth) = if let Some(max_z) = watch.max_zigbee {
+            let sir = max_z.to_dbm().db_above(signal);
+            (Disturbance::Zigbee { sir_db: sir }, true)
+        } else if let Some(noise_dbm) = self.strongest_noise_during(tx.start, tx.end) {
+            let sir = noise_dbm.db_above(signal);
+            (Disturbance::NoiseBurst { sir_db: sir }, false)
+        } else {
+            let severity = self
+                .config
+                .person
+                .as_ref()
+                .map(|p| p.severity_at(now))
+                .unwrap_or(0.0);
+            if severity > 0.0 {
+                (Disturbance::Human { severity }, false)
+            } else {
+                (Disturbance::None, false)
+            }
+        };
+
+        let sample = self.csi_model.sample(&mut self.csi_rng, now, disturbance);
+        if sample.deviation >= self.csi_model.classify_threshold() {
+            self.high_truth.push_back((now, zigbee_truth));
+            while let Some(&(t, _)) = self.high_truth.front() {
+                if now.saturating_since(t) > SimDuration::from_millis(20) {
+                    self.high_truth.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+
+        if let Some(coordinator) = self.coordinator.as_mut() {
+            let actions = coordinator.on_csi_sample(sample);
+            self.apply_coord_actions(now, actions);
+        } else if let Some(detector) = self.trial_detector.as_mut() {
+            if let Some(detection) = detector.push(sample) {
+                let zigbee_caused = self
+                    .high_truth
+                    .iter()
+                    .any(|&(t, z)| z && t >= detection.window_start && t <= detection.at);
+                if zigbee_caused {
+                    if self.trial.active && !self.trial.detected_this_trial {
+                        self.trial.detected_this_trial = true;
+                    }
+                } else {
+                    self.pr.false_positive();
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Carrier sense
+    // ------------------------------------------------------------------
+
+    /// Recomputes the Wi-Fi sender's carrier sense and notifies its MAC on
+    /// transitions (the CCA side-effect of ZigBee signaling).
+    fn update_wifi_carrier(&mut self, now: SimTime) {
+        let sensed = self
+            .medium
+            .sensed_power(WIFI_TX, &self.wifi_band, now, None);
+        let busy = sensed.to_dbm() >= self.config.wifi.ed_threshold;
+        if busy == self.wifi_sensed_busy {
+            return;
+        }
+        self.wifi_sensed_busy = busy;
+        let actions = if busy {
+            self.wifi.on_channel_busy(now)
+        } else {
+            self.wifi.on_channel_idle(now)
+        };
+        self.apply_wifi_actions(now, actions);
+    }
+
+    /// Recomputes the second Wi-Fi station's carrier sense (it hears the
+    /// primary sender, ZigBee, and Bluetooth alike).
+    fn update_wifi2_carrier(&mut self, now: SimTime) {
+        if self.wifi2.is_none() {
+            return;
+        }
+        let sensed = self
+            .medium
+            .sensed_power(EXTRA_WIFI_TX, &self.wifi_band, now, None);
+        let busy = sensed.to_dbm() >= self.config.wifi.ed_threshold;
+        if busy == self.wifi2_sensed_busy {
+            return;
+        }
+        self.wifi2_sensed_busy = busy;
+        let actions = {
+            let w2 = self.wifi2.as_mut().expect("checked above");
+            if busy {
+                w2.on_channel_busy(now)
+            } else {
+                w2.on_channel_idle(now)
+            }
+        };
+        self.apply_wifi2_actions(now, actions);
+    }
+
+    /// A ZigBee sender's wideband CCA verdict (it senses Wi-Fi, noise, and
+    /// the *other* ZigBee nodes).
+    fn zigbee_channel_busy(&mut self, now: SimTime, node: usize) -> bool {
+        let device = self.nodes[node].tx_dev;
+        let sensed = self
+            .medium
+            .sensed_power(device, &self.zigbee_band, now, None)
+            + self.noise_power_during(now, now + SimDuration::from_micros(1));
+        sensed.to_dbm() >= self.config.zigbee.busy_threshold
+    }
+
+    // ------------------------------------------------------------------
+    // Noise helpers
+    // ------------------------------------------------------------------
+
+    fn noise_power_during(&self, from: SimTime, to: SimTime) -> MilliWatt {
+        self.noise_bursts_overlapping(from, to)
+            .map(|b| b.power.to_milliwatt())
+            .sum()
+    }
+
+    fn strongest_noise_during(&self, from: SimTime, to: SimTime) -> Option<Dbm> {
+        self.noise_bursts_overlapping(from, to)
+            .map(|b| b.power)
+            .fold(None, |acc, p| match acc {
+                Some(prev) if prev >= p => Some(prev),
+                _ => Some(p),
+            })
+    }
+
+    fn noise_bursts_overlapping(
+        &self,
+        from: SimTime,
+        to: SimTime,
+    ) -> impl Iterator<Item = &NoiseBurst> {
+        // Bursts are sorted by start; only those with
+        // start in [from - max_duration, to) can overlap.
+        let lo = from.saturating_since(SimTime::ZERO + self.max_noise_duration);
+        let lo_time = SimTime::ZERO + lo;
+        let begin = self.noise.partition_point(|b| b.start < lo_time);
+        self.noise[begin..]
+            .iter()
+            .take_while(move |b| b.start < to)
+            .filter(move |b| b.overlaps(from, to))
+    }
+
+    // ------------------------------------------------------------------
+    // Workload events
+    // ------------------------------------------------------------------
+
+    fn on_zigbee_burst(&mut self, now: SimTime, node: usize, n: u32, bytes: usize) {
+        {
+            let state = &mut self.nodes[node];
+            state.generated += u64::from(n);
+            for seq in state.seq..state.seq + n {
+                state.arrivals.insert(seq, now);
+            }
+            state.seq += n;
+        }
+        match &self.config.mode {
+            Mode::Bicord => {
+                let actions = match self.nodes[node].client.as_mut() {
+                    Some(client) => client.on_burst(now, n, bytes),
+                    None => Vec::new(),
+                };
+                self.apply_client_actions(now, node, actions);
+            }
+            Mode::Ecc(_) => {
+                if let Some(ecc) = self.nodes[node].ecc_client.as_mut() {
+                    ecc.on_burst(now, n, bytes);
+                }
+            }
+            Mode::Unprotected => {
+                let state = &mut self.nodes[node];
+                if let Some(driver) = state.unprotected.as_mut() {
+                    for seq in state.seq - n..state.seq {
+                        driver.pending.push_back((seq, bytes));
+                    }
+                }
+                self.unprotected_send_next(now, node);
+            }
+            Mode::SignalingTrial { .. } => {}
+        }
+    }
+
+    fn on_wifi_enqueue(&mut self, now: SimTime) {
+        let interval = self
+            .config
+            .wifi
+            .enqueue_interval
+            .expect("WifiEnqueue without interval");
+        let priority = self
+            .config
+            .priority
+            .as_ref()
+            .map(|p| match p.class_at(now) {
+                TrafficClass::HighPriority => WifiPriority::High,
+                TrafficClass::LowPriority => WifiPriority::Low,
+            })
+            .unwrap_or(WifiPriority::Low);
+        self.wifi_enqueue_times.push_back(now);
+        let actions = self.wifi.enqueue(
+            now,
+            WifiFrameSpec {
+                mpdu_bytes: self.config.wifi.mpdu_bytes,
+                priority,
+                enqueued_at: now,
+            },
+        );
+        self.apply_wifi_actions(now, actions);
+        if now + interval < self.end_at {
+            self.engine.schedule_at(now + interval, Event::WifiEnqueue);
+        }
+    }
+
+    fn on_ecc_reserve(&mut self, now: SimTime) {
+        let Some(sched) = self.ecc_sched.as_mut() else {
+            return;
+        };
+        let (_, ws) = sched.next_reservation();
+        let period = sched.config().period;
+        // Sec. VIII-G: while serving high-priority traffic the Wi-Fi
+        // device does not make space for ZigBee — ECC skips the blind
+        // reservation just as BiCord ignores requests.
+        let high_priority = self
+            .config
+            .priority
+            .as_ref()
+            .map(|p| p.class_at(now) == TrafficClass::HighPriority)
+            .unwrap_or(false);
+        if !high_priority {
+            let actions = self.wifi.reserve_channel(now, ws);
+            self.apply_wifi_actions(now, actions);
+            self.ws_history.push(ws);
+        }
+        if now + period < self.end_at {
+            self.engine.schedule_at(now + period, Event::EccReserve);
+        }
+    }
+
+    fn on_trial_start(&mut self, now: SimTime) {
+        let Mode::SignalingTrial {
+            control_packets, ..
+        } = self.config.mode
+        else {
+            return;
+        };
+        self.trial.active = true;
+        self.trial.detected_this_trial = false;
+        self.trial.index += 1;
+        if let Some(detector) = self.trial_detector.as_mut() {
+            detector.reset_window();
+        }
+        for _ in 0..control_packets {
+            let actions = self.nodes[0]
+                .mac
+                .send_control(now, self.config.client.policy.control_bytes);
+            self.apply_zb_actions(now, 0, actions);
+        }
+    }
+
+    fn on_trial_end(&mut self, _now: SimTime) {
+        if !self.trial.active {
+            return;
+        }
+        if self.trial.detected_this_trial {
+            self.pr.true_positive();
+        } else {
+            self.pr.false_negative();
+        }
+        self.trial.active = false;
+    }
+
+    fn on_channel_clear_check(&mut self, now: SimTime) {
+        match &self.config.mode {
+            Mode::Bicord => {
+                // Each ZigBee node physically senses the quiet channel.
+                for node in 0..self.nodes.len() {
+                    if self.zigbee_channel_busy(now, node) {
+                        continue;
+                    }
+                    let actions = match self.nodes[node].client.as_mut() {
+                        Some(client) => client.on_channel_clear(now),
+                        None => Vec::new(),
+                    };
+                    self.apply_client_actions(now, node, actions);
+                }
+            }
+            Mode::Ecc(_) => {
+                for node in 0..self.nodes.len() {
+                    self.ecc_try_send(now, node);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_white_space_begin(&mut self, now: SimTime, nav: SimDuration) {
+        match &self.config.mode {
+            Mode::Bicord => {
+                // Give the ZigBee nodes a short sensing delay to notice the
+                // quiet channel.
+                self.engine.schedule_at(
+                    now + SimDuration::from_micros(400),
+                    Event::ChannelClearCheck,
+                );
+            }
+            Mode::Ecc(_) => {
+                let loss = self.ecc_config().notification_loss;
+                for node in 0..self.nodes.len() {
+                    // The one-way CTC announcement can be lost; that node
+                    // never learns about this white space.
+                    if loss > 0.0 && bicord_sim::dist::bernoulli(&mut self.reception_rng, loss) {
+                        continue;
+                    }
+                    if let Some(ecc) = self.nodes[node].ecc_client.as_mut() {
+                        let _ = ecc.on_white_space(now, nav);
+                    }
+                }
+                self.engine.schedule_at(
+                    now + SimDuration::from_micros(400),
+                    Event::ChannelClearCheck,
+                );
+            }
+            _ => {}
+        }
+    }
+
+    fn on_mobility_step(&mut self, now: SimTime, index: usize) {
+        let Some(mobility) = self.config.device_mobility.as_ref() else {
+            return;
+        };
+        let position = mobility.position_at(SimTime::ZERO + mobility.step() * index as u64);
+        self.medium.set_position(ZIGBEE_TX, position);
+        self.medium.invalidate_shadowing(ZIGBEE_TX);
+        let _ = now;
+    }
+
+    fn on_priority_boundary(&mut self, now: SimTime, _index: usize) {
+        let Some(schedule) = self.config.priority.as_ref() else {
+            return;
+        };
+        let class = schedule.class_at(now);
+        if let Some(coordinator) = self.coordinator.as_mut() {
+            coordinator.set_respond(class == TrafficClass::LowPriority);
+        }
+        // In ECC mode, high-priority segments suppress reservations inside
+        // on_ecc_reserve (checked there via the schedule).
+    }
+
+    fn on_bluetooth_slot(&mut self, now: SimTime) {
+        let Some(bt) = self.config.bluetooth else {
+            return;
+        };
+        // One 625 us BR/EDR slot: with probability `in_band_prob` the hop
+        // lands inside the ZigBee listening band and occupies 366 us of it.
+        if bicord_sim::dist::bernoulli(&mut self.bluetooth_rng, bt.in_band_prob) {
+            let band = Band::centered(self.zigbee_band.center_mhz(), 1.0);
+            self.begin_tx(
+                BLUETOOTH_DEV,
+                bt.tx_power,
+                band,
+                now,
+                SimDuration::from_micros(366),
+                Payload::Noise,
+            );
+        }
+        let next = now + SimDuration::from_micros(625);
+        if next < self.end_at {
+            self.engine.schedule_at(next, Event::BluetoothSlot);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // ECC / unprotected drivers
+    // ------------------------------------------------------------------
+
+    fn ecc_try_send(&mut self, now: SimTime, node: usize) {
+        let action = match self.nodes[node].ecc_client.as_mut() {
+            Some(ecc) => ecc.next_action(now),
+            None => return,
+        };
+        match action {
+            EccClientAction::SendData { seq, bytes } => {
+                let actions = self.nodes[node].mac.send_data(now, seq, bytes);
+                self.apply_zb_actions(now, node, actions);
+            }
+            EccClientAction::Wait => {}
+        }
+    }
+
+    fn unprotected_send_next(&mut self, now: SimTime, node: usize) {
+        let (seq, bytes) = {
+            let Some(driver) = self.nodes[node].unprotected.as_mut() else {
+                return;
+            };
+            if driver.in_flight {
+                return;
+            }
+            let Some(&(seq, bytes)) = driver.pending.front() else {
+                return;
+            };
+            driver.in_flight = true;
+            (seq, bytes)
+        };
+        let actions = self.nodes[node].mac.send_data(now, seq, bytes);
+        self.apply_zb_actions(now, node, actions);
+    }
+
+    // ------------------------------------------------------------------
+    // Action application
+    // ------------------------------------------------------------------
+
+    fn set_timer(&mut self, key: TimerKey, at: SimTime) {
+        if let Some(handle) = self.timers.remove(&key) {
+            self.engine.cancel(handle);
+        }
+        let handle = self.engine.schedule_at(at, Event::Timer(key));
+        self.timers.insert(key, handle);
+    }
+
+    fn cancel_timer(&mut self, key: TimerKey) {
+        if let Some(handle) = self.timers.remove(&key) {
+            self.engine.cancel(handle);
+        }
+    }
+
+    fn apply_wifi_actions(&mut self, now: SimTime, actions: Vec<WifiAction>) {
+        for action in actions {
+            match action {
+                WifiAction::StartTx { kind, airtime } => {
+                    if let WifiFrameKind::Data { priority, .. } = kind {
+                        if self.config.wifi.enqueue_interval.is_some() {
+                            if let Some(enqueued) = self.wifi_enqueue_times.pop_front() {
+                                if priority == WifiPriority::Low {
+                                    self.wifi_low_delays
+                                        .push(now.saturating_since(enqueued).as_millis_f64());
+                                }
+                            }
+                        }
+                    }
+                    self.begin_tx(
+                        WIFI_TX,
+                        self.config.wifi.tx_power,
+                        self.wifi_band,
+                        now,
+                        airtime,
+                        Payload::Wifi(kind),
+                    );
+                }
+                WifiAction::SetTimer { timer, at } => self.set_timer(TimerKey::Wifi(timer), at),
+                WifiAction::CancelTimer(timer) => self.cancel_timer(TimerKey::Wifi(timer)),
+            }
+        }
+    }
+
+    fn apply_wifi2_actions(&mut self, now: SimTime, actions: Vec<WifiAction>) {
+        for action in actions {
+            match action {
+                WifiAction::StartTx { kind, airtime } => {
+                    let power = self
+                        .config
+                        .extra_wifi
+                        .expect("wifi2 implies extra_wifi config")
+                        .tx_power;
+                    self.begin_tx(
+                        EXTRA_WIFI_TX,
+                        power,
+                        self.wifi_band,
+                        now,
+                        airtime,
+                        Payload::Wifi(kind),
+                    );
+                }
+                WifiAction::SetTimer { timer, at } => self.set_timer(TimerKey::Wifi2(timer), at),
+                WifiAction::CancelTimer(timer) => self.cancel_timer(TimerKey::Wifi2(timer)),
+            }
+        }
+    }
+
+    fn apply_zb_actions(&mut self, now: SimTime, node: usize, actions: Vec<ZigbeeAction>) {
+        for action in actions {
+            match action {
+                ZigbeeAction::StartTx { kind, airtime } => {
+                    let state = &self.nodes[node];
+                    let power = match kind {
+                        ZigbeeFrameKind::Control { .. } => state.signal_power,
+                        _ => state.data_power,
+                    };
+                    let source = state.tx_dev;
+                    self.begin_tx(
+                        source,
+                        power,
+                        self.zigbee_band,
+                        now,
+                        airtime,
+                        Payload::Zigbee(kind),
+                    );
+                }
+                ZigbeeAction::SetTimer { timer, at } => {
+                    self.set_timer(TimerKey::Zb(node as u8, timer), at)
+                }
+                ZigbeeAction::CancelTimer(timer) => {
+                    self.cancel_timer(TimerKey::Zb(node as u8, timer))
+                }
+                ZigbeeAction::Notify(notification) => {
+                    self.on_zb_notification(now, node, notification)
+                }
+            }
+        }
+    }
+
+    fn apply_zb_rx_actions(&mut self, now: SimTime, node: usize, actions: Vec<ZigbeeAction>) {
+        for action in actions {
+            match action {
+                ZigbeeAction::StartTx { kind, airtime } => {
+                    let source = self.nodes[node].rx_dev;
+                    let power = self.nodes[node].data_power;
+                    self.begin_tx(
+                        source,
+                        power,
+                        self.zigbee_band,
+                        now,
+                        airtime,
+                        Payload::Zigbee(kind),
+                    );
+                }
+                ZigbeeAction::SetTimer { timer, at } => {
+                    self.set_timer(TimerKey::ZbRx(node as u8, timer), at)
+                }
+                ZigbeeAction::CancelTimer(timer) => {
+                    self.cancel_timer(TimerKey::ZbRx(node as u8, timer))
+                }
+                ZigbeeAction::Notify(_) => {}
+            }
+        }
+    }
+
+    fn record_delivery(&mut self, now: SimTime, node: usize, seq: u32) {
+        let bytes = self.nodes[node].burst.mpdu_bytes as u64;
+        let state = &mut self.nodes[node];
+        state.delivered += 1;
+        if let Some(arrived) = state.arrivals.remove(&seq) {
+            state.delay.record(arrived, now);
+            self.delay.record(arrived, now);
+        }
+        self.throughput.add_bytes(bytes);
+    }
+
+    fn on_zb_notification(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        notification: bicord_mac::zigbee::ZigbeeNotification,
+    ) {
+        use bicord_mac::zigbee::ZigbeeNotification as N;
+        match &self.config.mode {
+            Mode::Bicord => {
+                let actions = match self.nodes[node].client.as_mut() {
+                    Some(client) => client.on_mac_notification(now, notification),
+                    None => Vec::new(),
+                };
+                self.apply_client_actions(now, node, actions);
+            }
+            Mode::Ecc(_) => match notification {
+                N::Delivered { seq, .. } => {
+                    let _ = self.nodes[node]
+                        .ecc_client
+                        .as_mut()
+                        .expect("ecc client in ecc mode")
+                        .on_delivered(now, seq);
+                    self.record_delivery(now, node, seq);
+                    self.set_timer(
+                        TimerKey::Client(node as u8, ClientTimer::NextPacket),
+                        now + self.ecc_config().packet_interval,
+                    );
+                }
+                N::Failed { .. } => {
+                    // The frame stays in the ECC client's queue; retry at
+                    // the next opportunity.
+                    self.set_timer(
+                        TimerKey::Client(node as u8, ClientTimer::NextPacket),
+                        now + self.ecc_config().packet_interval,
+                    );
+                }
+                N::ControlSent => {}
+            },
+            Mode::Unprotected => match notification {
+                N::Delivered { seq, .. } => {
+                    if let Some(driver) = self.nodes[node].unprotected.as_mut() {
+                        driver.in_flight = false;
+                        driver.pending.pop_front();
+                    }
+                    self.record_delivery(now, node, seq);
+                    self.set_timer(
+                        TimerKey::Client(node as u8, ClientTimer::NextPacket),
+                        now + self.config.client.packet_interval,
+                    );
+                }
+                N::Failed { .. } => {
+                    if let Some(driver) = self.nodes[node].unprotected.as_mut() {
+                        driver.in_flight = false;
+                        driver.pending.pop_front();
+                    }
+                    self.nodes[node].delay.record_abandoned();
+                    self.delay.record_abandoned();
+                    self.set_timer(
+                        TimerKey::Client(node as u8, ClientTimer::NextPacket),
+                        now + self.config.client.packet_interval,
+                    );
+                }
+                N::ControlSent => {}
+            },
+            Mode::SignalingTrial { .. } => {}
+        }
+    }
+
+    fn ecc_config(&self) -> EccConfig {
+        match &self.config.mode {
+            Mode::Ecc(c) => *c,
+            _ => unreachable!("ecc_config outside ECC mode"),
+        }
+    }
+
+    fn apply_client_actions(&mut self, now: SimTime, node: usize, actions: Vec<ClientAction>) {
+        for action in actions {
+            match action {
+                ClientAction::MacSendData { seq, bytes } => {
+                    let zb_actions = self.nodes[node].mac.send_data(now, seq, bytes);
+                    self.apply_zb_actions(now, node, zb_actions);
+                }
+                ClientAction::MacSendControl { bytes } => {
+                    let zb_actions = self.nodes[node].mac.send_control(now, bytes);
+                    self.apply_zb_actions(now, node, zb_actions);
+                }
+                ClientAction::SetTxPower(power) => {
+                    self.nodes[node].signal_power = power;
+                }
+                ClientAction::CaptureTrace => {
+                    // Synthesize the RSSI trace the ZigBee node records: the
+                    // dominant interferer at its own link budget. Duty
+                    // cycles matter: a saturated Wi-Fi sender at moderate
+                    // power out-jams a sparse Bluetooth hopper at high
+                    // power.
+                    let node_pos = self.medium.position(self.nodes[node].tx_dev);
+                    let loss = |p: bicord_phy::geometry::Point| {
+                        bicord_phy::pathloss::PathLossModel::office()
+                            .path_loss_db(node_pos.distance_to(p))
+                    };
+                    let wifi_rx =
+                        self.config.wifi.tx_power.value() - loss(self.medium.position(WIFI_TX));
+                    // Only band-overlapping Wi-Fi matters.
+                    let wifi_couples = self.zigbee_band.overlap_fraction(&self.wifi_band) > 0.0;
+                    let bt = self
+                        .config
+                        .bluetooth
+                        .map(|bt| (bt.tx_power.value() - loss(bt.position), bt.in_band_prob));
+                    // Effective level = received power weighted by duty (in
+                    // dB: 10 log10 of the on-air fraction).
+                    let wifi_eff = if wifi_couples {
+                        wifi_rx - 10.0 * (1.0f64 / 0.9).log10()
+                    } else {
+                        f64::MIN
+                    };
+                    let trace_config = match bt {
+                        Some((bt_rx, in_band))
+                            if bt_rx - 10.0 * (1.0 / (in_band * 0.58)).log10() > wifi_eff =>
+                        {
+                            TraceConfig::bluetooth(bt_rx)
+                        }
+                        _ if wifi_couples => TraceConfig::wifi(wifi_rx),
+                        _ => {
+                            // Nothing dominant: a quiet-channel trace (the
+                            // classifier reports no verdict).
+                            TraceConfig::bluetooth(-95.0)
+                        }
+                    };
+                    let trace = generate_trace(&mut self.trace_rng, &trace_config, TRACE_DURATION);
+                    let actions = match self.nodes[node].client.as_mut() {
+                        Some(client) => client.on_trace(now, &trace),
+                        None => Vec::new(),
+                    };
+                    self.apply_client_actions(now, node, actions);
+                }
+                ClientAction::SetTimer { timer, at } => {
+                    self.set_timer(TimerKey::Client(node as u8, timer), at)
+                }
+                ClientAction::CancelTimer(timer) => {
+                    self.cancel_timer(TimerKey::Client(node as u8, timer))
+                }
+                ClientAction::PacketDelivered { seq, .. } => {
+                    self.record_delivery(now, node, seq);
+                }
+                ClientAction::BurstComplete { .. } => {}
+            }
+        }
+    }
+
+    fn apply_coord_actions(&mut self, now: SimTime, actions: Vec<CoordinatorAction>) {
+        for action in actions {
+            match action {
+                CoordinatorAction::Reserve(ws) => {
+                    self.ws_history.push(ws);
+                    let wifi_actions = self.wifi.reserve_channel(now, ws);
+                    self.apply_wifi_actions(now, wifi_actions);
+                }
+                CoordinatorAction::SetTimer { timer, at } => {
+                    self.set_timer(TimerKey::Coord(timer), at)
+                }
+                CoordinatorAction::CancelTimer(timer) => self.cancel_timer(TimerKey::Coord(timer)),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Results
+    // ------------------------------------------------------------------
+
+    fn finalize(mut self) -> RunResults {
+        let end = self.end_at;
+        if let Some((s, e)) = self.zb_span.take() {
+            self.util.add(Occupant::ZigbeeData, e - s);
+        }
+        self.util.finish(end);
+        self.throughput.finish(end);
+
+        let (mean_delay, p95_delay, max_delay) = if self.delay.count() > 0 {
+            let summary = self.delay.summary_ms();
+            (
+                Some(summary.mean()),
+                Some(summary.percentile(95.0)),
+                Some(summary.max()),
+            )
+        } else {
+            (None, None, None)
+        };
+
+        let generated: u64 = self.nodes.iter().map(|n| n.generated).sum();
+        let delivered: u64 = self.nodes.iter().map(|n| n.delivered).sum();
+        let transmissions: u64 = self.nodes.iter().map(|n| n.mac.data_transmissions()).sum();
+        let signaling_rounds: u64 = self
+            .nodes
+            .iter()
+            .map(|n| n.client.as_ref().map(|c| c.signaling_rounds()).unwrap_or(0))
+            .sum();
+        let control_packets: u64 = self
+            .nodes
+            .iter()
+            .map(|n| n.mac.control_transmissions())
+            .sum();
+
+        let zigbee = ZigbeeResults {
+            generated,
+            transmissions,
+            delivered,
+            undelivered: generated.saturating_sub(delivered),
+            mean_delay_ms: mean_delay,
+            p95_delay_ms: p95_delay,
+            max_delay_ms: max_delay,
+            throughput_kbps: self.throughput.kbps(),
+            signaling_rounds,
+            control_packets,
+        };
+
+        let per_node: Vec<NodeResults> = self
+            .nodes
+            .iter()
+            .map(|n| NodeResults {
+                generated: n.generated,
+                delivered: n.delivered,
+                signaling_rounds: n.client.as_ref().map(|c| c.signaling_rounds()).unwrap_or(0),
+                mean_delay_ms: if n.delay.count() > 0 {
+                    Some(n.delay.mean_ms())
+                } else {
+                    None
+                },
+            })
+            .collect();
+
+        let wifi_mean_delay = if self.wifi_low_delays.is_empty() {
+            None
+        } else {
+            Some(self.wifi_low_delays.iter().sum::<f64>() / self.wifi_low_delays.len() as f64)
+        };
+        let wifi = WifiResults {
+            frames_sent: self.wifi.frames_sent(),
+            frames_received: self.wifi_frames_received,
+            reservations: self.wifi.cts_sent(),
+            mean_delay_ms: wifi_mean_delay,
+            ignored_requests: self
+                .coordinator
+                .as_ref()
+                .map(|c| c.ignored_requests())
+                .unwrap_or(0),
+        };
+
+        let detection = DetectionResults {
+            tp: self.pr.tp(),
+            fp: self.pr.fp(),
+            fn_count: self.pr.fn_count(),
+            precision: self.pr.precision(),
+            recall: self.pr.recall(),
+        };
+
+        let allocation = self
+            .coordinator
+            .as_ref()
+            .map(|c| AllocationResults {
+                white_space_history_ms: self.ws_history.iter().map(|d| d.as_millis_f64()).collect(),
+                learning_iterations: c.allocator().iterations_to_converge(),
+                final_estimate_ms: c.allocator().estimate().as_millis_f64(),
+                converged: c.allocator().phase()
+                    == bicord_core::allocation::AllocationPhase::Converged,
+            })
+            .unwrap_or_else(|| AllocationResults {
+                white_space_history_ms: self.ws_history.iter().map(|d| d.as_millis_f64()).collect(),
+                ..AllocationResults::default()
+            });
+
+        RunResults {
+            utilization: self.util.total_utilization(),
+            zigbee_utilization: self.util.zigbee_utilization(),
+            wifi_utilization: self.util.wifi_utilization(),
+            overhead_fraction: self.util.overhead_fraction(),
+            zigbee,
+            per_node,
+            wifi,
+            detection,
+            allocation,
+            simulated: end - SimTime::ZERO,
+            events: self.engine.events_processed(),
+            trace: self.trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExtraNodeConfig;
+    use crate::geometry::Location;
+
+    fn short(mut config: SimConfig) -> RunResults {
+        config.duration = SimDuration::from_secs(3);
+        CoexistenceSim::new(config).run()
+    }
+
+    #[test]
+    fn wifi_alone_saturates_the_channel() {
+        // No ZigBee traffic at all: utilization ≈ 1 from Wi-Fi.
+        let mut config = SimConfig::bicord(Location::A, 11);
+        config.zigbee.arrivals =
+            bicord_workloads::traffic::ArrivalProcess::Periodic(SimDuration::from_secs(1000));
+        let r = short(config);
+        assert!(
+            r.wifi_utilization > 0.6,
+            "wifi utilization {}",
+            r.wifi_utilization
+        );
+        assert!(r.wifi.frames_sent > 1_000);
+        assert!(r.zigbee.delivered == 0);
+    }
+
+    #[test]
+    fn unprotected_zigbee_suffers_heavy_loss() {
+        // Sec. VIII-A: over 95 % per-transmission loss when the nearby
+        // Wi-Fi sender is active and no coordination exists. Location D is
+        // the "near the Wi-Fi sender" regime; -7 dBm is the paper's demo
+        // power.
+        let mut config = SimConfig::unprotected(Location::D, 12);
+        config.zigbee.data_power = bicord_phy::units::Dbm::new(-7.0);
+        let r = short(config);
+        assert!(r.zigbee.generated > 0);
+        assert!(r.zigbee.transmissions > 0);
+        let prr = r.zigbee_prr();
+        assert!(prr < 0.2, "unprotected per-transmission PRR {prr} too high");
+    }
+
+    #[test]
+    fn bicord_delivers_the_burst_traffic() {
+        let r = short(SimConfig::bicord(Location::A, 13));
+        assert!(r.zigbee.generated > 0);
+        let pdr = r.zigbee_pdr();
+        assert!(pdr > 0.6, "BiCord PDR {pdr} too low");
+        assert!(r.zigbee.signaling_rounds > 0, "signaling never happened");
+        assert!(r.wifi.reservations > 0, "no white spaces reserved");
+        assert!(r.utilization > 0.5, "utilization {}", r.utilization);
+        assert_eq!(r.per_node.len(), 1);
+        assert_eq!(r.per_node[0].delivered, r.zigbee.delivered);
+    }
+
+    #[test]
+    fn bicord_beats_unprotected_delivery() {
+        let b = short(SimConfig::bicord(Location::A, 14));
+        let u = short(SimConfig::unprotected(Location::A, 14));
+        assert!(b.zigbee_pdr() > u.zigbee_pdr() + 0.3);
+    }
+
+    #[test]
+    fn ecc_reserves_periodically_and_delivers() {
+        let r = short(SimConfig::ecc(
+            Location::A,
+            15,
+            SimDuration::from_millis(30),
+        ));
+        // ~10 reservations per second.
+        assert!(
+            (20..=35).contains(&(r.wifi.reservations as usize)),
+            "reservations {}",
+            r.wifi.reservations
+        );
+        assert!(r.zigbee_pdr() > 0.5, "ECC PDR {}", r.zigbee_pdr());
+    }
+
+    #[test]
+    fn bicord_delay_beats_ecc() {
+        let mut bc = SimConfig::bicord(Location::A, 16);
+        bc.zigbee.arrivals =
+            bicord_workloads::traffic::ArrivalProcess::Poisson(SimDuration::from_millis(400));
+        let mut ecc = SimConfig::ecc(Location::A, 16, SimDuration::from_millis(20));
+        ecc.zigbee.arrivals =
+            bicord_workloads::traffic::ArrivalProcess::Poisson(SimDuration::from_millis(400));
+        let b = short(bc);
+        let e = short(ecc);
+        let (bd, ed) = (
+            b.zigbee.mean_delay_ms.expect("bicord delivered"),
+            e.zigbee.mean_delay_ms.expect("ecc delivered"),
+        );
+        assert!(bd < ed, "BiCord delay {bd} ms !< ECC delay {ed} ms");
+    }
+
+    #[test]
+    fn signaling_trial_produces_detection_stats() {
+        let config = SimConfig::signaling_trial(Location::A, 17, 4, 60, Dbm::new(0.0));
+        let r = CoexistenceSim::new(config).run();
+        let total = r.detection.tp + r.detection.fn_count;
+        assert_eq!(total, 60, "every trial must resolve");
+        assert!(
+            r.detection.recall > 0.5,
+            "recall {} at the best location",
+            r.detection.recall
+        );
+        assert!(r.detection.precision > 0.5);
+    }
+
+    #[test]
+    fn weak_location_detects_worse_than_strong() {
+        let strong = CoexistenceSim::new(SimConfig::signaling_trial(
+            Location::A,
+            18,
+            4,
+            60,
+            Dbm::new(0.0),
+        ))
+        .run();
+        let weak = CoexistenceSim::new(SimConfig::signaling_trial(
+            Location::B,
+            18,
+            4,
+            60,
+            Dbm::new(-3.0),
+        ))
+        .run();
+        assert!(
+            strong.detection.recall >= weak.detection.recall,
+            "A recall {} < B@-3 recall {}",
+            strong.detection.recall,
+            weak.detection.recall
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut c = SimConfig::bicord(Location::A, seed);
+            c.duration = SimDuration::from_secs(2);
+            CoexistenceSim::new(c).run()
+        };
+        let a = run(99);
+        let b = run(99);
+        assert_eq!(a.zigbee.delivered, b.zigbee.delivered);
+        assert_eq!(a.wifi.frames_sent, b.wifi.frames_sent);
+        assert_eq!(a.events, b.events);
+        let c = run(100);
+        assert!(a.events != c.events || a.zigbee.delivered != c.zigbee.delivered);
+    }
+
+    #[test]
+    fn lost_ecc_notifications_raise_delay() {
+        use bicord_ctc::ecc::EccConfig;
+        let base = {
+            let mut c = SimConfig::ecc(Location::A, 58, SimDuration::from_millis(30));
+            c.duration = SimDuration::from_secs(5);
+            CoexistenceSim::new(c).run()
+        };
+        let lossy = {
+            let mut c = SimConfig::bicord(Location::A, 58);
+            c.mode = Mode::Ecc(EccConfig {
+                notification_loss: 0.5,
+                ..EccConfig::with_white_space(SimDuration::from_millis(30))
+            });
+            c.duration = SimDuration::from_secs(5);
+            CoexistenceSim::new(c).run()
+        };
+        let (bd, ld) = (
+            base.zigbee.mean_delay_ms.expect("base delivered"),
+            lossy.zigbee.mean_delay_ms.expect("lossy delivered"),
+        );
+        assert!(
+            ld > bd * 1.3,
+            "50% notification loss should raise delay: {bd} -> {ld} ms"
+        );
+    }
+
+    #[test]
+    fn two_nodes_both_get_served() {
+        let mut config = SimConfig::bicord(Location::A, 50);
+        config.extra_nodes.push(ExtraNodeConfig::at(Location::C));
+        config.duration = SimDuration::from_secs(4);
+        let r = CoexistenceSim::new(config).run();
+        assert_eq!(r.per_node.len(), 2);
+        for (i, node) in r.per_node.iter().enumerate() {
+            assert!(node.generated > 0, "node {i} generated nothing");
+            let pdr = node.delivered as f64 / node.generated as f64;
+            assert!(pdr > 0.4, "node {i} PDR {pdr}");
+        }
+        // Aggregates are sums of the per-node numbers.
+        assert_eq!(
+            r.zigbee.delivered,
+            r.per_node.iter().map(|n| n.delivered).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn heterogeneous_nodes_force_reestimation() {
+        // Node 0 sends short bursts, node 1 long ones: the single shared
+        // estimate must keep adjusting (Sec. VI's "multiple ZigBee nodes
+        // with different traffic pattern").
+        let mut config = SimConfig::bicord(Location::A, 51);
+        config.zigbee.burst = BurstSpec {
+            n_packets: 3,
+            mpdu_bytes: 50,
+        };
+        let mut extra = ExtraNodeConfig::at(Location::C);
+        extra.burst = BurstSpec {
+            n_packets: 12,
+            mpdu_bytes: 50,
+        };
+        config.extra_nodes.push(extra);
+        config.duration = SimDuration::from_secs(6);
+        let r = CoexistenceSim::new(config).run();
+        assert!(r.per_node[0].delivered > 0);
+        assert!(r.per_node[1].delivered > 0);
+        // The white-space history must show materially different lengths.
+        let hist = &r.allocation.white_space_history_ms;
+        let min = hist.iter().cloned().fold(f64::MAX, f64::min);
+        let max = hist.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(
+            max > min + 15.0,
+            "white spaces never adapted: min {min}, max {max}"
+        );
+    }
+
+    #[test]
+    fn disjoint_channels_remove_the_interference() {
+        // Wi-Fi channel 1 (2402-2422) and ZigBee channel 26 (2480): no
+        // spectral overlap, so even "unprotected" ZigBee sails through and
+        // BiCord never needs to signal.
+        let mut config = SimConfig::unprotected(Location::D, 53);
+        config.wifi_channel = 1;
+        config.zigbee_channel = 26;
+        config.duration = SimDuration::from_secs(3);
+        let r = CoexistenceSim::new(config).run();
+        assert!(
+            r.zigbee_prr() > 0.9,
+            "disjoint channels: PRR {}",
+            r.zigbee_prr()
+        );
+
+        let mut config = SimConfig::bicord(Location::D, 53);
+        config.wifi_channel = 1;
+        config.zigbee_channel = 26;
+        config.duration = SimDuration::from_secs(3);
+        let r = CoexistenceSim::new(config).run();
+        assert_eq!(
+            r.zigbee.signaling_rounds, 0,
+            "no interference, no reason to signal"
+        );
+        assert!(r.zigbee_pdr() > 0.9);
+    }
+
+    #[test]
+    fn alternate_paper_channel_pair_works() {
+        // The paper's other pair: Wi-Fi 13 / ZigBee 26 (also overlapping).
+        let mut config = SimConfig::bicord(Location::A, 54);
+        config.wifi_channel = 13;
+        config.zigbee_channel = 26;
+        config.duration = SimDuration::from_secs(3);
+        let r = CoexistenceSim::new(config).run();
+        assert!(r.zigbee.signaling_rounds > 0, "signaling must happen");
+        assert!(r.zigbee_pdr() > 0.6, "PDR {}", r.zigbee_pdr());
+    }
+
+    #[test]
+    fn two_wifi_stations_share_the_channel() {
+        let mut config = SimConfig::bicord(Location::A, 60);
+        config.zigbee.arrivals =
+            bicord_workloads::traffic::ArrivalProcess::Periodic(SimDuration::from_secs(1000));
+        config.extra_wifi = Some(crate::config::ExtraWifiConfig::default());
+        config.duration = SimDuration::from_secs(3);
+        let r = CoexistenceSim::new(config).run();
+        // Both stations transmit; DCF carrier sense keeps them mostly
+        // collision-free, so the received-frame count stays high.
+        assert!(
+            r.wifi.frames_sent > 500,
+            "primary sent {}",
+            r.wifi.frames_sent
+        );
+        assert!(
+            r.wifi.frames_received as f64 / r.wifi.frames_sent as f64 > 0.2,
+            "primary frames drowned by the contender"
+        );
+        assert!(r.utilization > 0.7, "utilization {}", r.utilization);
+    }
+
+    #[test]
+    fn contending_station_honours_the_nav() {
+        // The paper's CTS-to-self only works if *other* stations stay
+        // silent during the white space. With the contender present,
+        // BiCord's ZigBee bursts must still be protected.
+        let mut config = SimConfig::bicord(Location::A, 61);
+        config.extra_wifi = Some(crate::config::ExtraWifiConfig::default());
+        config.duration = SimDuration::from_secs(4);
+        let r = CoexistenceSim::new(config).run();
+        assert!(r.wifi.reservations > 0, "no white spaces reserved");
+        assert!(
+            r.zigbee_pdr() > 0.6,
+            "NAV not honoured: PDR {} with a contender present",
+            r.zigbee_pdr()
+        );
+        assert!(
+            r.zigbee.mean_delay_ms.unwrap_or(f64::MAX) < 100.0,
+            "delay exploded with a contender"
+        );
+    }
+
+    #[test]
+    fn bluetooth_interference_does_not_trigger_signaling() {
+        // Sec. VII-A: "If the detected channel activity is not coming from
+        // a nearby Wi-Fi device ... the ZigBee node does not perform
+        // cross-technology signaling." Remove the Wi-Fi sender from the
+        // band (disjoint channel) and jam with Bluetooth near the node.
+        let mut config = SimConfig::bicord(Location::A, 56);
+        config.wifi_channel = 1; // out of the ZigBee band
+        config.bluetooth = Some(crate::config::BluetoothConfig {
+            position: Location::A.sender_position().offset(0.5, 0.3),
+            ..crate::config::BluetoothConfig::default()
+        });
+        config.duration = SimDuration::from_secs(4);
+        let r = CoexistenceSim::new(config).run();
+        assert_eq!(
+            r.zigbee.signaling_rounds, 0,
+            "must not signal at a Bluetooth interferer"
+        );
+        // CSMA + retries still get most packets through the 18 %-duty
+        // hopper.
+        assert!(r.zigbee_pdr() > 0.5, "PDR {}", r.zigbee_pdr());
+    }
+
+    #[test]
+    fn bluetooth_plus_wifi_still_signals_at_wifi() {
+        // With both interferers active, Wi-Fi dominates (saturated duty)
+        // and signaling proceeds as usual.
+        let mut config = SimConfig::bicord(Location::A, 57);
+        config.bluetooth = Some(crate::config::BluetoothConfig::default());
+        config.duration = SimDuration::from_secs(3);
+        let r = CoexistenceSim::new(config).run();
+        assert!(
+            r.zigbee.signaling_rounds > 0,
+            "Wi-Fi is the dominant jammer"
+        );
+        assert!(r.zigbee_pdr() > 0.5, "PDR {}", r.zigbee_pdr());
+    }
+
+    #[test]
+    fn trace_recording_captures_the_coordination() {
+        let mut config = SimConfig::bicord(Location::A, 55);
+        config.duration = SimDuration::from_secs(2);
+        config.record_trace = true;
+        let r = CoexistenceSim::new(config).run();
+        let trace = r.trace.as_ref().expect("trace was requested");
+        use crate::trace::SpanKind as K;
+        let kinds: Vec<bool> = vec![
+            trace.spans().iter().any(|s| s.kind == K::WifiData),
+            trace.spans().iter().any(|s| s.kind == K::WifiCts),
+            trace.spans().iter().any(|s| s.kind == K::WhiteSpace),
+            trace
+                .spans()
+                .iter()
+                .any(|s| matches!(s.kind, K::ZigbeeData { .. })),
+            trace
+                .spans()
+                .iter()
+                .any(|s| matches!(s.kind, K::ZigbeeControl { .. })),
+        ];
+        assert!(kinds.iter().all(|&k| k), "missing span kinds: {kinds:?}");
+        // Rendering the first 200 ms produces the four lanes.
+        let art = trace.render(SimTime::ZERO, SimTime::from_millis(200), 80);
+        assert_eq!(art.lines().count(), 5);
+        // Without the flag, no trace comes back.
+        let mut config = SimConfig::bicord(Location::A, 55);
+        config.duration = SimDuration::from_secs(1);
+        let r = CoexistenceSim::new(config).run();
+        assert!(r.trace.is_none());
+    }
+
+    #[test]
+    fn two_unprotected_nodes_carrier_sense_each_other() {
+        // With Wi-Fi effectively absent (tiny power), two ZigBee pairs at
+        // nearby locations share the channel through plain CSMA: both
+        // should deliver essentially everything.
+        let mut config = SimConfig::unprotected(Location::A, 52);
+        config.wifi.tx_power = Dbm::new(-60.0);
+        config.extra_nodes.push(ExtraNodeConfig::at(Location::C));
+        config.duration = SimDuration::from_secs(4);
+        let r = CoexistenceSim::new(config).run();
+        for (i, node) in r.per_node.iter().enumerate() {
+            let pdr = node.delivered as f64 / node.generated.max(1) as f64;
+            assert!(pdr > 0.8, "node {i} PDR {pdr} on a clear channel");
+        }
+    }
+}

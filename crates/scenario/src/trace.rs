@@ -1,0 +1,265 @@
+//! Channel-activity tracing: record who occupied the medium when, and
+//! render it as an ASCII timeline.
+//!
+//! Enable with [`crate::config::SimConfig::record_trace`]; the recorded
+//! [`ChannelTrace`] comes back in [`crate::config::RunResults::trace`] and
+//! renders the kind of picture the paper draws in Fig. 1/2/4/5:
+//!
+//! ```text
+//! wifi   ████████████░░░░░░░░░░███████████████░░░░░░░░░░░░█████
+//! cts    ·····▌··························▌·······················
+//! zigbee ······▓▓▓▓▓▓▓▓··················▓▓▓▓▓▓▓▓▓▓▓▓▓▓·········
+//! signal ····▲···························▲·······················
+//! ```
+
+use bicord_sim::{SimDuration, SimTime};
+
+/// What occupied the channel during a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// A Wi-Fi data frame.
+    WifiData,
+    /// A Wi-Fi CTS(-to-self) reservation frame.
+    WifiCts,
+    /// A ZigBee data or ACK frame from the given node.
+    ZigbeeData {
+        /// Node index (0 = primary).
+        node: usize,
+    },
+    /// A ZigBee control (signaling) packet from the given node.
+    ZigbeeControl {
+        /// Node index (0 = primary).
+        node: usize,
+    },
+    /// A reserved white space (from CTS end to NAV expiry).
+    WhiteSpace,
+}
+
+/// One recorded channel-occupancy span.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSpan {
+    /// Span start.
+    pub start: SimTime,
+    /// Span end.
+    pub end: SimTime,
+    /// Who/what occupied the channel.
+    pub kind: SpanKind,
+}
+
+/// A recording of channel activity over a run.
+///
+/// # Example
+///
+/// ```
+/// use bicord_scenario::trace::{ChannelTrace, SpanKind};
+/// use bicord_sim::SimTime;
+///
+/// let mut trace = ChannelTrace::new();
+/// trace.record(SimTime::from_millis(0), SimTime::from_millis(10), SpanKind::WifiData);
+/// trace.record(SimTime::from_millis(12), SimTime::from_millis(14), SpanKind::ZigbeeData { node: 0 });
+/// let art = trace.render(SimTime::ZERO, SimTime::from_millis(20), 40);
+/// assert!(art.contains("wifi"));
+/// assert!(art.contains("zigbee"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChannelTrace {
+    spans: Vec<TraceSpan>,
+}
+
+impl ChannelTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        ChannelTrace::default()
+    }
+
+    /// Records one span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`.
+    pub fn record(&mut self, start: SimTime, end: SimTime, kind: SpanKind) {
+        assert!(end > start, "trace span must have positive length");
+        self.spans.push(TraceSpan { start, end, kind });
+    }
+
+    /// All recorded spans, in recording order.
+    pub fn spans(&self) -> &[TraceSpan] {
+        &self.spans
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total recorded airtime of a kind within `[from, to)`.
+    pub fn airtime(&self, kind: SpanKind, from: SimTime, to: SimTime) -> SimDuration {
+        self.spans
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| {
+                let lo = s.start.max(from);
+                let hi = s.end.min(to);
+                hi.checked_since(lo).unwrap_or(SimDuration::ZERO)
+            })
+            .sum()
+    }
+
+    /// Renders the window `[from, to)` as a four-lane ASCII timeline of
+    /// `width` characters per lane.
+    ///
+    /// Lanes: `wifi` (data frames), `cts`/`ws` (reservations and the white
+    /// spaces they open), `zigbee` (data + ACK), `signal` (control
+    /// packets). A cell is marked if any span of the lane's kind overlaps
+    /// the cell's time slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to <= from` or `width == 0`.
+    pub fn render(&self, from: SimTime, to: SimTime, width: usize) -> String {
+        assert!(to > from, "render window must have positive length");
+        assert!(width > 0, "render width must be positive");
+        let window = to - from;
+        let cell = |i: usize| -> (SimTime, SimTime) {
+            let lo = from + window.mul_f64(i as f64 / width as f64);
+            let hi = from + window.mul_f64((i + 1) as f64 / width as f64);
+            (lo, hi)
+        };
+        let mut lanes = vec![
+            ("wifi  ", vec!['.'; width]),
+            ("cts/ws", vec!['.'; width]),
+            ("zigbee", vec!['.'; width]),
+            ("signal", vec!['.'; width]),
+        ];
+        for span in &self.spans {
+            let (lane, mark) = match span.kind {
+                SpanKind::WifiData => (0usize, '#'),
+                SpanKind::WifiCts => (1, '|'),
+                SpanKind::WhiteSpace => (1, '_'),
+                SpanKind::ZigbeeData { .. } => (2, '='),
+                SpanKind::ZigbeeControl { .. } => (3, '^'),
+            };
+            for i in 0..width {
+                let (lo, hi) = cell(i);
+                if span.start < hi && span.end > lo {
+                    let slot = &mut lanes[lane].1[i];
+                    // CTS beats white-space shading in the shared lane.
+                    if !(*slot == '|' && mark == '_') {
+                        *slot = mark;
+                    }
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "channel timeline {from} .. {to} ({} per cell)\n",
+            window / width as u64
+        ));
+        for (label, cells) in lanes {
+            out.push_str(label);
+            out.push(' ');
+            out.extend(cells);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn records_and_reports_spans() {
+        let mut t = ChannelTrace::new();
+        assert!(t.is_empty());
+        t.record(ms(0), ms(10), SpanKind::WifiData);
+        t.record(ms(12), ms(14), SpanKind::ZigbeeData { node: 0 });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.spans()[0].kind, SpanKind::WifiData);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn zero_length_span_rejected() {
+        let mut t = ChannelTrace::new();
+        t.record(ms(5), ms(5), SpanKind::WifiData);
+    }
+
+    #[test]
+    fn airtime_clips_to_window() {
+        let mut t = ChannelTrace::new();
+        t.record(ms(0), ms(10), SpanKind::WifiData);
+        t.record(ms(20), ms(30), SpanKind::WifiData);
+        t.record(ms(5), ms(8), SpanKind::WhiteSpace);
+        // Full window:
+        assert_eq!(
+            t.airtime(SpanKind::WifiData, ms(0), ms(30)),
+            SimDuration::from_millis(20)
+        );
+        // Clipped window catches half of the first span:
+        assert_eq!(
+            t.airtime(SpanKind::WifiData, ms(5), ms(25)),
+            SimDuration::from_millis(10)
+        );
+        // Kind filtering:
+        assert_eq!(
+            t.airtime(SpanKind::WhiteSpace, ms(0), ms(30)),
+            SimDuration::from_millis(3)
+        );
+    }
+
+    #[test]
+    fn render_marks_the_right_cells() {
+        let mut t = ChannelTrace::new();
+        t.record(ms(0), ms(50), SpanKind::WifiData);
+        t.record(ms(50), ms(52), SpanKind::WifiCts);
+        t.record(ms(52), ms(80), SpanKind::WhiteSpace);
+        t.record(ms(55), ms(75), SpanKind::ZigbeeData { node: 0 });
+        t.record(ms(45), ms(49), SpanKind::ZigbeeControl { node: 0 });
+        let art = t.render(ms(0), ms(100), 50);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 5);
+        let wifi = lines[1];
+        let ctsws = lines[2];
+        let zigbee = lines[3];
+        let signal = lines[4];
+        // First half of the wifi lane is busy, last fifth idle:
+        assert!(wifi.contains('#'));
+        assert!(wifi.trim_end().ends_with('.'));
+        // The reservation lane carries both the CTS tick and the shading:
+        assert!(ctsws.contains('|'));
+        assert!(ctsws.contains('_'));
+        // ZigBee data inside the white space, control before it:
+        assert!(zigbee.contains('='));
+        assert!(signal.contains('^'));
+    }
+
+    #[test]
+    fn render_window_scales() {
+        let mut t = ChannelTrace::new();
+        t.record(ms(10), ms(11), SpanKind::WifiData);
+        // Zoomed out, the 1 ms frame still occupies at least one cell.
+        let art = t.render(ms(0), ms(1000), 20);
+        assert!(art.lines().nth(1).unwrap().contains('#'));
+        // A window that excludes it shows an empty lane.
+        let art = t.render(ms(500), ms(1000), 20);
+        assert!(!art.lines().nth(1).unwrap().contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn render_empty_window_rejected() {
+        let t = ChannelTrace::new();
+        let _ = t.render(ms(5), ms(5), 10);
+    }
+}

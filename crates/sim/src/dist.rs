@@ -1,0 +1,244 @@
+//! The probability distributions the radio models need.
+//!
+//! Implemented in-crate (on top of `rand`'s uniform source) so the workspace
+//! does not need `rand_distr`: exponential inter-arrival times, Gaussian
+//! shadowing/jitter via Box–Muller, and Poisson counts.
+
+use rand::Rng;
+
+use crate::time::SimDuration;
+
+/// Samples an exponentially distributed value with the given `mean`.
+///
+/// # Panics
+///
+/// Panics if `mean` is not finite and positive.
+///
+/// # Example
+///
+/// ```
+/// use bicord_sim::dist::exponential;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let x = exponential(&mut rng, 2.0);
+/// assert!(x >= 0.0);
+/// ```
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(
+        mean.is_finite() && mean > 0.0,
+        "exponential mean must be positive, got {mean}"
+    );
+    // 1 - U is in (0, 1], so ln() is finite.
+    let u: f64 = rng.gen();
+    -mean * (1.0 - u).ln()
+}
+
+/// Samples an exponentially distributed duration with the given mean —
+/// the inter-arrival time of a Poisson process.
+///
+/// # Example
+///
+/// ```
+/// use bicord_sim::dist::exponential_duration;
+/// use bicord_sim::SimDuration;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let gap = exponential_duration(&mut rng, SimDuration::from_millis(200));
+/// assert!(gap >= SimDuration::ZERO);
+/// ```
+pub fn exponential_duration<R: Rng + ?Sized>(rng: &mut R, mean: SimDuration) -> SimDuration {
+    SimDuration::from_secs_f64(exponential(rng, mean.as_secs_f64()))
+}
+
+/// Samples a normally distributed value via the Box–Muller transform.
+///
+/// # Panics
+///
+/// Panics if `std_dev` is negative or either parameter is non-finite.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(
+        mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
+        "invalid normal parameters: mean={mean}, std_dev={std_dev}"
+    );
+    if std_dev == 0.0 {
+        return mean;
+    }
+    // Box–Muller: two uniforms -> one standard normal (the second is
+    // discarded to keep the call stateless).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + std_dev * z
+}
+
+/// Samples a Poisson-distributed count with the given `mean` (λ).
+///
+/// Uses Knuth's product method for small λ and a normal approximation with
+/// continuity correction for λ > 60, where the product method underflows.
+///
+/// # Panics
+///
+/// Panics if `mean` is negative or non-finite.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(
+        mean.is_finite() && mean >= 0.0,
+        "poisson mean must be non-negative, got {mean}"
+    );
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean > 60.0 {
+        let x = normal(rng, mean, mean.sqrt());
+        return x.max(0.0).round() as u64;
+    }
+    let limit = (-mean).exp();
+    let mut k = 0u64;
+    let mut product: f64 = 1.0;
+    loop {
+        product *= rng.gen::<f64>();
+        if product <= limit {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Samples `true` with probability `p` (clamped to `[0, 1]`).
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    if p <= 0.0 {
+        false
+    } else if p >= 1.0 {
+        true
+    } else {
+        rng.gen::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{stream_rng, SeedDomain};
+    use proptest::prelude::*;
+
+    fn rng() -> rand::rngs::StdRng {
+        stream_rng(2024, SeedDomain::Aux, 0)
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = rng();
+        let n = 50_000;
+        let mean = 3.0;
+        let sum: f64 = (0..n).map(|_| exponential(&mut r, mean)).sum();
+        let sample_mean = sum / n as f64;
+        assert!(
+            (sample_mean - mean).abs() < 0.05 * mean,
+            "sample mean {sample_mean} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(exponential(&mut r, 0.5) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_zero_mean() {
+        let mut r = rng();
+        let _ = exponential(&mut r, 0.0);
+    }
+
+    #[test]
+    fn exponential_duration_mean_converges() {
+        let mut r = rng();
+        let mean = SimDuration::from_millis(200);
+        let n = 20_000u64;
+        let total: SimDuration = (0..n).map(|_| exponential_duration(&mut r, mean)).sum();
+        let sample_mean_ms = total.as_millis_f64() / n as f64;
+        assert!((sample_mean_ms - 200.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn normal_moments_converge() {
+        let mut r = rng();
+        let n = 50_000;
+        let (mean, sd) = (-5.0, 2.0);
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, mean, sd)).collect();
+        let m: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / n as f64;
+        assert!((m - mean).abs() < 0.05);
+        assert!((var.sqrt() - sd).abs() < 0.05);
+    }
+
+    #[test]
+    fn normal_zero_sd_is_degenerate() {
+        let mut r = rng();
+        assert_eq!(normal(&mut r, 1.5, 0.0), 1.5);
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean() {
+        let mut r = rng();
+        let n = 50_000;
+        let lambda = 2.5;
+        let sum: u64 = (0..n).map(|_| poisson(&mut r, lambda)).sum();
+        let m = sum as f64 / n as f64;
+        assert!((m - lambda).abs() < 0.05);
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_approx() {
+        let mut r = rng();
+        let n = 20_000;
+        let lambda = 200.0;
+        let sum: u64 = (0..n).map(|_| poisson(&mut r, lambda)).sum();
+        let m = sum as f64 / n as f64;
+        assert!((m - lambda).abs() < 1.0);
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut r = rng();
+        assert!(!bernoulli(&mut r, 0.0));
+        assert!(bernoulli(&mut r, 1.0));
+        assert!(!bernoulli(&mut r, -0.5));
+        assert!(bernoulli(&mut r, 1.5));
+    }
+
+    #[test]
+    fn bernoulli_rate_converges() {
+        let mut r = rng();
+        let n = 50_000;
+        let hits = (0..n).filter(|_| bernoulli(&mut r, 0.3)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01);
+    }
+
+    proptest! {
+        #[test]
+        fn normal_is_finite(mean in -1e6f64..1e6, sd in 0.0f64..1e3, seed in any::<u64>()) {
+            let mut r = stream_rng(seed, SeedDomain::Aux, 1);
+            let x = normal(&mut r, mean, sd);
+            prop_assert!(x.is_finite());
+        }
+
+        #[test]
+        fn exponential_is_finite(mean in 1e-6f64..1e6, seed in any::<u64>()) {
+            let mut r = stream_rng(seed, SeedDomain::Aux, 2);
+            let x = exponential(&mut r, mean);
+            prop_assert!(x.is_finite() && x >= 0.0);
+        }
+    }
+}

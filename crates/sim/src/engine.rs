@@ -1,0 +1,204 @@
+//! The simulation run loop: a clock plus an event queue.
+
+use crate::event::{EventHandle, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// A discrete-event simulation engine.
+///
+/// The engine owns the virtual clock and the pending-event queue. Client
+/// code (the scenario layer) drives it by scheduling events and repeatedly
+/// calling [`Engine::next_event`], which advances the clock to each event's
+/// timestamp.
+///
+/// Time never moves backwards: scheduling an event in the past is a
+/// programming error and panics (it would silently corrupt causality
+/// otherwise).
+///
+/// # Example
+///
+/// ```
+/// use bicord_sim::{Engine, SimDuration, SimTime};
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { Ping, Pong }
+///
+/// let mut engine = Engine::new();
+/// engine.schedule_in(SimDuration::from_micros(10), Ev::Ping);
+/// while let Some((now, ev)) = engine.next_event() {
+///     match ev {
+///         Ev::Ping if now < SimTime::from_millis(1) => {
+///             engine.schedule_in(SimDuration::from_micros(10), Ev::Pong);
+///         }
+///         _ => {}
+///     }
+/// }
+/// assert!(engine.now() >= SimTime::from_micros(20));
+/// ```
+pub struct Engine<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            processed: 0,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events delivered so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventHandle {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {now}",
+            now = self.now
+        );
+        self.queue.push(at, event)
+    }
+
+    /// Schedules `event` after `delay` from the current clock.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventHandle {
+        self.queue.push(self.now + delay, event)
+    }
+
+    /// Cancels a scheduled event. Returns `true` if it was still pending.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        self.queue.cancel(handle)
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    ///
+    /// Returns `None` when the queue is exhausted.
+    pub fn next_event(&mut self) -> Option<(SimTime, E)> {
+        let (t, e) = self.queue.pop()?;
+        debug_assert!(t >= self.now, "event queue yielded a past event");
+        self.now = t;
+        self.processed += 1;
+        Some((t, e))
+    }
+
+    /// Pops the next event only if it occurs at or before `horizon`.
+    ///
+    /// If the next event lies beyond the horizon the clock advances to
+    /// `horizon` and `None` is returned; the event stays queued. This is the
+    /// primitive for "run for N seconds" loops.
+    pub fn next_event_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        match self.queue.peek_time() {
+            Some(t) if t <= horizon => self.next_event(),
+            _ => {
+                if horizon > self.now {
+                    self.now = horizon;
+                }
+                None
+            }
+        }
+    }
+}
+
+impl<E> std::fmt::Debug for Engine<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_millis(5), "late");
+        e.schedule_at(SimTime::from_millis(1), "early");
+        let (t, ev) = e.next_event().unwrap();
+        assert_eq!((t, ev), (SimTime::from_millis(1), "early"));
+        assert_eq!(e.now(), SimTime::from_millis(1));
+        let (t, ev) = e.next_event().unwrap();
+        assert_eq!((t, ev), (SimTime::from_millis(5), "late"));
+        assert_eq!(e.events_processed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_in_past_panics() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_millis(10), ());
+        e.next_event();
+        e.schedule_at(SimTime::from_millis(3), ());
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_millis(10), 1);
+        e.next_event();
+        e.schedule_in(SimDuration::from_millis(5), 2);
+        let (t, _) = e.next_event().unwrap();
+        assert_eq!(t, SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn horizon_stops_and_advances_clock() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_millis(100), "far");
+        assert!(e.next_event_before(SimTime::from_millis(50)).is_none());
+        assert_eq!(e.now(), SimTime::from_millis(50));
+        assert_eq!(e.pending(), 1);
+        // The event is still deliverable later.
+        let (t, ev) = e.next_event_before(SimTime::from_millis(200)).unwrap();
+        assert_eq!((t, ev), (SimTime::from_millis(100), "far"));
+    }
+
+    #[test]
+    fn horizon_with_empty_queue_advances_clock() {
+        let mut e: Engine<()> = Engine::new();
+        assert!(e.next_event_before(SimTime::from_secs(1)).is_none());
+        assert_eq!(e.now(), SimTime::from_secs(1));
+        // A later horizon keeps advancing; an earlier one does not rewind.
+        assert!(e.next_event_before(SimTime::from_millis(1)).is_none());
+        assert_eq!(e.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn cancelled_events_are_skipped() {
+        let mut e = Engine::new();
+        let h = e.schedule_at(SimTime::from_millis(1), "gone");
+        e.schedule_at(SimTime::from_millis(2), "kept");
+        assert!(e.cancel(h));
+        let (_, ev) = e.next_event().unwrap();
+        assert_eq!(ev, "kept");
+    }
+}

@@ -1,0 +1,270 @@
+//! A stable, timestamped event queue.
+//!
+//! [`EventQueue`] is a min-heap keyed on `(time, sequence)`. The sequence
+//! number makes ordering *stable*: two events scheduled for the same instant
+//! pop in the order they were pushed, which keeps simulations deterministic
+//! regardless of heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A handle identifying a scheduled event, usable for cancellation.
+///
+/// Handles are unique per [`EventQueue`] instance and never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventHandle(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic priority queue of timestamped events.
+///
+/// # Example
+///
+/// ```
+/// use bicord_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_millis(2), 'b');
+/// q.push(SimTime::from_millis(1), 'a');
+/// let h = q.push(SimTime::from_millis(3), 'c');
+/// q.cancel(h);
+///
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(1), 'a')));
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(2), 'b')));
+/// assert_eq!(q.pop(), None); // 'c' was cancelled
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Sequence numbers of events that are scheduled and not yet popped or
+    /// cancelled. Cancelled entries are dropped lazily at the heap head.
+    pending: std::collections::HashSet<u64>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pending: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Schedules `event` at `time` and returns a cancellation handle.
+    pub fn push(&mut self, time: SimTime, event: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+        self.pending.insert(seq);
+        EventHandle(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet been popped or cancelled.
+    /// Cancelled events are dropped lazily when they reach the queue head.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        self.pending.remove(&handle.0)
+    }
+
+    /// Removes and returns the earliest live event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.pending.remove(&entry.seq) {
+                return Some((entry.time, entry.event));
+            }
+        }
+        None
+    }
+
+    /// The timestamp of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drain cancelled entries off the head so the peeked value is live.
+        while let Some(entry) = self.heap.peek() {
+            if self.pending.contains(&entry.seq) {
+                return Some(entry.time);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled, not yet popped) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("live", &self.pending.len())
+            .field("heap_size", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(30), 3);
+        q.push(SimTime::from_micros(10), 1);
+        q.push(SimTime::from_micros(20), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut q = EventQueue::new();
+        let h1 = q.push(SimTime::from_micros(1), "a");
+        let h2 = q.push(SimTime::from_micros(2), "b");
+        assert!(q.cancel(h1));
+        assert!(!q.cancel(h1), "double cancel reports false");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(q.pop().is_none());
+        assert!(!q.cancel(h2), "cancel after pop reports false");
+    }
+
+    #[test]
+    fn cancel_unknown_handle_is_false() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(!q.cancel(EventHandle(42)));
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let h = q.push(SimTime::ZERO, 0);
+        q.push(SimTime::ZERO, 1);
+        assert_eq!(q.len(), 2);
+        q.cancel(h);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let h = q.push(SimTime::from_micros(1), "cancelled");
+        q.push(SimTime::from_micros(9), "live");
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(9)));
+        assert_eq!(q.pop().unwrap().1, "live");
+    }
+
+    #[test]
+    fn peek_time_empty_is_none() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+    }
+
+    proptest! {
+        #[test]
+        fn pop_order_is_sorted_and_stable(times in proptest::collection::vec(0u64..1000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_micros(t), i);
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            while let Some((t, idx)) = q.pop() {
+                if let Some((lt, lidx)) = last {
+                    prop_assert!(t >= lt, "time order violated");
+                    if t == lt {
+                        prop_assert!(idx > lidx, "FIFO tie-break violated");
+                    }
+                }
+                prop_assert_eq!(SimTime::from_micros(times[idx]), t);
+                last = Some((t, idx));
+            }
+        }
+
+        #[test]
+        fn cancelled_events_never_pop(
+            times in proptest::collection::vec(0u64..1000, 1..100),
+            cancel_mask in proptest::collection::vec(any::<bool>(), 100),
+        ) {
+            let mut q = EventQueue::new();
+            let handles: Vec<_> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| q.push(SimTime::from_micros(t), i))
+                .collect();
+            let mut expected: Vec<usize> = Vec::new();
+            for (i, h) in handles.iter().enumerate() {
+                if cancel_mask[i % cancel_mask.len()] {
+                    q.cancel(*h);
+                } else {
+                    expected.push(i);
+                }
+            }
+            let mut popped: Vec<usize> = Vec::new();
+            while let Some((_, idx)) = q.pop() {
+                popped.push(idx);
+            }
+            popped.sort_unstable();
+            expected.sort_unstable();
+            prop_assert_eq!(popped, expected);
+        }
+    }
+}

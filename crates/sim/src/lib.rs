@@ -1,0 +1,44 @@
+//! # bicord-sim
+//!
+//! Deterministic discrete-event simulation engine underpinning the BiCord
+//! reproduction.
+//!
+//! The engine is deliberately small and generic: it knows nothing about
+//! radios. It provides
+//!
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution virtual time,
+//! * [`EventQueue`] — a stable priority queue of timestamped events,
+//! * [`Engine`] — a run loop combining a clock with an event queue,
+//! * [`rng`] — reproducible per-component random-number streams,
+//! * [`dist`] — the handful of distributions the models need (exponential,
+//!   normal, Poisson) implemented without external dependencies.
+//!
+//! # Example
+//!
+//! ```
+//! use bicord_sim::{Engine, SimDuration, SimTime};
+//!
+//! let mut engine: Engine<&'static str> = Engine::new();
+//! engine.schedule_in(SimDuration::from_millis(5), "hello");
+//! engine.schedule_in(SimDuration::from_millis(1), "world");
+//!
+//! let (t1, e1) = engine.next_event().unwrap();
+//! assert_eq!((t1, e1), (SimTime::from_millis(1), "world"));
+//! let (t2, e2) = engine.next_event().unwrap();
+//! assert_eq!((t2, e2), (SimTime::from_millis(5), "hello"));
+//! assert!(engine.next_event().is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod engine;
+pub mod event;
+pub mod rng;
+pub mod time;
+
+pub use engine::Engine;
+pub use event::EventQueue;
+pub use rng::{derive_seed, stream_rng, SeedDomain};
+pub use time::{SimDuration, SimTime};

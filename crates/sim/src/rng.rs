@@ -1,0 +1,182 @@
+//! Reproducible per-component random-number streams.
+//!
+//! Every stochastic model in the workspace draws from its own RNG stream,
+//! derived from a single master seed plus a *domain label*. This guarantees
+//! that (a) the whole simulation is reproducible from one seed, and (b)
+//! adding draws to one component never perturbs another component's stream —
+//! a classic pitfall in simulation studies.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Domains separating the RNG streams of independent model components.
+///
+/// The numeric discriminants are part of the reproducibility contract:
+/// changing them changes every seeded experiment, so new domains must only
+/// be appended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum SeedDomain {
+    /// Path-loss shadowing draws.
+    Shadowing,
+    /// Thermal-noise and noise-burst process.
+    Noise,
+    /// CSI amplitude jitter.
+    Csi,
+    /// Wi-Fi MAC backoff draws.
+    WifiMac,
+    /// ZigBee MAC backoff draws.
+    ZigbeeMac,
+    /// Traffic arrival processes.
+    Traffic,
+    /// Frame-reception (capture/loss) coin flips.
+    Reception,
+    /// Mobility processes.
+    Mobility,
+    /// Interference-trace generation for CTI-detection experiments.
+    Interferers,
+    /// k-means initialisation and other learning internals.
+    Learning,
+    /// Free-form auxiliary draws in examples and tests.
+    Aux,
+}
+
+impl SeedDomain {
+    fn tag(self) -> u64 {
+        match self {
+            SeedDomain::Shadowing => 1,
+            SeedDomain::Noise => 2,
+            SeedDomain::Csi => 3,
+            SeedDomain::WifiMac => 4,
+            SeedDomain::ZigbeeMac => 5,
+            SeedDomain::Traffic => 6,
+            SeedDomain::Reception => 7,
+            SeedDomain::Mobility => 8,
+            SeedDomain::Interferers => 9,
+            SeedDomain::Learning => 10,
+            SeedDomain::Aux => 11,
+        }
+    }
+}
+
+/// SplitMix64 — the standard seed-expansion permutation.
+///
+/// Used to decorrelate derived seeds; passes BigCrush as a generator and is
+/// more than sufficient as a one-way mixing step here.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Derives a decorrelated seed for `(domain, instance)` from `master`.
+///
+/// `instance` distinguishes multiple components in the same domain (e.g.
+/// several ZigBee nodes each with their own MAC stream).
+///
+/// # Example
+///
+/// ```
+/// use bicord_sim::{derive_seed, SeedDomain};
+///
+/// let a = derive_seed(42, SeedDomain::Noise, 0);
+/// let b = derive_seed(42, SeedDomain::Noise, 1);
+/// let c = derive_seed(42, SeedDomain::Csi, 0);
+/// assert_ne!(a, b);
+/// assert_ne!(a, c);
+/// assert_eq!(a, derive_seed(42, SeedDomain::Noise, 0)); // deterministic
+/// ```
+pub fn derive_seed(master: u64, domain: SeedDomain, instance: u64) -> u64 {
+    let mut s = splitmix64(master);
+    s = splitmix64(s ^ domain.tag().wrapping_mul(0xA076_1D64_78BD_642F));
+    splitmix64(s ^ instance.wrapping_mul(0xE703_7ED1_A0B4_28DB))
+}
+
+/// Creates a [`StdRng`] for `(domain, instance)` derived from `master`.
+///
+/// # Example
+///
+/// ```
+/// use bicord_sim::{stream_rng, SeedDomain};
+/// use rand::Rng;
+///
+/// let mut rng = stream_rng(7, SeedDomain::Traffic, 0);
+/// let x: f64 = rng.gen();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+pub fn stream_rng(master: u64, domain: SeedDomain, instance: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(master, domain, instance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn seeds_are_deterministic() {
+        assert_eq!(
+            derive_seed(99, SeedDomain::WifiMac, 3),
+            derive_seed(99, SeedDomain::WifiMac, 3)
+        );
+    }
+
+    #[test]
+    fn seeds_differ_across_domains_and_instances() {
+        let mut seen = HashSet::new();
+        let domains = [
+            SeedDomain::Shadowing,
+            SeedDomain::Noise,
+            SeedDomain::Csi,
+            SeedDomain::WifiMac,
+            SeedDomain::ZigbeeMac,
+            SeedDomain::Traffic,
+            SeedDomain::Reception,
+            SeedDomain::Mobility,
+            SeedDomain::Interferers,
+            SeedDomain::Learning,
+            SeedDomain::Aux,
+        ];
+        for d in domains {
+            for inst in 0..16 {
+                assert!(
+                    seen.insert(derive_seed(1234, d, inst)),
+                    "collision at {d:?}/{inst}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_masters_decorrelate() {
+        // Adjacent master seeds must not produce adjacent streams.
+        let a = derive_seed(1, SeedDomain::Noise, 0);
+        let b = derive_seed(2, SeedDomain::Noise, 0);
+        assert_ne!(a, b);
+        assert_ne!(a.wrapping_add(1), b);
+    }
+
+    #[test]
+    fn streams_reproduce_sequences() {
+        let seq = |master| -> Vec<u64> {
+            let mut r = stream_rng(master, SeedDomain::Reception, 5);
+            (0..8).map(|_| r.gen()).collect()
+        };
+        assert_eq!(seq(77), seq(77));
+        assert_ne!(seq(77), seq(78));
+    }
+
+    #[test]
+    fn splitmix_avalanche_smoke() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let x = splitmix64(0xDEAD_BEEF);
+        let y = splitmix64(0xDEAD_BEEF ^ 1);
+        let flipped = (x ^ y).count_ones();
+        assert!(
+            (16..=48).contains(&flipped),
+            "poor avalanche: {flipped} bits"
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! # bicord-workloads
+//!
+//! Traffic and mobility generators for the BiCord evaluation:
+//!
+//! * [`traffic`] — ZigBee burst arrival processes (Poisson, as in the
+//!   paper's Sec. VIII-D, or periodic) and burst shapes;
+//! * [`priority`] — the Sec. VIII-G Wi-Fi priority schedule (a 10 s
+//!   traffic window with an adjustable share of high-priority video
+//!   segments);
+//! * [`mobility`] — the Sec. VIII-F mobile scenarios: a person walking
+//!   through the environment (CSI disturbance) and a ZigBee sender moving
+//!   within 1 m (position timeline).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mobility;
+pub mod priority;
+pub mod traffic;
+
+pub use priority::PrioritySchedule;
+pub use traffic::{ArrivalProcess, BurstSpec, BurstTrafficGenerator};

@@ -1,0 +1,256 @@
+//! The Sec. VIII-F mobile scenarios.
+//!
+//! Two mobility processes, exactly as the paper frames their effects:
+//!
+//! * **Person mobility** — a person walking at 1–2 m/s around the Wi-Fi
+//!   receiver and ZigBee sender disturbs the multipath profile; the paper
+//!   attributes the (small) utilization loss to CSI fluctuations that the
+//!   detector occasionally misreads as ZigBee requests. Modelled as a
+//!   piecewise severity timeline in `[0, 1]` (0 = nobody near the link).
+//! * **Device mobility** — the ZigBee sender itself moves within 1 m of
+//!   its base position, so its link budget (and hence loss/retransmission
+//!   rate) wobbles. Modelled as a position timeline.
+
+use rand::Rng;
+
+use bicord_phy::geometry::Point;
+use bicord_sim::dist::normal;
+use bicord_sim::{SimDuration, SimTime};
+
+/// A piecewise-constant severity timeline for a walking person.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersonMobility {
+    step: SimDuration,
+    severity: Vec<f64>,
+}
+
+impl PersonMobility {
+    /// Generates a timeline over `total`, resampled every `step`.
+    ///
+    /// The severity follows a bounded random walk: the person drifts
+    /// towards and away from the link, with excursions lasting seconds
+    /// (matching a 1–2 m/s walk around a ~3 m link).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    pub fn generate<R: Rng + ?Sized>(total: SimDuration, step: SimDuration, rng: &mut R) -> Self {
+        assert!(!step.is_zero(), "step must be positive");
+        let n = ((total / step) as usize).max(1);
+        let mut severity = Vec::with_capacity(n);
+        let mut s: f64 = 0.2;
+        for _ in 0..n {
+            s = (s + normal(rng, 0.0, 0.18)).clamp(0.0, 1.0);
+            severity.push(s);
+        }
+        PersonMobility { step, severity }
+    }
+
+    /// A timeline with nobody moving (the static scenario).
+    pub fn none(total: SimDuration, step: SimDuration) -> Self {
+        let n = ((total / step) as usize).max(1);
+        PersonMobility {
+            step,
+            severity: vec![0.0; n],
+        }
+    }
+
+    /// The severity in force at `now` (the last value persists).
+    pub fn severity_at(&self, now: SimTime) -> f64 {
+        let idx = ((now - SimTime::ZERO) / self.step) as usize;
+        *self
+            .severity
+            .get(idx)
+            .unwrap_or_else(|| self.severity.last().expect("non-empty timeline"))
+    }
+
+    /// The mean severity over the whole timeline.
+    pub fn mean_severity(&self) -> f64 {
+        self.severity.iter().sum::<f64>() / self.severity.len() as f64
+    }
+}
+
+/// A position timeline for a ZigBee sender moving within `radius` of its
+/// base position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceMobility {
+    step: SimDuration,
+    positions: Vec<Point>,
+}
+
+impl DeviceMobility {
+    /// Generates a bounded random walk around `base` with the given
+    /// `radius` (the paper moves the sender within 1 m).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero or `radius` is not positive.
+    pub fn generate<R: Rng + ?Sized>(
+        base: Point,
+        radius: f64,
+        total: SimDuration,
+        step: SimDuration,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!step.is_zero(), "step must be positive");
+        assert!(radius > 0.0, "radius must be positive");
+        let n = ((total / step) as usize).max(1);
+        let mut positions = Vec::with_capacity(n);
+        let (mut dx, mut dy) = (0.0f64, 0.0f64);
+        for _ in 0..n {
+            dx += normal(rng, 0.0, radius * 0.15);
+            dy += normal(rng, 0.0, radius * 0.15);
+            // Reflect back inside the disc.
+            let d = (dx * dx + dy * dy).sqrt();
+            if d > radius {
+                dx *= radius / d;
+                dy *= radius / d;
+            }
+            positions.push(base.offset(dx, dy));
+        }
+        DeviceMobility { step, positions }
+    }
+
+    /// A static device (the baseline scenario).
+    pub fn stationary(base: Point, total: SimDuration, step: SimDuration) -> Self {
+        let n = ((total / step) as usize).max(1);
+        DeviceMobility {
+            step,
+            positions: vec![base; n],
+        }
+    }
+
+    /// The sampling step of the timeline.
+    pub fn step(&self) -> SimDuration {
+        self.step
+    }
+
+    /// The position at `now` (the last sample persists).
+    pub fn position_at(&self, now: SimTime) -> Point {
+        let idx = ((now - SimTime::ZERO) / self.step) as usize;
+        *self
+            .positions
+            .get(idx)
+            .unwrap_or_else(|| self.positions.last().expect("non-empty timeline"))
+    }
+
+    /// All timeline samples with their activation instants.
+    pub fn samples(&self) -> impl Iterator<Item = (SimTime, Point)> + '_ {
+        self.positions
+            .iter()
+            .enumerate()
+            .map(move |(i, p)| (SimTime::ZERO + self.step * i as u64, *p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bicord_sim::{stream_rng, SeedDomain};
+
+    fn rng(i: u64) -> rand::rngs::StdRng {
+        stream_rng(7, SeedDomain::Mobility, i)
+    }
+
+    #[test]
+    fn person_severity_stays_in_unit_interval() {
+        let mut r = rng(0);
+        let p = PersonMobility::generate(
+            SimDuration::from_secs(30),
+            SimDuration::from_millis(100),
+            &mut r,
+        );
+        for i in 0..300 {
+            let s = p.severity_at(SimTime::from_millis(100 * i));
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn person_walk_actually_moves() {
+        let mut r = rng(1);
+        let p = PersonMobility::generate(
+            SimDuration::from_secs(30),
+            SimDuration::from_millis(100),
+            &mut r,
+        );
+        assert!(p.mean_severity() > 0.02, "walk never disturbs the link");
+        let values: Vec<f64> = (0..300)
+            .map(|i| p.severity_at(SimTime::from_millis(100 * i)))
+            .collect();
+        let distinct = values.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(distinct > 100, "severity should vary");
+    }
+
+    #[test]
+    fn none_is_all_zero() {
+        let p = PersonMobility::none(SimDuration::from_secs(5), SimDuration::from_millis(100));
+        assert_eq!(p.mean_severity(), 0.0);
+        assert_eq!(p.severity_at(SimTime::from_secs(100)), 0.0);
+    }
+
+    #[test]
+    fn device_walk_stays_within_radius() {
+        let mut r = rng(2);
+        let base = Point::new(4.2, 1.0);
+        let d = DeviceMobility::generate(
+            base,
+            1.0,
+            SimDuration::from_secs(60),
+            SimDuration::from_millis(200),
+            &mut r,
+        );
+        for (_, p) in d.samples() {
+            assert!(
+                base.distance_to(p) <= 1.0 + 1e-9,
+                "escaped the 1 m disc: {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn device_walk_moves_but_not_teleports() {
+        let mut r = rng(3);
+        let base = Point::new(0.0, 0.0);
+        let d = DeviceMobility::generate(
+            base,
+            1.0,
+            SimDuration::from_secs(60),
+            SimDuration::from_millis(200),
+            &mut r,
+        );
+        let pts: Vec<Point> = d.samples().map(|(_, p)| p).collect();
+        let moved = pts
+            .windows(2)
+            .filter(|w| w[0].distance_to(w[1]) > 1e-6)
+            .count();
+        assert!(moved > pts.len() / 2);
+        // Step-to-step displacement stays small (no teleports).
+        for w in pts.windows(2) {
+            assert!(w[0].distance_to(w[1]) < 0.9);
+        }
+    }
+
+    #[test]
+    fn stationary_never_moves() {
+        let base = Point::new(1.0, 2.0);
+        let d =
+            DeviceMobility::stationary(base, SimDuration::from_secs(10), SimDuration::from_secs(1));
+        assert_eq!(d.position_at(SimTime::from_secs(3)), base);
+        assert_eq!(d.position_at(SimTime::from_secs(300)), base);
+    }
+
+    #[test]
+    fn timelines_are_deterministic_per_seed() {
+        let gen = |seed| {
+            let mut r = stream_rng(seed, SeedDomain::Mobility, 9);
+            PersonMobility::generate(
+                SimDuration::from_secs(5),
+                SimDuration::from_millis(100),
+                &mut r,
+            )
+        };
+        assert_eq!(gen(1), gen(1));
+        assert_ne!(gen(1), gen(2));
+    }
+}

@@ -1,0 +1,223 @@
+//! The Sec. VIII-G Wi-Fi priority schedule.
+//!
+//! The experiment gives the Wi-Fi device a 10 s traffic window in which a
+//! configurable share (0.1–0.5) is high-priority video streaming — during
+//! those segments the device ignores ZigBee requests — and the rest is
+//! delay-tolerant file transfer.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use bicord_sim::{SimDuration, SimTime};
+
+/// Which traffic class the Wi-Fi device serves during a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficClass {
+    /// Video streaming: ZigBee requests are ignored.
+    HighPriority,
+    /// File transfer: the device makes space for ZigBee.
+    LowPriority,
+}
+
+/// A piecewise-constant priority timeline.
+///
+/// # Example
+///
+/// ```
+/// use bicord_sim::{stream_rng, SeedDomain, SimDuration, SimTime};
+/// use bicord_workloads::priority::{PrioritySchedule, TrafficClass};
+///
+/// let mut rng = stream_rng(1, SeedDomain::Traffic, 5);
+/// let sched = PrioritySchedule::with_proportion(
+///     SimDuration::from_secs(10),
+///     0.3,
+///     SimDuration::from_millis(500),
+///     &mut rng,
+/// );
+/// assert!((sched.high_priority_fraction() - 0.3).abs() < 0.051);
+/// let _class = sched.class_at(SimTime::from_secs(3));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrioritySchedule {
+    segment_len: SimDuration,
+    classes: Vec<TrafficClass>,
+}
+
+impl PrioritySchedule {
+    /// Builds a schedule of `total / segment_len` segments, a random
+    /// subset of which (as close to `proportion` as the grid allows) is
+    /// high-priority.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proportion` is outside `[0, 1]`, `segment_len` is zero,
+    /// or `total < segment_len`.
+    pub fn with_proportion<R: Rng + ?Sized>(
+        total: SimDuration,
+        proportion: f64,
+        segment_len: SimDuration,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&proportion),
+            "proportion must be in [0, 1], got {proportion}"
+        );
+        assert!(!segment_len.is_zero(), "segment length must be positive");
+        let n = (total / segment_len) as usize;
+        assert!(n >= 1, "total must cover at least one segment");
+        let n_high = (proportion * n as f64).round() as usize;
+        let mut classes = vec![TrafficClass::LowPriority; n];
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(rng);
+        for &i in idx.iter().take(n_high) {
+            classes[i] = TrafficClass::HighPriority;
+        }
+        PrioritySchedule {
+            segment_len,
+            classes,
+        }
+    }
+
+    /// An all-low-priority schedule (the default everywhere outside
+    /// Sec. VIII-G).
+    pub fn all_low(total: SimDuration, segment_len: SimDuration) -> Self {
+        let n = ((total / segment_len) as usize).max(1);
+        PrioritySchedule {
+            segment_len,
+            classes: vec![TrafficClass::LowPriority; n],
+        }
+    }
+
+    /// The class in force at `now` (the last segment extends forever).
+    pub fn class_at(&self, now: SimTime) -> TrafficClass {
+        let idx = ((now - SimTime::ZERO) / self.segment_len) as usize;
+        *self
+            .classes
+            .get(idx)
+            .unwrap_or_else(|| self.classes.last().expect("non-empty schedule"))
+    }
+
+    /// The achieved high-priority fraction.
+    pub fn high_priority_fraction(&self) -> f64 {
+        let high = self
+            .classes
+            .iter()
+            .filter(|c| **c == TrafficClass::HighPriority)
+            .count();
+        high as f64 / self.classes.len() as f64
+    }
+
+    /// Number of segments.
+    pub fn segments(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The boundaries at which the class may change, in order — useful for
+    /// scheduling re-evaluation events.
+    pub fn boundaries(&self) -> Vec<SimTime> {
+        (0..self.classes.len())
+            .map(|i| SimTime::ZERO + self.segment_len * i as u64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bicord_sim::{stream_rng, SeedDomain};
+
+    fn rng() -> rand::rngs::StdRng {
+        stream_rng(42, SeedDomain::Traffic, 20)
+    }
+
+    #[test]
+    fn proportion_is_respected_on_the_grid() {
+        let mut r = rng();
+        for p in [0.1, 0.2, 0.3, 0.4, 0.5] {
+            let s = PrioritySchedule::with_proportion(
+                SimDuration::from_secs(10),
+                p,
+                SimDuration::from_millis(500),
+                &mut r,
+            );
+            assert_eq!(s.segments(), 20);
+            assert!(
+                (s.high_priority_fraction() - p).abs() < 0.026,
+                "fraction {} for p={p}",
+                s.high_priority_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn class_lookup_matches_segments() {
+        let mut r = rng();
+        let s = PrioritySchedule::with_proportion(
+            SimDuration::from_secs(2),
+            0.5,
+            SimDuration::from_millis(500),
+            &mut r,
+        );
+        // Each instant within a segment returns that segment's class.
+        for i in 0..s.segments() {
+            let t0 = SimTime::from_millis(500 * i as u64);
+            let t_mid = t0 + SimDuration::from_millis(250);
+            assert_eq!(s.class_at(t0), s.class_at(t_mid));
+        }
+        // Beyond the schedule, the last class persists.
+        let last = s.class_at(SimTime::from_millis(1_750));
+        assert_eq!(s.class_at(SimTime::from_secs(100)), last);
+    }
+
+    #[test]
+    fn all_low_has_no_high_segments() {
+        let s = PrioritySchedule::all_low(SimDuration::from_secs(10), SimDuration::from_secs(1));
+        assert_eq!(s.high_priority_fraction(), 0.0);
+        assert_eq!(s.class_at(SimTime::from_secs(5)), TrafficClass::LowPriority);
+    }
+
+    #[test]
+    fn boundaries_are_segment_starts() {
+        let s = PrioritySchedule::all_low(SimDuration::from_secs(2), SimDuration::from_millis(500));
+        assert_eq!(
+            s.boundaries(),
+            vec![
+                SimTime::ZERO,
+                SimTime::from_millis(500),
+                SimTime::from_millis(1_000),
+                SimTime::from_millis(1_500),
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_and_full_proportion() {
+        let mut r = rng();
+        let s = PrioritySchedule::with_proportion(
+            SimDuration::from_secs(1),
+            0.0,
+            SimDuration::from_millis(100),
+            &mut r,
+        );
+        assert_eq!(s.high_priority_fraction(), 0.0);
+        let s = PrioritySchedule::with_proportion(
+            SimDuration::from_secs(1),
+            1.0,
+            SimDuration::from_millis(100),
+            &mut r,
+        );
+        assert_eq!(s.high_priority_fraction(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "proportion")]
+    fn out_of_range_proportion_rejected() {
+        let mut r = rng();
+        let _ = PrioritySchedule::with_proportion(
+            SimDuration::from_secs(1),
+            1.5,
+            SimDuration::from_millis(100),
+            &mut r,
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! ZigBee burst traffic generation.
+//!
+//! The paper's workload (Sec. VIII-D): bursts of 5 × 50 B packets whose
+//! inter-burst gaps follow a Poisson process with mean intervals of
+//! 101.56 ms (13 ticks), 203.12 ms (26 ticks), 406.24 ms (52 ticks), 1 s
+//! (128 ticks) and 2 s (256 ticks) — "the conventional practice in
+//! real-world ZigBee implementations".
+
+use rand::Rng;
+
+use bicord_sim::dist::exponential_duration;
+use bicord_sim::{SimDuration, SimTime};
+
+/// The shape of one application burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstSpec {
+    /// Packets per burst.
+    pub n_packets: u32,
+    /// MPDU length per packet, bytes.
+    pub mpdu_bytes: usize,
+}
+
+impl Default for BurstSpec {
+    fn default() -> Self {
+        // The paper's default: bursts of five 50 B packets.
+        BurstSpec {
+            n_packets: 5,
+            mpdu_bytes: 50,
+        }
+    }
+}
+
+/// How burst arrivals are spaced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Fixed interval between bursts.
+    Periodic(SimDuration),
+    /// Exponentially distributed gaps with the given mean (a Poisson
+    /// process, the paper's assumption).
+    Poisson(SimDuration),
+}
+
+impl ArrivalProcess {
+    /// The mean inter-arrival interval.
+    pub fn mean_interval(&self) -> SimDuration {
+        match *self {
+            ArrivalProcess::Periodic(d) | ArrivalProcess::Poisson(d) => d,
+        }
+    }
+
+    /// Draws the next gap.
+    pub fn next_gap<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        match *self {
+            ArrivalProcess::Periodic(d) => d,
+            ArrivalProcess::Poisson(d) => exponential_duration(rng, d),
+        }
+    }
+
+    /// The paper's five evaluation intervals (in ZigBee "ticks" of
+    /// 7.8125 ms: 13, 26, 52, 128, 256).
+    pub fn paper_intervals() -> Vec<SimDuration> {
+        vec![
+            SimDuration::from_micros(101_560),
+            SimDuration::from_micros(203_120),
+            SimDuration::from_micros(406_240),
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(2),
+        ]
+    }
+}
+
+/// Generates a timeline of burst arrivals.
+///
+/// # Example
+///
+/// ```
+/// use bicord_sim::{stream_rng, SeedDomain, SimDuration, SimTime};
+/// use bicord_workloads::traffic::{ArrivalProcess, BurstSpec, BurstTrafficGenerator};
+///
+/// let mut gen = BurstTrafficGenerator::new(
+///     BurstSpec::default(),
+///     ArrivalProcess::Poisson(SimDuration::from_millis(200)),
+/// );
+/// let mut rng = stream_rng(1, SeedDomain::Traffic, 0);
+/// let arrivals = gen.arrivals_until(&mut rng, SimTime::from_secs(10));
+/// assert!(!arrivals.is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstTrafficGenerator {
+    spec: BurstSpec,
+    process: ArrivalProcess,
+}
+
+impl BurstTrafficGenerator {
+    /// Creates a generator.
+    pub fn new(spec: BurstSpec, process: ArrivalProcess) -> Self {
+        BurstTrafficGenerator { spec, process }
+    }
+
+    /// The burst shape.
+    pub fn spec(&self) -> BurstSpec {
+        self.spec
+    }
+
+    /// The arrival process.
+    pub fn process(&self) -> ArrivalProcess {
+        self.process
+    }
+
+    /// All burst arrival instants in `[0, horizon)`, starting with one
+    /// gap drawn from the process (no burst at t = 0).
+    pub fn arrivals_until<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        horizon: SimTime,
+    ) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO + self.process.next_gap(rng);
+        while t < horizon {
+            out.push(t);
+            t += self.process.next_gap(rng);
+        }
+        out
+    }
+
+    /// Arrival instants for exactly `n_bursts` bursts.
+    pub fn arrivals_count<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        n_bursts: usize,
+    ) -> Vec<SimTime> {
+        let mut out = Vec::with_capacity(n_bursts);
+        let mut t = SimTime::ZERO;
+        for _ in 0..n_bursts {
+            t += self.process.next_gap(rng);
+            out.push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bicord_sim::{stream_rng, SeedDomain};
+
+    #[test]
+    fn periodic_arrivals_are_evenly_spaced() {
+        let mut g = BurstTrafficGenerator::new(
+            BurstSpec::default(),
+            ArrivalProcess::Periodic(SimDuration::from_millis(200)),
+        );
+        let mut rng = stream_rng(1, SeedDomain::Traffic, 0);
+        let arrivals = g.arrivals_until(&mut rng, SimTime::from_secs(1));
+        assert_eq!(arrivals.len(), 4); // 200, 400, 600, 800 ms
+        for (i, t) in arrivals.iter().enumerate() {
+            assert_eq!(*t, SimTime::from_millis(200 * (i as u64 + 1)));
+        }
+    }
+
+    #[test]
+    fn poisson_mean_interval_converges() {
+        let mean = SimDuration::from_millis(200);
+        let mut g = BurstTrafficGenerator::new(BurstSpec::default(), ArrivalProcess::Poisson(mean));
+        let mut rng = stream_rng(2, SeedDomain::Traffic, 1);
+        let arrivals = g.arrivals_count(&mut rng, 20_000);
+        let total = arrivals.last().unwrap().as_millis_f64();
+        let empirical = total / 20_000.0;
+        assert!(
+            (empirical - 200.0).abs() < 6.0,
+            "empirical mean interval {empirical} ms"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_within_horizon() {
+        let mut g = BurstTrafficGenerator::new(
+            BurstSpec::default(),
+            ArrivalProcess::Poisson(SimDuration::from_millis(100)),
+        );
+        let mut rng = stream_rng(3, SeedDomain::Traffic, 2);
+        let horizon = SimTime::from_secs(5);
+        let arrivals = g.arrivals_until(&mut rng, horizon);
+        for w in arrivals.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(arrivals.iter().all(|&t| t < horizon));
+        assert!(arrivals.iter().all(|&t| t > SimTime::ZERO));
+    }
+
+    #[test]
+    fn paper_intervals_match_tick_grid() {
+        let ivs = ArrivalProcess::paper_intervals();
+        assert_eq!(ivs.len(), 5);
+        // 13 ticks × 7.8125 ms = 101.5625 ms ≈ 101.56 ms.
+        assert_eq!(ivs[0], SimDuration::from_micros(101_560));
+        assert_eq!(ivs[4], SimDuration::from_secs(2));
+        for w in ivs.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn default_burst_is_five_times_fifty() {
+        let s = BurstSpec::default();
+        assert_eq!(s.n_packets, 5);
+        assert_eq!(s.mpdu_bytes, 50);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let run = |seed| {
+            let mut g = BurstTrafficGenerator::new(
+                BurstSpec::default(),
+                ArrivalProcess::Poisson(SimDuration::from_millis(150)),
+            );
+            let mut rng = stream_rng(seed, SeedDomain::Traffic, 7);
+            g.arrivals_until(&mut rng, SimTime::from_secs(3))
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

@@ -1,0 +1,86 @@
+//! A dense apartment: three heterogeneous ZigBee pairs, a Bluetooth
+//! speaker, and one saturated Wi-Fi link — everything this reproduction
+//! models, in one pot.
+//!
+//! ```text
+//! cargo run --example dense_apartment
+//! ```
+
+use bicord::metrics::table::{fmt1, pct, TextTable};
+use bicord::scenario::config::{BluetoothConfig, ExtraNodeConfig, SimConfig};
+use bicord::scenario::geometry::Location;
+use bicord::scenario::sim::CoexistenceSim;
+use bicord::sim::SimDuration;
+use bicord::workloads::traffic::{ArrivalProcess, BurstSpec};
+
+fn main() {
+    let duration = SimDuration::from_secs(12);
+
+    let build = |bicord: bool| {
+        let mut config = if bicord {
+            SimConfig::bicord(Location::A, 77)
+        } else {
+            SimConfig::ecc(Location::A, 77, SimDuration::from_millis(30))
+        };
+        config.duration = duration;
+        // Node 0 at A: motion sensors (5 x 50 B every ~300 ms).
+        config.zigbee.arrivals = ArrivalProcess::Poisson(SimDuration::from_millis(300));
+        // Node 1 at C: a smart meter streaming 10-packet readings.
+        let mut meter = ExtraNodeConfig::at(Location::C);
+        meter.burst = BurstSpec {
+            n_packets: 10,
+            mpdu_bytes: 50,
+        };
+        meter.arrivals = ArrivalProcess::Poisson(SimDuration::from_millis(600));
+        config.extra_nodes.push(meter);
+        // Node 2 at D: a door lock with tiny sporadic bursts.
+        let mut lock = ExtraNodeConfig::at(Location::D);
+        lock.burst = BurstSpec {
+            n_packets: 2,
+            mpdu_bytes: 30,
+        };
+        lock.arrivals = ArrivalProcess::Poisson(SimDuration::from_millis(900));
+        config.extra_nodes.push(lock);
+        // A Bluetooth speaker near the middle of the room.
+        config.bluetooth = Some(BluetoothConfig::default());
+        config
+    };
+
+    let mut table = TextTable::new(vec![
+        "scheme",
+        "device",
+        "PDR",
+        "mean delay",
+        "signaling rounds",
+    ]);
+    table.title("Dense apartment: 3 ZigBee devices + Bluetooth + saturated Wi-Fi");
+
+    for (label, bicord) in [("BiCord", true), ("ECC-30ms", false)] {
+        let results = CoexistenceSim::new(build(bicord)).run();
+        let names = ["motion sensors (A)", "smart meter (C)", "door lock (D)"];
+        for (i, node) in results.per_node.iter().enumerate() {
+            table.row(vec![
+                label.to_string(),
+                names[i].to_string(),
+                pct(node.delivered as f64 / node.generated.max(1) as f64),
+                node.mean_delay_ms
+                    .map(|d| format!("{} ms", fmt1(d)))
+                    .unwrap_or_else(|| "-".to_string()),
+                node.signaling_rounds.to_string(),
+            ]);
+        }
+        println!(
+            "{label}: total utilization {}, aggregate delay {} ms",
+            pct(results.utilization),
+            results
+                .zigbee
+                .mean_delay_ms
+                .map(fmt1)
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    println!();
+    println!("{table}");
+    println!("Every device keeps its data flowing; the Bluetooth speaker is correctly");
+    println!("ignored by the CTI classifier (it never earns a white space).");
+}

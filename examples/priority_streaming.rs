@@ -1,0 +1,55 @@
+//! Prioritised Wi-Fi traffic (the paper's Sec. VIII-G): the Wi-Fi device
+//! streams video part of the time and ignores ZigBee requests while doing
+//! so; the rest is delay-tolerant file transfer that yields.
+//!
+//! ```text
+//! cargo run --example priority_streaming
+//! ```
+
+use bicord::metrics::table::{fmt1, pct, TextTable};
+use bicord::scenario::experiments::{fig13_priority, Scheme};
+use bicord::sim::SimDuration;
+
+fn main() {
+    let duration = SimDuration::from_secs(10);
+    println!("Sweeping the high-priority share of Wi-Fi traffic from 10% to 50%...");
+    let rows = fig13_priority(11, duration);
+
+    let mut table = TextTable::new(vec![
+        "high-prio share",
+        "scheme",
+        "utilization",
+        "ZigBee share",
+        "low-prio Wi-Fi delay",
+        "ignored requests",
+    ]);
+    table.title("Wi-Fi traffic prioritisation (10 s window, bursts of 5 x 50 B every 200 ms)");
+    for row in &rows {
+        table.row(vec![
+            format!("{:.0}%", row.proportion * 100.0),
+            row.scheme.label(),
+            pct(row.utilization),
+            pct(row.zigbee_utilization),
+            row.wifi_low_delay_ms
+                .map(|d| format!("{} ms", fmt1(d)))
+                .unwrap_or_else(|| "-".to_string()),
+            row.ignored_requests.to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    // Aggregate comparison, as the paper summarises it.
+    let mean = |scheme: Scheme, f: &dyn Fn(&bicord::scenario::experiments::PriorityRow) -> f64| {
+        let vals: Vec<f64> = rows.iter().filter(|r| r.scheme == scheme).map(f).collect();
+        vals.iter().sum::<f64>() / vals.len() as f64
+    };
+    let zb = |r: &bicord::scenario::experiments::PriorityRow| r.zigbee_utilization;
+    println!(
+        "mean ZigBee share: BiCord {} vs ECC-20ms {} vs ECC-30ms {}",
+        pct(mean(Scheme::Bicord, &zb)),
+        pct(mean(Scheme::Ecc(20), &zb)),
+        pct(mean(Scheme::Ecc(30), &zb)),
+    );
+    println!("high-priority segments face (nearly) zero extra delay: the device simply");
+    println!("ignores requests while streaming — the 'ignored requests' column.");
+}

@@ -1,0 +1,89 @@
+//! A smart-home evening: a ZigBee sensor network sharing the air with a
+//! busy Wi-Fi access point.
+//!
+//! The scenario the paper's introduction motivates: periodic sensor
+//! reports (small bursts) plus occasional firmware-chunk uploads (long
+//! bursts) must coexist with a Wi-Fi link that is effectively saturated.
+//! The example runs each traffic profile from every Fig. 6 location and
+//! shows how BiCord's learned white spaces track the burst length.
+//!
+//! ```text
+//! cargo run --example smart_home
+//! ```
+
+use bicord::metrics::table::{fmt1, pct, TextTable};
+use bicord::scenario::config::SimConfig;
+use bicord::scenario::geometry::Location;
+use bicord::scenario::sim::CoexistenceSim;
+use bicord::sim::SimDuration;
+use bicord::workloads::traffic::{ArrivalProcess, BurstSpec};
+
+struct Profile {
+    name: &'static str,
+    burst: BurstSpec,
+    interval: SimDuration,
+}
+
+fn main() {
+    let profiles = [
+        Profile {
+            name: "sensor reports",
+            burst: BurstSpec {
+                n_packets: 3,
+                mpdu_bytes: 30,
+            },
+            interval: SimDuration::from_millis(500),
+        },
+        Profile {
+            name: "motion events",
+            burst: BurstSpec {
+                n_packets: 5,
+                mpdu_bytes: 50,
+            },
+            interval: SimDuration::from_millis(200),
+        },
+        Profile {
+            name: "firmware chunks",
+            burst: BurstSpec {
+                n_packets: 12,
+                mpdu_bytes: 100,
+            },
+            interval: SimDuration::from_secs(1),
+        },
+    ];
+
+    let mut table = TextTable::new(vec![
+        "profile",
+        "location",
+        "PDR",
+        "mean delay",
+        "white space",
+        "signaling rounds",
+    ]);
+    table.title("Smart home: ZigBee traffic profiles under a saturated Wi-Fi AP (BiCord)");
+
+    for profile in &profiles {
+        for location in Location::all() {
+            let mut config = SimConfig::bicord(location, 21);
+            config.duration = SimDuration::from_secs(12);
+            config.zigbee.burst = profile.burst;
+            config.zigbee.arrivals = ArrivalProcess::Poisson(profile.interval);
+            let r = CoexistenceSim::new(config).run();
+            table.row(vec![
+                profile.name.to_string(),
+                location.label().to_string(),
+                pct(r.zigbee_pdr()),
+                r.zigbee
+                    .mean_delay_ms
+                    .map(|d| format!("{} ms", fmt1(d)))
+                    .unwrap_or_else(|| "-".to_string()),
+                format!("{} ms", fmt1(r.allocation.final_estimate_ms)),
+                r.zigbee.signaling_rounds.to_string(),
+            ]);
+        }
+    }
+
+    println!("{table}");
+    println!("Longer bursts teach the Wi-Fi device to open longer white spaces;");
+    println!("location changes only the signaling reliability, not the mechanism.");
+}

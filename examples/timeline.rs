@@ -1,0 +1,65 @@
+//! Render the channel timeline of a BiCord run — the picture the paper
+//! draws in Fig. 2/4/5, regenerated from a live simulation.
+//!
+//! ```text
+//! cargo run --example timeline
+//! ```
+
+use bicord::scenario::config::SimConfig;
+use bicord::scenario::geometry::Location;
+use bicord::scenario::sim::CoexistenceSim;
+use bicord::scenario::trace::SpanKind;
+use bicord::sim::{SimDuration, SimTime};
+use bicord::workloads::traffic::{ArrivalProcess, BurstSpec};
+
+fn main() {
+    let mut config = SimConfig::bicord(Location::A, 9);
+    config.duration = SimDuration::from_secs(3);
+    config.zigbee.burst = BurstSpec {
+        n_packets: 8,
+        mpdu_bytes: 50,
+    };
+    config.zigbee.arrivals = ArrivalProcess::Periodic(SimDuration::from_millis(250));
+    config.record_trace = true;
+
+    println!("Running BiCord with tracing for {}...", config.duration);
+    let results = CoexistenceSim::new(config).run();
+    let trace = results.trace.as_ref().expect("tracing was enabled");
+
+    // Zoom into a window containing a full coordination round: find the
+    // first white space after the allocator has had a burst to learn from.
+    let ws = trace
+        .spans()
+        .iter()
+        .filter(|s| s.kind == SpanKind::WhiteSpace)
+        .nth(3)
+        .expect("at least four reservations");
+    let from = ws
+        .start
+        .saturating_since(SimTime::ZERO + SimDuration::from_millis(30));
+    let from = SimTime::ZERO + from;
+    let to = ws.end + SimDuration::from_millis(30);
+
+    println!();
+    println!("one coordination round (legend: # wifi data, ^ zigbee control,");
+    println!("| CTS, _ white space, = zigbee data+ack):");
+    println!();
+    print!("{}", trace.render(from, to, 100));
+    println!();
+    println!(
+        "full run: {} spans recorded; white-space airtime {} of {}",
+        trace.len(),
+        trace.airtime(
+            SpanKind::WhiteSpace,
+            SimTime::ZERO,
+            SimTime::ZERO + results.simulated
+        ),
+        results.simulated,
+    );
+    println!(
+        "utilization {:.1}%, ZigBee PDR {:.1}%, mean delay {:.1} ms",
+        results.utilization * 100.0,
+        results.zigbee_pdr() * 100.0,
+        results.zigbee.mean_delay_ms.unwrap_or(f64::NAN),
+    );
+}

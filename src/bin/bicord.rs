@@ -1,0 +1,316 @@
+//! `bicord` — command-line runner for coexistence scenarios.
+//!
+//! ```text
+//! bicord [OPTIONS]
+//!
+//! OPTIONS:
+//!   --mode <bicord|ecc-20|ecc-30|ecc-40|unprotected>   coordination scheme [bicord]
+//!   --location <A|B|C|D>        ZigBee sender location (Fig. 6)       [A]
+//!   --seconds <N>               simulated duration                    [10]
+//!   --seed <N>                  master seed                           [42]
+//!   --burst <N>                 packets per ZigBee burst              [5]
+//!   --bytes <N>                 MPDU bytes per packet                 [50]
+//!   --interval-ms <N>           mean Poisson burst interval           [200]
+//!   --extra-node <LOC:BURST:INTERVAL_MS>   add a ZigBee pair (repeatable)
+//!   --timeline                  print an ASCII channel timeline
+//!   --help                      this text
+//! ```
+//!
+//! Example:
+//!
+//! ```text
+//! bicord --mode ecc-30 --location C --seconds 20 --extra-node D:3:400
+//! ```
+
+use bicord::scenario::config::{ExtraNodeConfig, SimConfig};
+use bicord::scenario::geometry::Location;
+use bicord::scenario::sim::CoexistenceSim;
+use bicord::sim::{SimDuration, SimTime};
+use bicord::workloads::traffic::{ArrivalProcess, BurstSpec};
+
+#[derive(Debug, Clone, PartialEq)]
+struct CliOptions {
+    mode: String,
+    location: Location,
+    seconds: u64,
+    seed: u64,
+    burst: u32,
+    bytes: usize,
+    interval_ms: u64,
+    extra_nodes: Vec<(Location, u32, u64)>,
+    timeline: bool,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            mode: "bicord".to_string(),
+            location: Location::A,
+            seconds: 10,
+            seed: 42,
+            burst: 5,
+            bytes: 50,
+            interval_ms: 200,
+            extra_nodes: Vec::new(),
+            timeline: false,
+        }
+    }
+}
+
+fn parse_location(s: &str) -> Result<Location, String> {
+    match s.to_ascii_uppercase().as_str() {
+        "A" => Ok(Location::A),
+        "B" => Ok(Location::B),
+        "C" => Ok(Location::C),
+        "D" => Ok(Location::D),
+        other => Err(format!("unknown location '{other}' (use A, B, C or D)")),
+    }
+}
+
+fn parse_extra_node(s: &str) -> Result<(Location, u32, u64), String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    if parts.len() != 3 {
+        return Err(format!(
+            "--extra-node wants LOC:BURST:INTERVAL_MS, got '{s}'"
+        ));
+    }
+    let location = parse_location(parts[0])?;
+    let burst: u32 = parts[1]
+        .parse()
+        .map_err(|_| format!("bad burst count '{}'", parts[1]))?;
+    let interval: u64 = parts[2]
+        .parse()
+        .map_err(|_| format!("bad interval '{}'", parts[2]))?;
+    Ok((location, burst, interval))
+}
+
+fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<CliOptions, String> {
+    let mut options = CliOptions::default();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--mode" => options.mode = value("--mode")?,
+            "--location" => options.location = parse_location(&value("--location")?)?,
+            "--seconds" => {
+                options.seconds = value("--seconds")?
+                    .parse()
+                    .map_err(|e| format!("--seconds: {e}"))?
+            }
+            "--seed" => {
+                options.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--burst" => {
+                options.burst = value("--burst")?
+                    .parse()
+                    .map_err(|e| format!("--burst: {e}"))?
+            }
+            "--bytes" => {
+                options.bytes = value("--bytes")?
+                    .parse()
+                    .map_err(|e| format!("--bytes: {e}"))?
+            }
+            "--interval-ms" => {
+                options.interval_ms = value("--interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("--interval-ms: {e}"))?
+            }
+            "--extra-node" => options
+                .extra_nodes
+                .push(parse_extra_node(&value("--extra-node")?)?),
+            "--timeline" => options.timeline = true,
+            "--help" | "-h" => return Err("help".to_string()),
+            other => return Err(format!("unknown option '{other}' (try --help)")),
+        }
+    }
+    Ok(options)
+}
+
+fn build_config(options: &CliOptions) -> Result<SimConfig, String> {
+    let mut config = match options.mode.as_str() {
+        "bicord" => SimConfig::bicord(options.location, options.seed),
+        "ecc-20" => SimConfig::ecc(options.location, options.seed, SimDuration::from_millis(20)),
+        "ecc-30" => SimConfig::ecc(options.location, options.seed, SimDuration::from_millis(30)),
+        "ecc-40" => SimConfig::ecc(options.location, options.seed, SimDuration::from_millis(40)),
+        "unprotected" => SimConfig::unprotected(options.location, options.seed),
+        other => {
+            return Err(format!(
+                "unknown mode '{other}' (bicord, ecc-20, ecc-30, ecc-40, unprotected)"
+            ))
+        }
+    };
+    config.duration = SimDuration::from_secs(options.seconds);
+    config.zigbee.burst = BurstSpec {
+        n_packets: options.burst,
+        mpdu_bytes: options.bytes,
+    };
+    config.zigbee.arrivals = ArrivalProcess::Poisson(SimDuration::from_millis(options.interval_ms));
+    for &(location, burst, interval) in &options.extra_nodes {
+        let mut node = ExtraNodeConfig::at(location);
+        node.burst = BurstSpec {
+            n_packets: burst,
+            mpdu_bytes: options.bytes,
+        };
+        node.arrivals = ArrivalProcess::Poisson(SimDuration::from_millis(interval));
+        config.extra_nodes.push(node);
+    }
+    config.record_trace = options.timeline;
+    Ok(config)
+}
+
+fn usage() -> &'static str {
+    "bicord — run a Wi-Fi/ZigBee coexistence scenario
+
+USAGE:
+  bicord [OPTIONS]
+
+OPTIONS:
+  --mode <bicord|ecc-20|ecc-30|ecc-40|unprotected>  scheme      [bicord]
+  --location <A|B|C|D>      ZigBee sender location (Fig. 6)     [A]
+  --seconds <N>             simulated duration                  [10]
+  --seed <N>                master seed                         [42]
+  --burst <N>               packets per ZigBee burst            [5]
+  --bytes <N>               MPDU bytes per packet               [50]
+  --interval-ms <N>         mean Poisson burst interval         [200]
+  --extra-node LOC:BURST:INTERVAL_MS  add a ZigBee pair (repeatable)
+  --timeline                print an ASCII channel timeline
+  --help                    this text"
+}
+
+fn main() {
+    let options = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) if e == "help" => {
+            println!("{}", usage());
+            return;
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+    let config = match build_config(&options) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "running {} at {} for {}s (seed {})...",
+        options.mode, options.location, options.seconds, options.seed
+    );
+    let results = CoexistenceSim::new(config).run();
+
+    print!("{}", results.summary_text());
+
+    if let Some(trace) = results.trace.as_ref() {
+        let to = SimTime::ZERO
+            + results
+                .simulated
+                .min(bicord::sim::SimDuration::from_secs(1));
+        println!();
+        println!("first second of channel activity:");
+        print!("{}", trace.render(SimTime::ZERO, to, 110));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliOptions, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_without_args() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o, CliOptions::default());
+    }
+
+    #[test]
+    fn full_argument_set() {
+        let o = parse(&[
+            "--mode",
+            "ecc-30",
+            "--location",
+            "c",
+            "--seconds",
+            "20",
+            "--seed",
+            "7",
+            "--burst",
+            "10",
+            "--bytes",
+            "75",
+            "--interval-ms",
+            "400",
+            "--extra-node",
+            "D:3:500",
+            "--timeline",
+        ])
+        .unwrap();
+        assert_eq!(o.mode, "ecc-30");
+        assert_eq!(o.location, Location::C);
+        assert_eq!(o.seconds, 20);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.burst, 10);
+        assert_eq!(o.bytes, 75);
+        assert_eq!(o.interval_ms, 400);
+        assert_eq!(o.extra_nodes, vec![(Location::D, 3, 500)]);
+        assert!(o.timeline);
+    }
+
+    #[test]
+    fn bad_location_is_an_error() {
+        assert!(parse(&["--location", "Z"]).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&["--seconds"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn help_is_special_cased() {
+        assert_eq!(parse(&["--help"]).unwrap_err(), "help");
+    }
+
+    #[test]
+    fn extra_node_validation() {
+        assert!(parse_extra_node("D:3:500").is_ok());
+        assert!(parse_extra_node("D:3").is_err());
+        assert!(parse_extra_node("X:3:500").is_err());
+        assert!(parse_extra_node("D:x:500").is_err());
+        assert!(parse_extra_node("D:3:y").is_err());
+    }
+
+    #[test]
+    fn config_building() {
+        let mut o = CliOptions {
+            mode: "unprotected".to_string(),
+            ..CliOptions::default()
+        };
+        o.extra_nodes.push((Location::B, 7, 300));
+        let c = build_config(&o).unwrap();
+        assert_eq!(c.extra_nodes.len(), 1);
+        assert_eq!(c.extra_nodes[0].burst.n_packets, 7);
+        assert!(matches!(
+            c.mode,
+            bicord::scenario::config::Mode::Unprotected
+        ));
+        o.mode = "warp-drive".to_string();
+        assert!(build_config(&o).is_err());
+    }
+}

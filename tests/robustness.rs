@@ -1,0 +1,136 @@
+//! Robustness: the simulator must stay well-formed under arbitrary (valid)
+//! configurations — no panics, conserved counters, bounded metrics.
+
+use bicord::phy::units::Dbm;
+use bicord::scenario::config::{BluetoothConfig, ExtraNodeConfig, Mode, SimConfig};
+use bicord::scenario::geometry::Location;
+use bicord::scenario::sim::CoexistenceSim;
+use bicord::sim::SimDuration;
+use bicord::workloads::traffic::{ArrivalProcess, BurstSpec};
+use proptest::prelude::*;
+
+fn location_strategy() -> impl Strategy<Value = Location> {
+    prop_oneof![
+        Just(Location::A),
+        Just(Location::B),
+        Just(Location::C),
+        Just(Location::D),
+    ]
+}
+
+fn mode_strategy() -> impl Strategy<Value = u8> {
+    0u8..4
+}
+
+fn check_invariants(config: SimConfig) {
+    let n_nodes = 1 + config.extra_nodes.len();
+    let results = CoexistenceSim::new(config).run();
+    assert!(results.utilization >= 0.0 && results.utilization <= 1.0);
+    assert!(results.zigbee_utilization <= results.utilization + 1e-9);
+    assert!(results.wifi_utilization <= results.utilization + 1e-9);
+    assert!(results.overhead_fraction >= 0.0 && results.overhead_fraction <= 1.0);
+    assert!(results.zigbee.delivered <= results.zigbee.generated);
+    assert!(
+        results.zigbee.delivered <= results.zigbee.transmissions
+            || results.zigbee.transmissions == 0
+    );
+    assert_eq!(
+        results.zigbee.generated,
+        results.zigbee.delivered + results.zigbee.undelivered
+    );
+    assert_eq!(results.per_node.len(), n_nodes);
+    assert_eq!(
+        results.per_node.iter().map(|n| n.delivered).sum::<u64>(),
+        results.zigbee.delivered
+    );
+    if let Some(d) = results.zigbee.mean_delay_ms {
+        assert!(d.is_finite() && d >= 0.0);
+        assert!(results.zigbee.max_delay_ms.unwrap() >= d - 1e-9);
+    }
+    assert!(results.events > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 0,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_configs_hold_invariants(
+        seed in any::<u64>(),
+        location in location_strategy(),
+        mode in mode_strategy(),
+        burst in 1u32..16,
+        bytes in 10usize..120,
+        interval_ms in 80u64..1_500,
+        periodic in any::<bool>(),
+        with_bluetooth in any::<bool>(),
+        extra_node in proptest::option::of(location_strategy()),
+        data_power in -10.0f64..0.0,
+    ) {
+        let mut config = match mode {
+            0 => SimConfig::bicord(location, seed),
+            1 => SimConfig::ecc(location, seed, SimDuration::from_millis(30)),
+            2 => SimConfig::unprotected(location, seed),
+            _ => SimConfig::signaling_trial(location, seed, 3, 12, Dbm::new(-1.0)),
+        };
+        config.duration = SimDuration::from_millis(1_500);
+        config.zigbee.burst = BurstSpec { n_packets: burst, mpdu_bytes: bytes };
+        let interval = SimDuration::from_millis(interval_ms);
+        config.zigbee.arrivals = if periodic {
+            ArrivalProcess::Periodic(interval)
+        } else {
+            ArrivalProcess::Poisson(interval)
+        };
+        config.zigbee.data_power = Dbm::new(data_power);
+        if with_bluetooth {
+            config.bluetooth = Some(BluetoothConfig::default());
+        }
+        if let Some(loc) = extra_node {
+            if !matches!(config.mode, Mode::SignalingTrial { .. }) {
+                config.extra_nodes.push(ExtraNodeConfig::at(loc));
+            }
+        }
+        check_invariants(config);
+    }
+}
+
+#[test]
+fn extreme_corner_configurations() {
+    // Tiny burst, huge packets, very dense arrivals.
+    let mut config = SimConfig::bicord(Location::D, 7);
+    config.duration = SimDuration::from_secs(1);
+    config.zigbee.burst = BurstSpec {
+        n_packets: 1,
+        mpdu_bytes: 118,
+    };
+    config.zigbee.arrivals = ArrivalProcess::Periodic(SimDuration::from_millis(40));
+    check_invariants(config);
+
+    // No ZigBee traffic at all within the horizon.
+    let mut config = SimConfig::ecc(Location::B, 8, SimDuration::from_millis(40));
+    config.duration = SimDuration::from_secs(1);
+    config.zigbee.arrivals = ArrivalProcess::Periodic(SimDuration::from_secs(100));
+    check_invariants(config);
+
+    // Saturating ZigBee: long bursts arriving faster than they finish.
+    let mut config = SimConfig::bicord(Location::A, 9);
+    config.duration = SimDuration::from_secs(2);
+    config.zigbee.burst = BurstSpec {
+        n_packets: 15,
+        mpdu_bytes: 100,
+    };
+    config.zigbee.arrivals = ArrivalProcess::Periodic(SimDuration::from_millis(100));
+    check_invariants(config);
+
+    // Three nodes, everything at once.
+    let mut config = SimConfig::bicord(Location::A, 10);
+    config.duration = SimDuration::from_secs(1);
+    config.extra_nodes.push(ExtraNodeConfig::at(Location::B));
+    config.extra_nodes.push(ExtraNodeConfig::at(Location::C));
+    config.bluetooth = Some(BluetoothConfig::default());
+    config.record_trace = true;
+    check_invariants(config);
+}
