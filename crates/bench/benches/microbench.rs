@@ -1,6 +1,7 @@
 //! Criterion micro-benchmarks of BiCord's hot paths: the CSI detector,
-//! the white-space estimator, feature extraction, the decision tree, and
-//! k-means fingerprinting.
+//! the white-space estimator, feature extraction, the decision tree,
+//! k-means fingerprinting, the discrete-event queue, and RSSI trace
+//! generation (allocating vs buffer-reusing).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -8,7 +9,10 @@ use bicord_core::allocation::{AllocatorConfig, WhiteSpaceAllocator};
 use bicord_core::cti::{classify, extract_features, KMeans, KMeansConfig};
 use bicord_core::signaling::{CsiDetector, DetectorConfig};
 use bicord_phy::csi::{CsiModel, CsiSample, Disturbance};
-use bicord_phy::interferers::{generate_trace, TraceConfig, TRACE_DURATION};
+use bicord_phy::interferers::{
+    generate_trace, generate_trace_into, RssiTrace, TraceConfig, TraceScratch, TRACE_DURATION,
+};
+use bicord_sim::event::EventQueue;
 use bicord_sim::{stream_rng, SeedDomain, SimTime};
 
 fn bench_csi_detector(c: &mut Criterion) {
@@ -107,11 +111,65 @@ fn bench_kmeans(c: &mut Criterion) {
     });
 }
 
+fn bench_event_queue(c: &mut Criterion) {
+    // The DES hot loop at a realistic backlog: 10k pending events, each
+    // iteration pops the head and pushes a replacement.
+    const PENDING: u64 = 10_000;
+    c.bench_function("event_queue_push_pop_10k_pending", |b| {
+        let mut queue = EventQueue::with_capacity(PENDING as usize + 1);
+        for i in 0..PENDING {
+            queue.push(SimTime::from_micros(i * 7), i);
+        }
+        let mut next = PENDING;
+        b.iter(|| {
+            let (time, event) = queue.pop().expect("queue is never drained");
+            queue.push(time + bicord_sim::SimDuration::from_micros(70_000), next);
+            next += 1;
+            black_box(event)
+        })
+    });
+    c.bench_function("event_queue_fill_drain_10k", |b| {
+        b.iter(|| {
+            let mut queue = EventQueue::with_capacity(PENDING as usize);
+            for i in 0..PENDING {
+                queue.push(SimTime::from_micros((i * 37) % 100_000), i);
+            }
+            let mut popped = 0u64;
+            while queue.pop().is_some() {
+                popped += 1;
+            }
+            black_box(popped)
+        })
+    });
+}
+
+fn bench_generate_trace(c: &mut Criterion) {
+    let config = TraceConfig::wifi(-40.0);
+    c.bench_function("generate_trace_alloc", |b| {
+        let mut rng = stream_rng(4, SeedDomain::Interferers, 70);
+        b.iter(|| black_box(generate_trace(&mut rng, &config, TRACE_DURATION)))
+    });
+    c.bench_function("generate_trace_into_reuse", |b| {
+        let mut rng = stream_rng(4, SeedDomain::Interferers, 70);
+        let mut scratch = TraceScratch::default();
+        let mut trace = RssiTrace {
+            sample_period: bicord_sim::SimDuration::from_micros(25),
+            samples: Vec::new(),
+        };
+        b.iter(|| {
+            generate_trace_into(&mut rng, &config, TRACE_DURATION, &mut scratch, &mut trace);
+            black_box(trace.samples.len())
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_csi_detector,
     bench_allocator,
     bench_feature_extraction,
-    bench_kmeans
+    bench_kmeans,
+    bench_event_queue,
+    bench_generate_trace
 );
 criterion_main!(benches);

@@ -5,13 +5,14 @@
 //! 2. the **allocator stabilisers** (opportunistic shrink + re-estimation
 //!    confirmation) added on top of the paper's Eq. 1.
 
-use bicord_bench::{run_count, run_duration, BENCH_SEED};
+use bicord_bench::{run_count, run_duration, PerfRecorder, BENCH_SEED};
 use bicord_metrics::table::{fmt1, fmt3, pct, TextTable};
 use bicord_scenario::experiments::{ablation_allocator, ablation_detector};
 
 fn main() {
     let trials = run_count(300, 40);
     eprintln!("Ablation 1: detector rule sweep (N x T), {trials} trials per cell...");
+    let mut perf = PerfRecorder::start("ablations");
     let rows = ablation_detector(BENCH_SEED, trials);
     let mut table = TextTable::new(vec!["N (highs)", "T (ms)", "precision", "recall"]);
     table.title("Ablation — CSI detector continuity rule (location C, -1 dBm, 4 packets)");
@@ -69,4 +70,16 @@ fn main() {
     println!("Without the shrink path, burst merging under dense traffic ratchets the");
     println!("estimate to the cap and utilization collapses; without confirmation,");
     println!("detector false positives distort a converged estimate immediately.");
+
+    perf.cells(9 + rows.len());
+    perf.metric("detector_n2_mean_precision", n2);
+    perf.metric(
+        "allocator_full_mean_utilization",
+        rows.iter()
+            .filter(|r| r.variant == "full")
+            .map(|r| r.utilization)
+            .sum::<f64>()
+            / 2.0,
+    );
+    perf.finish();
 }

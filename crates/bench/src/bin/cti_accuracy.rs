@@ -3,14 +3,20 @@
 //! and identifying which of three Wi-Fi devices transmitted (paper:
 //! 89.76 % ± 2.14).
 
-use bicord_bench::{run_count, BENCH_SEED};
+use bicord_bench::{run_count, PerfRecorder, BENCH_SEED};
 use bicord_metrics::table::{pct, TextTable};
 use bicord_scenario::experiments::cti_accuracy;
 
 fn main() {
     let traces = run_count(200, 40) as usize;
     eprintln!("CTI detection: {traces} traces per technology / device...");
+    let mut perf = PerfRecorder::start("cti_accuracy");
     let acc = cti_accuracy(BENCH_SEED, traces);
+    // 4 technologies + 3 training devices, plus the test traces.
+    perf.cells(traces * 7 + traces.max(30) * 3);
+    perf.metric("wifi_detection_accuracy", acc.wifi_detection_accuracy);
+    perf.metric("device_id_accuracy", acc.device_id_accuracy);
+    perf.finish();
 
     let mut table = TextTable::new(vec!["metric", "measured", "paper"]);
     table.title("Sec. VII-A — CTI detection accuracy");

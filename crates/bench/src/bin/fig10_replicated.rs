@@ -3,7 +3,7 @@
 //! `fig10_comparison` binary remains the paper-shaped view; this one shows
 //! how stable the numbers are.
 
-use bicord_bench::{run_count, run_duration, BENCH_SEED};
+use bicord_bench::{run_count, run_duration, PerfRecorder, BENCH_SEED};
 use bicord_metrics::table::TextTable;
 use bicord_scenario::experiments::{fig10_replicated, Scheme};
 
@@ -11,7 +11,17 @@ fn main() {
     let duration = run_duration(30, 4);
     let runs = u64::from(run_count(5, 2));
     eprintln!("Fig. 10 replicated: 4 schemes x 5 intervals, {runs} x {duration} each...");
+    let mut perf = PerfRecorder::start("fig10_replicated");
     let cells = fig10_replicated(BENCH_SEED, runs, duration);
+    perf.cells(cells.len() * runs as usize);
+    let bicord_util: f64 = cells
+        .iter()
+        .filter(|c| c.scheme == Scheme::Bicord)
+        .map(|c| c.utilization.mean())
+        .sum::<f64>()
+        / cells.iter().filter(|c| c.scheme == Scheme::Bicord).count() as f64;
+    perf.metric("bicord_mean_utilization", bicord_util);
+    perf.finish();
 
     for (title, pick) in [
         ("Fig. 10(a) — utilization, mean ± 95% CI", 0usize),

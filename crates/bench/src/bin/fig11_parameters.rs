@@ -6,14 +6,21 @@
 //! sweeps; the ZigBee share (pink) grows with burst duration; delay stays
 //! under 80 ms and around 30 ms for small bursts.
 
-use bicord_bench::{run_duration, BENCH_SEED};
+use bicord_bench::{run_duration, PerfRecorder, BENCH_SEED};
 use bicord_metrics::table::{fmt1, pct, TextTable};
 use bicord_scenario::experiments::fig11_parameters;
 
 fn main() {
     let duration = run_duration(40, 6);
     eprintln!("Fig. 11: three parameter sweeps, {duration} each...");
+    let mut perf = PerfRecorder::start("fig11_parameters");
     let rows = fig11_parameters(BENCH_SEED, duration);
+    perf.cells(rows.len());
+    perf.metric(
+        "min_utilization",
+        rows.iter().map(|r| r.utilization).fold(f64::MAX, f64::min),
+    );
+    perf.finish();
 
     for (dimension, title) in [
         ("packet_length", "Fig. 11(a) — utilization vs packet length"),

@@ -4,7 +4,7 @@
 //! Paper anchors: mobility costs at most ~9 % utilization; device mobility
 //! adds ≈ 3 ms of delay from retransmissions and extra control packets.
 
-use bicord_bench::{run_count, run_duration, BENCH_SEED};
+use bicord_bench::{run_count, run_duration, PerfRecorder, BENCH_SEED};
 use bicord_metrics::table::{fmt1, pct, TextTable};
 use bicord_scenario::experiments::{fig12_mobility_replicated, MobilityScenario};
 
@@ -12,7 +12,14 @@ fn main() {
     let duration = run_duration(30, 6);
     let runs = u64::from(run_count(5, 1));
     eprintln!("Fig. 12: three scenarios x two burst intervals, {runs} x {duration} each...");
+    let mut perf = PerfRecorder::start("fig12_mobility");
     let cells = fig12_mobility_replicated(BENCH_SEED, runs, duration);
+    perf.cells(cells.len() * runs as usize);
+    perf.metric(
+        "mean_utilization",
+        cells.iter().map(|c| c.utilization.mean()).sum::<f64>() / cells.len() as f64,
+    );
+    perf.finish();
 
     let mut table = TextTable::new(vec![
         "scenario",

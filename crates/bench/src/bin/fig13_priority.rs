@@ -7,14 +7,25 @@
 //! low-priority Wi-Fi delay is ~6 % lower than ECC's; high-priority
 //! traffic sees (nearly) zero delay because requests are simply ignored.
 
-use bicord_bench::{run_duration, BENCH_SEED};
+use bicord_bench::{run_duration, PerfRecorder, BENCH_SEED};
 use bicord_metrics::table::{fmt1, pct, TextTable};
 use bicord_scenario::experiments::{fig13_priority, PriorityRow, Scheme};
 
 fn main() {
     let duration = run_duration(10, 4);
     eprintln!("Fig. 13: 3 schemes x 5 priority shares, {duration} each...");
+    let mut perf = PerfRecorder::start("fig13_priority");
     let rows = fig13_priority(BENCH_SEED, duration);
+    perf.cells(rows.len());
+    perf.metric(
+        "bicord_mean_utilization",
+        rows.iter()
+            .filter(|r| r.scheme == Scheme::Bicord)
+            .map(|r| r.utilization)
+            .sum::<f64>()
+            / rows.iter().filter(|r| r.scheme == Scheme::Bicord).count() as f64,
+    );
+    perf.finish();
 
     let mut table = TextTable::new(vec![
         "high-prio share",

@@ -56,6 +56,10 @@ fn main() {
     let model = CsiModel::intel5300();
     let mut rng = stream_rng(BENCH_SEED, SeedDomain::Csi, 9);
     let samples = (WINDOW / model.sample_period()) as usize;
+    // Hoist the registration-probability evaluation out of the sample loops.
+    let idle = model.sampler(Disturbance::None);
+    let noisy = model.sampler(Disturbance::NoiseBurst { sir_db: -12.0 });
+    let zigbee = model.sampler(Disturbance::Zigbee { sir_db: -12.0 });
 
     println!("Fig. 3 — CSI amplitude deviation over a {WINDOW} window (one char = 500 us)");
     println!("('.' slight jitter, '+' elevated, '#' high fluctuation)\n");
@@ -70,9 +74,9 @@ fn main() {
             let t_end = t + model.sample_period();
             let hit = bursts.iter().any(|b| b.overlaps(t, t_end));
             let d = if hit {
-                model.deviation(&mut rng, Disturbance::NoiseBurst { sir_db: -12.0 })
+                noisy.deviation(&mut rng)
             } else {
-                model.deviation(&mut rng, Disturbance::None)
+                idle.deviation(&mut rng)
             };
             (d, false)
         })
@@ -91,9 +95,9 @@ fn main() {
                     t >= start && t < start + CONTROL_AIRTIME
                 });
                 let d = if in_packet {
-                    model.deviation(&mut rng, Disturbance::Zigbee { sir_db: -12.0 })
+                    zigbee.deviation(&mut rng)
                 } else {
-                    model.deviation(&mut rng, Disturbance::None)
+                    idle.deviation(&mut rng)
                 };
                 (d, in_packet)
             })

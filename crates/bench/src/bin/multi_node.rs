@@ -6,14 +6,21 @@
 //! white space length needs to be re-adjusted") but does not evaluate it;
 //! this bench does, against ECC-30 as the baseline.
 
-use bicord_bench::{run_duration, BENCH_SEED};
+use bicord_bench::{run_duration, PerfRecorder, BENCH_SEED};
 use bicord_metrics::table::{fmt1, pct, TextTable};
 use bicord_scenario::experiments::multi_node;
 
 fn main() {
     let duration = run_duration(30, 5);
     eprintln!("Multi-node: 1-3 heterogeneous ZigBee pairs x 2 schemes, {duration} each...");
+    let mut perf = PerfRecorder::start("multi_node");
     let rows = multi_node(BENCH_SEED, duration);
+    perf.cells(rows.len());
+    perf.metric(
+        "mean_aggregate_pdr",
+        rows.iter().map(|r| r.aggregate_pdr).sum::<f64>() / rows.len() as f64,
+    );
+    perf.finish();
 
     let mut table = TextTable::new(vec![
         "scheme",

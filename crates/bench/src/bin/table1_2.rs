@@ -2,7 +2,7 @@
 //! cross-technology signaling at locations A–D, powers {0, −1, −3} dBm,
 //! and {3, 4, 5} control packets per request.
 
-use bicord_bench::{quick_mode, run_count, BENCH_SEED};
+use bicord_bench::{quick_mode, run_count, PerfRecorder, BENCH_SEED};
 use bicord_metrics::table::{fmt3, TextTable};
 use bicord_scenario::experiments::{table1_2, table_powers};
 use bicord_scenario::geometry::Location;
@@ -13,7 +13,16 @@ fn main() {
         "Table I/II grid: 4 locations x 3 powers x 3 packet counts, {trials} trials each{}...",
         if quick_mode() { " (quick)" } else { "" }
     );
+    let mut perf = PerfRecorder::start("table1_2");
     let cells = table1_2(BENCH_SEED, trials);
+    perf.cells(cells.len());
+    let n = cells.len() as f64;
+    perf.metric(
+        "mean_precision",
+        cells.iter().map(|c| c.precision).sum::<f64>() / n,
+    );
+    perf.metric("mean_recall", cells.iter().map(|c| c.recall).sum::<f64>() / n);
+    perf.finish();
 
     for (metric, pick) in [("Table I — precision", true), ("Table II — recall", false)] {
         let mut headers = vec!["location".to_string()];

@@ -26,9 +26,17 @@
 //!
 //! Set `BICORD_CSV_DIR=<dir>` to additionally export the main tables as
 //! CSV for plotting.
+//!
+//! Every binary also appends a machine-readable performance record to
+//! `BENCH_results.json` (override the path with `BICORD_BENCH_JSON`, or
+//! set it to `0`/`off` to disable): wall-clock time, worker threads used,
+//! cells run, and the experiment's key metric values — see
+//! [`PerfRecorder`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use std::time::Instant;
 
 use bicord_metrics::TextTable;
 use bicord_sim::SimDuration;
@@ -74,6 +82,150 @@ pub fn maybe_write_csv(name: &str, table: &TextTable) {
     }
 }
 
+/// Collects one experiment's performance record and appends it to
+/// `BENCH_results.json` on [`PerfRecorder::finish`].
+///
+/// The file is a JSON array with one single-line object per experiment:
+/// `experiment`, `quick`, `threads`, `cells`, `wall_ms`, and a `metrics`
+/// map of key result values. Re-running an experiment replaces its entry
+/// (matched by name + quick flag), so the file accumulates the latest
+/// record per experiment across bench invocations.
+///
+/// # Example
+///
+/// ```no_run
+/// let mut perf = bicord_bench::PerfRecorder::start("fig10_replicated");
+/// // ... run the experiment ...
+/// perf.cells(40);
+/// perf.metric("bicord_mean_utilization", 0.91);
+/// perf.finish();
+/// ```
+#[derive(Debug)]
+pub struct PerfRecorder {
+    experiment: String,
+    started: Instant,
+    cells: usize,
+    metrics: Vec<(String, f64)>,
+}
+
+impl PerfRecorder {
+    /// Starts timing `experiment`.
+    pub fn start(experiment: &str) -> Self {
+        PerfRecorder {
+            experiment: experiment.to_string(),
+            started: Instant::now(),
+            cells: 0,
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Records how many independent `(seed, config)` cells the experiment
+    /// ran.
+    pub fn cells(&mut self, n: usize) {
+        self.cells = n;
+    }
+
+    /// Records one key metric value. Non-finite values serialize as
+    /// `null`.
+    pub fn metric(&mut self, name: &str, value: f64) {
+        self.metrics.push((name.to_string(), value));
+    }
+
+    /// Stops the clock and appends the record to the results file.
+    ///
+    /// I/O errors are reported on stderr but never fail the bench.
+    pub fn finish(self) {
+        let path = match std::env::var("BICORD_BENCH_JSON") {
+            Ok(p) if p == "0" || p.eq_ignore_ascii_case("off") => return,
+            Ok(p) => std::path::PathBuf::from(p),
+            Err(_) => std::path::PathBuf::from("BENCH_results.json"),
+        };
+        let wall_ms = self.started.elapsed().as_secs_f64() * 1e3;
+        let record = self.to_json_line(wall_ms, quick_mode(), bicord_sim::par::num_threads());
+        if let Err(e) = merge_record(&path, &self.experiment, quick_mode(), &record) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            eprintln!("recorded perf entry in {}", path.display());
+        }
+    }
+
+    fn to_json_line(&self, wall_ms: f64, quick: bool, threads: usize) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{{\"experiment\": {}, \"quick\": {}, \"threads\": {}, \"cells\": {}, \"wall_ms\": {}, \"metrics\": {{",
+            json_string(&self.experiment),
+            quick,
+            threads,
+            self.cells,
+            json_number(wall_ms),
+        ));
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("{}: {}", json_string(name), json_number(*value)));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Rewrites the results array, replacing any existing entry for
+/// `(experiment, quick)` with `record`. Relies on every element being on
+/// its own line, which is how this module always writes the file.
+fn merge_record(
+    path: &std::path::Path,
+    experiment: &str,
+    quick: bool,
+    record: &str,
+) -> std::io::Result<()> {
+    let marker = format!(
+        "{{\"experiment\": {}, \"quick\": {},",
+        json_string(experiment),
+        quick
+    );
+    let mut entries: Vec<String> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        for line in existing.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if line.starts_with('{') && !line.starts_with(&marker) {
+                entries.push(line.to_string());
+            }
+        }
+    }
+    entries.push(record.to_string());
+    let mut out = String::from("[\n");
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n]\n");
+    std::fs::write(path, out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +235,59 @@ mod tests {
         // The test harness does not pass --quick.
         assert_eq!(run_count(600, 60), 600);
         assert_eq!(run_duration(60, 5), SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn json_numbers_handle_non_finite() {
+        assert_eq!(json_number(1.5), "1.5");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn record_serializes_to_one_line() {
+        let mut p = PerfRecorder::start("demo");
+        p.cells(12);
+        p.metric("utilization", 0.91);
+        p.metric("broken", f64::NAN);
+        let line = p.to_json_line(3.25, true, 4);
+        assert!(!line.contains('\n'));
+        assert_eq!(
+            line,
+            "{\"experiment\": \"demo\", \"quick\": true, \"threads\": 4, \
+             \"cells\": 12, \"wall_ms\": 3.25, \"metrics\": \
+             {\"utilization\": 0.91, \"broken\": null}}"
+        );
+    }
+
+    #[test]
+    fn merge_replaces_same_experiment_and_keeps_others() {
+        let dir = std::env::temp_dir().join(format!(
+            "bicord-bench-test-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_results.json");
+        let rec = |name: &str, wall: f64| {
+            let mut p = PerfRecorder::start(name);
+            p.cells(1);
+            p.to_json_line(wall, false, 1)
+        };
+        merge_record(&path, "a", false, &rec("a", 1.0)).unwrap();
+        merge_record(&path, "b", false, &rec("b", 2.0)).unwrap();
+        merge_record(&path, "a", false, &rec("a", 9.0)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("[\n") && text.ends_with("\n]\n"), "{text}");
+        assert_eq!(text.matches("\"experiment\": \"a\"").count(), 1);
+        assert_eq!(text.matches("\"experiment\": \"b\"").count(), 1);
+        assert!(text.contains("\"wall_ms\": 9"), "{text}");
+        assert!(!text.contains("\"wall_ms\": 1,"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

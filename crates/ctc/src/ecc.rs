@@ -133,6 +133,11 @@ pub struct EccZigbeeClient {
     next_seq: u32,
     ws_end: Option<SimTime>,
     delivered: u64,
+    /// Head-of-line packet currently handed to the MAC. While set,
+    /// [`EccZigbeeClient::next_action`] returns `Wait` so the same frame
+    /// is never enqueued twice (the MAC keeps its own copy until it
+    /// reports delivery or failure).
+    in_flight: Option<u32>,
 }
 
 impl EccZigbeeClient {
@@ -144,6 +149,7 @@ impl EccZigbeeClient {
             next_seq: 0,
             ws_end: None,
             delivered: 0,
+            in_flight: None,
         }
     }
 
@@ -199,12 +205,35 @@ impl EccZigbeeClient {
             .unwrap_or_else(|| panic!("delivery {seq} with empty queue"));
         assert_eq!(head_seq, seq, "out-of-order delivery");
         self.delivered += 1;
+        self.in_flight = None;
         let next = self.next_action(now + self.config.packet_interval);
         (arrived, next)
     }
 
+    /// Notifies the client that the MAC gave up on `seq` (retries or
+    /// channel-access failure). The packet stays at the head of the queue
+    /// and becomes eligible for a retry at the next opportunity.
+    pub fn on_failed(&mut self, seq: u32) {
+        if self.in_flight == Some(seq) {
+            self.in_flight = None;
+        }
+    }
+
+    /// Records that the scenario handed `seq` to the MAC. Until
+    /// [`EccZigbeeClient::on_delivered`] or [`EccZigbeeClient::on_failed`]
+    /// reports the outcome, [`EccZigbeeClient::next_action`] returns
+    /// `Wait` instead of re-offering the frame.
+    pub fn mark_in_flight(&mut self, seq: u32) {
+        self.in_flight = Some(seq);
+    }
+
     /// Decides whether another packet fits in the current white space.
     pub fn next_action(&mut self, earliest_start: SimTime) -> EccClientAction {
+        if self.in_flight.is_some() {
+            // The head-of-line frame already sits at the MAC; offering it
+            // again would duplicate it in the MAC queue.
+            return EccClientAction::Wait;
+        }
         let Some(end) = self.ws_end else {
             return EccClientAction::Wait;
         };
@@ -297,6 +326,46 @@ mod tests {
         assert_eq!(c.backlog(), 10 - sent as usize);
         // Remaining packets wait for the next period:
         assert_eq!(c.next_action(now), EccClientAction::Wait);
+    }
+
+    #[test]
+    fn in_flight_frame_is_not_offered_twice() {
+        let mut c = EccZigbeeClient::new(config());
+        c.on_burst(SimTime::ZERO, 2, 50);
+        let ws_start = SimTime::from_millis(100);
+        let action = c.on_white_space(ws_start, SimDuration::from_millis(30));
+        assert_eq!(action, EccClientAction::SendData { seq: 0, bytes: 50 });
+        c.mark_in_flight(0);
+        // A second poll (e.g. the next white-space announcement arriving
+        // while the MAC still holds the frame) must not re-offer seq 0.
+        assert_eq!(c.next_action(ws_start), EccClientAction::Wait);
+        assert_eq!(
+            c.on_white_space(ws_start + SimDuration::from_millis(100), SimDuration::from_millis(30)),
+            EccClientAction::Wait
+        );
+        // Delivery clears the mark and the next packet flows.
+        let (_, next) = c.on_delivered(ws_start + SimDuration::from_millis(103), 0);
+        assert_eq!(next, EccClientAction::SendData { seq: 1, bytes: 50 });
+    }
+
+    #[test]
+    fn mac_failure_reoffers_the_same_frame() {
+        let mut c = EccZigbeeClient::new(config());
+        c.on_burst(SimTime::ZERO, 1, 50);
+        let ws_start = SimTime::from_millis(100);
+        assert_eq!(
+            c.on_white_space(ws_start, SimDuration::from_millis(30)),
+            EccClientAction::SendData { seq: 0, bytes: 50 }
+        );
+        c.mark_in_flight(0);
+        assert_eq!(c.next_action(ws_start), EccClientAction::Wait);
+        c.on_failed(0);
+        // The packet stayed in the queue and is eligible again.
+        assert_eq!(
+            c.next_action(ws_start),
+            EccClientAction::SendData { seq: 0, bytes: 50 }
+        );
+        assert_eq!(c.backlog(), 1);
     }
 
     #[test]

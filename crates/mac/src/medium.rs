@@ -322,7 +322,7 @@ impl Medium {
         now: SimTime,
         exclude_source: Option<DeviceId>,
     ) -> MilliWatt {
-        let ids: Vec<TxId> = self
+        let mut ids: Vec<TxId> = self
             .active
             .values()
             .filter(|t| t.start <= now && t.end > now)
@@ -330,6 +330,9 @@ impl Medium {
             .filter(|t| Some(t.source) != exclude_source)
             .map(|t| t.id)
             .collect();
+        // HashMap iteration order varies per process; lazy fading draws
+        // and f64 summation must not depend on it.
+        ids.sort_unstable();
         ids.into_iter()
             .map(|id| self.received_power_in_band(id, observer, listening))
             .sum()
@@ -349,13 +352,15 @@ impl Medium {
             .active
             .get(&signal)
             .unwrap_or_else(|| panic!("transmission {signal:?} not active"));
-        let ids: Vec<TxId> = self
+        let mut ids: Vec<TxId> = self
             .active
             .values()
             .filter(|t| t.id != signal && t.source != observer)
             .filter(|t| t.overlaps(s.start, s.end))
             .map(|t| t.id)
             .collect();
+        // Deterministic order for the lazy fading draws and the f64 sum.
+        ids.sort_unstable();
         ids.into_iter()
             .map(|id| self.received_power_in_band(id, observer, listening))
             .sum()

@@ -42,6 +42,22 @@ impl Replicates {
         self.values.push(value);
     }
 
+    /// Adds one replicate unless it is non-finite, in which case the value
+    /// is skipped, a warning is printed to stderr, and `false` is returned.
+    ///
+    /// Experiment drivers aggregate hundreds of simulated metrics; one NaN
+    /// (e.g. a delay mean over zero deliveries) should taint that cell's
+    /// count, not abort the whole sweep.
+    pub fn try_push(&mut self, value: f64) -> bool {
+        if value.is_finite() {
+            self.values.push(value);
+            true
+        } else {
+            eprintln!("warning: skipping non-finite replicate {value}");
+            false
+        }
+    }
+
     /// Number of replicates.
     pub fn count(&self) -> usize {
         self.values.len()
@@ -182,6 +198,18 @@ mod tests {
     fn non_finite_rejected() {
         let mut r = Replicates::new();
         r.push(f64::NAN);
+    }
+
+    #[test]
+    fn try_push_skips_non_finite() {
+        let mut r = Replicates::new();
+        assert!(r.try_push(1.0));
+        assert!(!r.try_push(f64::NAN));
+        assert!(!r.try_push(f64::INFINITY));
+        assert!(!r.try_push(f64::NEG_INFINITY));
+        assert!(r.try_push(2.0));
+        assert_eq!(r.count(), 2);
+        assert_eq!(r.mean(), 1.5);
     }
 
     #[test]

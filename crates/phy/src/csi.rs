@@ -183,6 +183,77 @@ impl CsiModel {
             CsiClass::SlightJitter
         }
     }
+
+    /// Precomputes a sampler for `disturbance`.
+    ///
+    /// [`CsiModel::deviation`] re-evaluates the registration probability
+    /// (a logistic or an erf) on every call; when thousands of samples
+    /// share one disturbance, the sampler hoists that out of the loop.
+    /// Draws are bit-identical to the per-call API.
+    pub fn sampler(&self, disturbance: Disturbance) -> DeviationSampler {
+        DeviationSampler {
+            baseline_sigma: self.baseline_sigma,
+            high_mean: self.high_mean,
+            high_sigma: self.high_sigma,
+            // None never registers and, matching `deviation`, must not
+            // consume a Bernoulli draw.
+            registration_prob: match disturbance {
+                Disturbance::None => None,
+                d => Some(self.high_fluctuation_prob(d)),
+            },
+        }
+    }
+}
+
+/// A [`CsiModel`] specialised to one disturbance (see [`CsiModel::sampler`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviationSampler {
+    baseline_sigma: f64,
+    high_mean: f64,
+    high_sigma: f64,
+    /// `None` for [`Disturbance::None`] (no Bernoulli draw at all).
+    registration_prob: Option<f64>,
+}
+
+impl DeviationSampler {
+    /// Draws one amplitude deviation; identical to [`CsiModel::deviation`]
+    /// with the sampler's disturbance.
+    pub fn deviation<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let registered = match self.registration_prob {
+            None => false,
+            Some(p) => bernoulli(rng, p),
+        };
+        if registered {
+            normal(rng, self.high_mean, self.high_sigma).abs()
+        } else {
+            normal(rng, 0.0, self.baseline_sigma).abs()
+        }
+    }
+
+    /// Draws a full sample (timestamp + deviation).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, time: SimTime) -> CsiSample {
+        CsiSample {
+            time,
+            deviation: self.deviation(rng),
+        }
+    }
+
+    /// Fills `out` with `n` consecutive samples starting at `start`,
+    /// reusing `out`'s allocation.
+    pub fn sample_batch_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        start: SimTime,
+        period: SimDuration,
+        n: usize,
+        out: &mut Vec<CsiSample>,
+    ) {
+        out.clear();
+        out.reserve(n);
+        for i in 0..n {
+            out.push(self.sample(rng, start + period * i as u64));
+        }
+    }
 }
 
 impl Default for CsiModel {
@@ -310,6 +381,43 @@ mod tests {
             CsiModel::intel5300().sample_period(),
             SimDuration::from_micros(500)
         );
+    }
+
+    #[test]
+    fn sampler_matches_per_call_api() {
+        let m = CsiModel::intel5300();
+        for d in [
+            Disturbance::None,
+            Disturbance::Zigbee { sir_db: -15.0 },
+            Disturbance::NoiseBurst { sir_db: -10.0 },
+            Disturbance::Human { severity: 0.6 },
+        ] {
+            let sampler = m.sampler(d);
+            let mut r1 = rng(3);
+            let mut r2 = rng(3);
+            for i in 0..2_000u64 {
+                let t = SimTime::from_micros(i * 500);
+                assert_eq!(m.sample(&mut r1, t, d), sampler.sample(&mut r2, t));
+            }
+        }
+    }
+
+    #[test]
+    fn sample_batch_reuses_buffer_and_matches() {
+        let m = CsiModel::intel5300();
+        let sampler = m.sampler(Disturbance::Zigbee { sir_db: -12.0 });
+        let mut r1 = rng(4);
+        let mut r2 = rng(4);
+        let mut buf = Vec::new();
+        for _ in 0..3 {
+            sampler.sample_batch_into(&mut r1, SimTime::ZERO, m.sample_period(), 100, &mut buf);
+            let loose: Vec<CsiSample> = (0..100u64)
+                .map(|i| {
+                    sampler.sample(&mut r2, SimTime::ZERO + m.sample_period() * i)
+                })
+                .collect();
+            assert_eq!(buf, loose);
+        }
     }
 
     #[test]

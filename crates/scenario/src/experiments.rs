@@ -4,12 +4,20 @@
 //! table/figure and returns plain result rows; the `bicord-bench` binaries
 //! print them in the paper's shape. Durations are parameters so the same
 //! runners serve both quick integration tests and the full regeneration.
+//!
+//! Each run of a grid cell is an independent `(seed, config)` simulation,
+//! so every sweep flattens its grid in serial nesting order and fans the
+//! cells out over [`bicord_sim::par::parallel_map`]. The harness preserves
+//! input order and each cell derives all randomness from its own seed, so
+//! results are bitwise identical to the serial loops for any thread count
+//! (`BICORD_THREADS` selects the worker count).
 
 use bicord_core::allocation::AllocatorConfig;
 use bicord_core::cti::{classify, extract_features, fingerprint_weights, KMeans, KMeansConfig};
 use bicord_ctc::delay_models::CtcScheme;
 use bicord_phy::interferers::{generate_trace, InterfererKind, TraceConfig, TRACE_DURATION};
 use bicord_phy::units::Dbm;
+use bicord_sim::par::parallel_map;
 use bicord_sim::{stream_rng, SeedDomain, SimDuration};
 use bicord_workloads::mobility::{DeviceMobility, PersonMobility};
 use bicord_workloads::priority::PrioritySchedule;
@@ -46,23 +54,25 @@ pub fn table_powers() -> [Dbm; 3] {
 /// Runs the full Table I/II grid: 4 locations × 3 powers × {3,4,5} control
 /// packets, `trials` signaling bursts each (600 in the paper).
 pub fn table1_2(seed: u64, trials: u32) -> Vec<SignalingCell> {
-    let mut cells = Vec::new();
+    let mut jobs = Vec::new();
     for location in Location::all() {
         for power in table_powers() {
             for packets in [3u32, 4, 5] {
-                let config = SimConfig::signaling_trial(location, seed, packets, trials, power);
-                let r = CoexistenceSim::new(config).run();
-                cells.push(SignalingCell {
-                    location,
-                    power,
-                    packets,
-                    precision: r.detection.precision,
-                    recall: r.detection.recall,
-                });
+                jobs.push((location, power, packets));
             }
         }
     }
-    cells
+    parallel_map(jobs, move |(location, power, packets)| {
+        let config = SimConfig::signaling_trial(location, seed, packets, trials, power);
+        let r = CoexistenceSim::new(config).run();
+        SignalingCell {
+            location,
+            power,
+            packets,
+            precision: r.detection.precision,
+            recall: r.detection.recall,
+        }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -189,44 +199,58 @@ pub struct AllocationSummary {
 /// Fig. 8 + Fig. 9: sweep locations {A,B} × steps {30,40} ms × bursts
 /// {5,10,15}, `runs` repetitions each (30 in the paper).
 pub fn fig8_fig9(seed: u64, runs: u64, duration: SimDuration) -> Vec<AllocationSummary> {
-    let mut out = Vec::new();
+    let mut grid = Vec::new();
     for location in [Location::A, Location::B] {
         for step_ms in [30u64, 40] {
             for packets in [5u32, 10, 15] {
-                let mut iterations = 0.0;
-                let mut final_ws = 0.0;
-                let mut over = 0.0;
-                let mut converged = 0usize;
-                let mut burst_ms = 0.0;
-                for k in 0..runs {
-                    let run = allocation_run(
-                        location,
-                        seed + k,
-                        SimDuration::from_millis(step_ms),
-                        packets,
-                        duration,
-                    );
-                    iterations += f64::from(run.iterations);
-                    final_ws += run.final_ws_ms;
-                    over += run.overprovision();
-                    burst_ms = run.burst_duration_ms;
-                    if run.converged {
-                        converged += 1;
-                    }
-                }
-                let n = runs as f64;
-                out.push(AllocationSummary {
-                    location,
-                    step_ms,
-                    burst_packets: packets,
-                    mean_iterations: iterations / n,
-                    mean_final_ws_ms: final_ws / n,
-                    burst_duration_ms: burst_ms,
-                    mean_overprovision: over / n,
-                    converged_fraction: converged as f64 / n,
-                });
+                grid.push((location, step_ms, packets));
             }
         }
+    }
+    let mut jobs = Vec::new();
+    for &(location, step_ms, packets) in &grid {
+        for k in 0..runs {
+            jobs.push((location, step_ms, packets, k));
+        }
+    }
+    let mut results = parallel_map(jobs, move |(location, step_ms, packets, k)| {
+        allocation_run(
+            location,
+            seed + k,
+            SimDuration::from_millis(step_ms),
+            packets,
+            duration,
+        )
+    })
+    .into_iter();
+    let mut out = Vec::new();
+    for (location, step_ms, packets) in grid {
+        let mut iterations = 0.0;
+        let mut final_ws = 0.0;
+        let mut over = 0.0;
+        let mut converged = 0usize;
+        let mut burst_ms = 0.0;
+        for _ in 0..runs {
+            let run = results.next().expect("one result per job");
+            iterations += f64::from(run.iterations);
+            final_ws += run.final_ws_ms;
+            over += run.overprovision();
+            burst_ms = run.burst_duration_ms;
+            if run.converged {
+                converged += 1;
+            }
+        }
+        let n = runs as f64;
+        out.push(AllocationSummary {
+            location,
+            step_ms,
+            burst_packets: packets,
+            mean_iterations: iterations / n,
+            mean_final_ws_ms: final_ws / n,
+            burst_duration_ms: burst_ms,
+            mean_overprovision: over / n,
+            converged_fraction: converged as f64 / n,
+        });
     }
     out
 }
@@ -289,27 +313,34 @@ pub struct ComparisonRow {
     pub pdr: f64,
 }
 
+/// One Fig. 10 cell: a single `(seed, interval, scheme)` simulation.
+fn fig10_cell(seed: u64, interval: SimDuration, scheme: Scheme, duration: SimDuration) -> ComparisonRow {
+    let mut config = scheme.config(Location::A, seed);
+    config.duration = duration;
+    config.zigbee.arrivals = ArrivalProcess::Poisson(interval);
+    let r = CoexistenceSim::new(config).run();
+    ComparisonRow {
+        scheme,
+        interval_ms: interval.as_micros() / 1000,
+        utilization: r.utilization,
+        mean_delay_ms: r.zigbee.mean_delay_ms,
+        throughput_kbps: r.zigbee.throughput_kbps,
+        pdr: r.zigbee_pdr(),
+    }
+}
+
 /// Fig. 10: BiCord vs ECC-20/30/40 over the paper's five Poisson burst
 /// intervals.
 pub fn fig10_comparison(seed: u64, duration: SimDuration) -> Vec<ComparisonRow> {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for interval in ArrivalProcess::paper_intervals() {
         for scheme in Scheme::fig10_set() {
-            let mut config = scheme.config(Location::A, seed);
-            config.duration = duration;
-            config.zigbee.arrivals = ArrivalProcess::Poisson(interval);
-            let r = CoexistenceSim::new(config).run();
-            rows.push(ComparisonRow {
-                scheme,
-                interval_ms: interval.as_micros() / 1000,
-                utilization: r.utilization,
-                mean_delay_ms: r.zigbee.mean_delay_ms,
-                throughput_kbps: r.zigbee.throughput_kbps,
-                pdr: r.zigbee_pdr(),
-            });
+            jobs.push((interval, scheme));
         }
     }
-    rows
+    parallel_map(jobs, move |(interval, scheme)| {
+        fig10_cell(seed, interval, scheme, duration)
+    })
 }
 
 /// One replicated Fig. 10 cell (mean ± CI over seeds).
@@ -330,31 +361,42 @@ pub struct ComparisonStats {
 /// Replicated Fig. 10: repeats [`fig10_comparison`] over `runs` seeds and
 /// aggregates each cell.
 pub fn fig10_replicated(seed: u64, runs: u64, duration: SimDuration) -> Vec<ComparisonStats> {
-    let mut cells: Vec<ComparisonStats> = Vec::new();
+    // Every (seed, interval, scheme) cell is one independent job; the
+    // sequential aggregation below sees rows in exactly the serial order.
+    let mut jobs = Vec::new();
     for k in 0..runs {
-        for row in fig10_comparison(seed + k, duration) {
-            let cell = cells
-                .iter_mut()
-                .find(|c| c.scheme == row.scheme && c.interval_ms == row.interval_ms);
-            let cell = match cell {
-                Some(c) => c,
-                None => {
-                    cells.push(ComparisonStats {
-                        scheme: row.scheme,
-                        interval_ms: row.interval_ms,
-                        utilization: bicord_metrics::Replicates::new(),
-                        delay_ms: bicord_metrics::Replicates::new(),
-                        throughput_kbps: bicord_metrics::Replicates::new(),
-                    });
-                    cells.last_mut().expect("just pushed")
-                }
-            };
-            cell.utilization.push(row.utilization);
-            if let Some(d) = row.mean_delay_ms {
-                cell.delay_ms.push(d);
+        for interval in ArrivalProcess::paper_intervals() {
+            for scheme in Scheme::fig10_set() {
+                jobs.push((k, interval, scheme));
             }
-            cell.throughput_kbps.push(row.throughput_kbps);
         }
+    }
+    let rows = parallel_map(jobs, move |(k, interval, scheme)| {
+        fig10_cell(seed + k, interval, scheme, duration)
+    });
+    let mut cells: Vec<ComparisonStats> = Vec::new();
+    for row in rows {
+        let cell = cells
+            .iter_mut()
+            .find(|c| c.scheme == row.scheme && c.interval_ms == row.interval_ms);
+        let cell = match cell {
+            Some(c) => c,
+            None => {
+                cells.push(ComparisonStats {
+                    scheme: row.scheme,
+                    interval_ms: row.interval_ms,
+                    utilization: bicord_metrics::Replicates::new(),
+                    delay_ms: bicord_metrics::Replicates::new(),
+                    throughput_kbps: bicord_metrics::Replicates::new(),
+                });
+                cells.last_mut().expect("just pushed")
+            }
+        };
+        cell.utilization.try_push(row.utilization);
+        if let Some(d) = row.mean_delay_ms {
+            cell.delay_ms.try_push(d);
+        }
+        cell.throughput_kbps.try_push(row.throughput_kbps);
     }
     cells
 }
@@ -381,27 +423,21 @@ pub struct ParameterRow {
 /// Fig. 11a–d: packet length {25,50,75,100}, burst size {5,10,15}, and
 /// location {A,B,C,D} sweeps (BiCord, bursts every 200 ms).
 pub fn fig11_parameters(seed: u64, duration: SimDuration) -> Vec<ParameterRow> {
-    let mut rows = Vec::new();
     let base = |seed| {
         let mut c = SimConfig::bicord(Location::A, seed);
         c.duration = duration;
         c.zigbee.arrivals = ArrivalProcess::Poisson(SimDuration::from_millis(200));
         c
     };
+    // Build every cell's config up front; the fan-out only runs sims.
+    let mut jobs: Vec<(&'static str, String, SimConfig)> = Vec::new();
     for bytes in [25usize, 50, 75, 100] {
         let mut config = base(seed);
         config.zigbee.burst = BurstSpec {
             n_packets: 5,
             mpdu_bytes: bytes,
         };
-        let r = CoexistenceSim::new(config).run();
-        rows.push(ParameterRow {
-            dimension: "packet_length",
-            value: format!("{bytes}B"),
-            utilization: r.utilization,
-            zigbee_utilization: r.zigbee_utilization,
-            mean_delay_ms: r.zigbee.mean_delay_ms,
-        });
+        jobs.push(("packet_length", format!("{bytes}B"), config));
     }
     for packets in [5u32, 10, 15] {
         let mut config = base(seed + 100);
@@ -409,28 +445,23 @@ pub fn fig11_parameters(seed: u64, duration: SimDuration) -> Vec<ParameterRow> {
             n_packets: packets,
             mpdu_bytes: 50,
         };
-        let r = CoexistenceSim::new(config).run();
-        rows.push(ParameterRow {
-            dimension: "burst_size",
-            value: format!("{packets}pkt"),
-            utilization: r.utilization,
-            zigbee_utilization: r.zigbee_utilization,
-            mean_delay_ms: r.zigbee.mean_delay_ms,
-        });
+        jobs.push(("burst_size", format!("{packets}pkt"), config));
     }
     for location in Location::all() {
         let mut config = base(seed + 200);
         config.location = location;
+        jobs.push(("location", location.label().to_string(), config));
+    }
+    parallel_map(jobs, |(dimension, value, config)| {
         let r = CoexistenceSim::new(config).run();
-        rows.push(ParameterRow {
-            dimension: "location",
-            value: location.label().to_string(),
+        ParameterRow {
+            dimension,
+            value,
             utilization: r.utilization,
             zigbee_utilization: r.zigbee_utilization,
             mean_delay_ms: r.zigbee.mean_delay_ms,
-        });
-    }
-    rows
+        }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -481,46 +512,58 @@ pub struct MobilityRow {
     pub mean_delay_ms: Option<f64>,
 }
 
+/// One Fig. 12 cell: a single `(seed, interval, scenario)` simulation.
+fn fig12_cell(
+    seed: u64,
+    interval: SimDuration,
+    scenario: MobilityScenario,
+    duration: SimDuration,
+) -> MobilityRow {
+    let mut config = SimConfig::bicord(Location::A, seed);
+    config.duration = duration;
+    config.zigbee.arrivals = ArrivalProcess::Poisson(interval);
+    match scenario {
+        MobilityScenario::Static => {}
+        MobilityScenario::PersonMobility => {
+            let mut rng = stream_rng(seed, SeedDomain::Mobility, 1);
+            config.person = Some(PersonMobility::generate(
+                duration,
+                SimDuration::from_millis(100),
+                &mut rng,
+            ));
+        }
+        MobilityScenario::DeviceMobility => {
+            let mut rng = stream_rng(seed, SeedDomain::Mobility, 2);
+            config.device_mobility = Some(DeviceMobility::generate(
+                Location::A.sender_position(),
+                1.0,
+                duration,
+                SimDuration::from_millis(250),
+                &mut rng,
+            ));
+        }
+    }
+    let r = CoexistenceSim::new(config).run();
+    MobilityRow {
+        scenario,
+        interval_ms: interval.as_micros() / 1000,
+        utilization: r.utilization,
+        mean_delay_ms: r.zigbee.mean_delay_ms,
+    }
+}
+
 /// Fig. 12: utilization and delay in the three mobility scenarios over two
 /// burst intervals.
 pub fn fig12_mobility(seed: u64, duration: SimDuration) -> Vec<MobilityRow> {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for interval in [SimDuration::from_millis(200), SimDuration::from_millis(400)] {
         for scenario in MobilityScenario::all() {
-            let mut config = SimConfig::bicord(Location::A, seed);
-            config.duration = duration;
-            config.zigbee.arrivals = ArrivalProcess::Poisson(interval);
-            match scenario {
-                MobilityScenario::Static => {}
-                MobilityScenario::PersonMobility => {
-                    let mut rng = stream_rng(seed, SeedDomain::Mobility, 1);
-                    config.person = Some(PersonMobility::generate(
-                        duration,
-                        SimDuration::from_millis(100),
-                        &mut rng,
-                    ));
-                }
-                MobilityScenario::DeviceMobility => {
-                    let mut rng = stream_rng(seed, SeedDomain::Mobility, 2);
-                    config.device_mobility = Some(DeviceMobility::generate(
-                        Location::A.sender_position(),
-                        1.0,
-                        duration,
-                        SimDuration::from_millis(250),
-                        &mut rng,
-                    ));
-                }
-            }
-            let r = CoexistenceSim::new(config).run();
-            rows.push(MobilityRow {
-                scenario,
-                interval_ms: interval.as_micros() / 1000,
-                utilization: r.utilization,
-                mean_delay_ms: r.zigbee.mean_delay_ms,
-            });
+            jobs.push((interval, scenario));
         }
     }
-    rows
+    parallel_map(jobs, move |(interval, scenario)| {
+        fig12_cell(seed, interval, scenario, duration)
+    })
 }
 
 /// Fig. 12 with replication: mean ± 95 % CI over `runs` seeds per cell.
@@ -543,28 +586,37 @@ pub fn fig12_mobility_replicated(
     runs: u64,
     duration: SimDuration,
 ) -> Vec<MobilityStats> {
-    let mut cells: Vec<MobilityStats> = Vec::new();
+    let mut jobs = Vec::new();
     for k in 0..runs {
-        for row in fig12_mobility(seed + k, duration) {
-            let cell = cells
-                .iter_mut()
-                .find(|c| c.scenario == row.scenario && c.interval_ms == row.interval_ms);
-            let cell = match cell {
-                Some(c) => c,
-                None => {
-                    cells.push(MobilityStats {
-                        scenario: row.scenario,
-                        interval_ms: row.interval_ms,
-                        utilization: bicord_metrics::Replicates::new(),
-                        delay_ms: bicord_metrics::Replicates::new(),
-                    });
-                    cells.last_mut().expect("just pushed")
-                }
-            };
-            cell.utilization.push(row.utilization);
-            if let Some(d) = row.mean_delay_ms {
-                cell.delay_ms.push(d);
+        for interval in [SimDuration::from_millis(200), SimDuration::from_millis(400)] {
+            for scenario in MobilityScenario::all() {
+                jobs.push((k, interval, scenario));
             }
+        }
+    }
+    let rows = parallel_map(jobs, move |(k, interval, scenario)| {
+        fig12_cell(seed + k, interval, scenario, duration)
+    });
+    let mut cells: Vec<MobilityStats> = Vec::new();
+    for row in rows {
+        let cell = cells
+            .iter_mut()
+            .find(|c| c.scenario == row.scenario && c.interval_ms == row.interval_ms);
+        let cell = match cell {
+            Some(c) => c,
+            None => {
+                cells.push(MobilityStats {
+                    scenario: row.scenario,
+                    interval_ms: row.interval_ms,
+                    utilization: bicord_metrics::Replicates::new(),
+                    delay_ms: bicord_metrics::Replicates::new(),
+                });
+                cells.last_mut().expect("just pushed")
+            }
+        };
+        cell.utilization.try_push(row.utilization);
+        if let Some(d) = row.mean_delay_ms {
+            cell.delay_ms.try_push(d);
         }
     }
     cells
@@ -594,34 +646,36 @@ pub struct PriorityRow {
 /// Fig. 13: BiCord vs ECC-20/30 under high-priority traffic shares 0.1–0.5
 /// (the paper's 10 s Wi-Fi window, bursts of 5 × 50 B every 200 ms).
 pub fn fig13_priority(seed: u64, duration: SimDuration) -> Vec<PriorityRow> {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for &proportion in &[0.1, 0.2, 0.3, 0.4, 0.5] {
         for scheme in [Scheme::Bicord, Scheme::Ecc(20), Scheme::Ecc(30)] {
-            let mut config = scheme.config(Location::A, seed);
-            config.duration = duration;
-            config.zigbee.arrivals = ArrivalProcess::Poisson(SimDuration::from_millis(200));
-            // Paced Wi-Fi traffic so frame delay is measurable; 1.6 ms
-            // keeps the offered load just under the 1 Mb/s service rate.
-            config.wifi.enqueue_interval = Some(SimDuration::from_micros(1_600));
-            let mut rng = stream_rng(seed, SeedDomain::Traffic, 77);
-            config.priority = Some(PrioritySchedule::with_proportion(
-                duration,
-                proportion,
-                SimDuration::from_millis(500),
-                &mut rng,
-            ));
-            let r = CoexistenceSim::new(config).run();
-            rows.push(PriorityRow {
-                scheme,
-                proportion,
-                utilization: r.utilization,
-                zigbee_utilization: r.zigbee_utilization,
-                wifi_low_delay_ms: r.wifi.mean_delay_ms,
-                ignored_requests: r.wifi.ignored_requests,
-            });
+            jobs.push((proportion, scheme));
         }
     }
-    rows
+    parallel_map(jobs, move |(proportion, scheme)| {
+        let mut config = scheme.config(Location::A, seed);
+        config.duration = duration;
+        config.zigbee.arrivals = ArrivalProcess::Poisson(SimDuration::from_millis(200));
+        // Paced Wi-Fi traffic so frame delay is measurable; 1.6 ms
+        // keeps the offered load just under the 1 Mb/s service rate.
+        config.wifi.enqueue_interval = Some(SimDuration::from_micros(1_600));
+        let mut rng = stream_rng(seed, SeedDomain::Traffic, 77);
+        config.priority = Some(PrioritySchedule::with_proportion(
+            duration,
+            proportion,
+            SimDuration::from_millis(500),
+            &mut rng,
+        ));
+        let r = CoexistenceSim::new(config).run();
+        PriorityRow {
+            scheme,
+            proportion,
+            utilization: r.utilization,
+            zigbee_utilization: r.zigbee_utilization,
+            wifi_low_delay_ms: r.wifi.mean_delay_ms,
+            ignored_requests: r.wifi.ignored_requests,
+        }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -642,43 +696,60 @@ pub struct CtiAccuracy {
     pub device_id_std: f64,
 }
 
+// Instance bases partitioning `SeedDomain::Interferers` between the three
+// trace populations of [`cti_accuracy`]. Each trace derives its own RNG
+// (`base + index`) instead of sharing one sequential stream, so traces are
+// independent jobs and the result is identical for any thread count.
+const CTI_CLASSIFY_BASE: u64 = 1_000_000;
+const CTI_TRAIN_BASE: u64 = 2_000_000;
+const CTI_TEST_BASE: u64 = 3_000_000;
+
 /// Sec. VII-A: technology classification over 4 × `traces_per_kind` traces
 /// and device identification across Wi-Fi senders at 1/3/5 m.
 pub fn cti_accuracy(seed: u64, traces_per_kind: usize) -> CtiAccuracy {
-    let mut rng = stream_rng(seed, SeedDomain::Interferers, 100);
     let configs = [
         (InterfererKind::Wifi, TraceConfig::wifi(-34.3)),
         (InterfererKind::Zigbee, TraceConfig::zigbee(-50.0)),
         (InterfererKind::Bluetooth, TraceConfig::bluetooth(-45.0)),
         (InterfererKind::Microwave, TraceConfig::microwave(-35.0)),
     ];
-    let mut correct_wifi_binary = 0usize;
-    let mut total = 0usize;
-    for (kind, cfg) in &configs {
-        for _ in 0..traces_per_kind {
-            let trace = generate_trace(&mut rng, cfg, TRACE_DURATION);
-            let verdict = classify(&extract_features(&trace, -80.0, -95.0));
-            let said_wifi = verdict == Some(InterfererKind::Wifi);
-            let is_wifi = *kind == InterfererKind::Wifi;
-            if said_wifi == is_wifi {
-                correct_wifi_binary += 1;
-            }
-            total += 1;
+    let mut class_jobs = Vec::new();
+    for kind_idx in 0..configs.len() {
+        for trace_idx in 0..traces_per_kind {
+            class_jobs.push((kind_idx, trace_idx));
         }
     }
+    let verdicts = parallel_map(class_jobs, |(kind_idx, trace_idx)| {
+        let (kind, cfg) = &configs[kind_idx];
+        let instance = CTI_CLASSIFY_BASE + (kind_idx * traces_per_kind + trace_idx) as u64;
+        let mut rng = stream_rng(seed, SeedDomain::Interferers, instance);
+        let trace = generate_trace(&mut rng, cfg, TRACE_DURATION);
+        let verdict = classify(&extract_features(&trace, -80.0, -95.0));
+        (verdict == Some(InterfererKind::Wifi)) == (*kind == InterfererKind::Wifi)
+    });
+    let correct_wifi_binary = verdicts.iter().filter(|&&c| c).count();
+    let total = verdicts.len();
 
     // Device identification: Wi-Fi senders at 1, 3, 5 m (office model link
     // budgets).
     let powers = [-26.0, -34.3, -41.0];
-    let mut train: Vec<Vec<f64>> = Vec::new();
-    let mut labels: Vec<usize> = Vec::new();
-    for (label, &p) in powers.iter().enumerate() {
-        for _ in 0..traces_per_kind {
-            let t = generate_trace(&mut rng, &TraceConfig::wifi(p), TRACE_DURATION);
-            train.push(extract_features(&t, -80.0, -95.0).fingerprint().to_vec());
-            labels.push(label);
+    let mut train_jobs = Vec::new();
+    for label in 0..powers.len() {
+        for trace_idx in 0..traces_per_kind {
+            train_jobs.push((label, trace_idx));
         }
     }
+    let train_rows = parallel_map(train_jobs, |(label, trace_idx)| {
+        let instance = CTI_TRAIN_BASE + (label * traces_per_kind + trace_idx) as u64;
+        let mut rng = stream_rng(seed, SeedDomain::Interferers, instance);
+        let t = generate_trace(&mut rng, &TraceConfig::wifi(powers[label]), TRACE_DURATION);
+        (
+            label,
+            extract_features(&t, -80.0, -95.0).fingerprint().to_vec(),
+        )
+    });
+    let labels: Vec<usize> = train_rows.iter().map(|(l, _)| *l).collect();
+    let train: Vec<Vec<f64>> = train_rows.into_iter().map(|(_, f)| f).collect();
     let model = KMeans::fit(
         &train,
         KMeansConfig {
@@ -703,18 +774,26 @@ pub fn cti_accuracy(seed: u64, traces_per_kind: usize) -> CtiAccuracy {
                 .0
         })
         .collect();
-    let mut per_device_acc = [0.0f64; 3];
     let n_test = traces_per_kind.max(30);
-    for (label, &p) in powers.iter().enumerate() {
-        let mut hits = 0usize;
-        for _ in 0..n_test {
-            let t = generate_trace(&mut rng, &TraceConfig::wifi(p), TRACE_DURATION);
-            let f = extract_features(&t, -80.0, -95.0);
-            if cluster_label[model.assign(&f.fingerprint())] == label {
-                hits += 1;
-            }
+    let mut test_jobs = Vec::new();
+    for label in 0..powers.len() {
+        for trace_idx in 0..n_test {
+            test_jobs.push((label, trace_idx));
         }
-        per_device_acc[label] = hits as f64 / n_test as f64;
+    }
+    let model = &model;
+    let cluster_label = &cluster_label;
+    let hits = parallel_map(test_jobs, |(label, trace_idx)| {
+        let instance = CTI_TEST_BASE + (label * n_test + trace_idx) as u64;
+        let mut rng = stream_rng(seed, SeedDomain::Interferers, instance);
+        let t = generate_trace(&mut rng, &TraceConfig::wifi(powers[label]), TRACE_DURATION);
+        let f = extract_features(&t, -80.0, -95.0);
+        cluster_label[model.assign(&f.fingerprint())] == label
+    });
+    let mut per_device_acc = [0.0f64; 3];
+    for (label, chunk) in hits.chunks(n_test).enumerate() {
+        let device_hits = chunk.iter().filter(|&&h| h).count();
+        per_device_acc[label] = device_hits as f64 / n_test as f64;
     }
     let mean_acc = per_device_acc.iter().sum::<f64>() / 3.0;
     let var = per_device_acc
@@ -804,47 +883,49 @@ pub struct MultiNodeRow {
 /// serve the union of the requests.
 pub fn multi_node(seed: u64, duration: SimDuration) -> Vec<MultiNodeRow> {
     use crate::config::ExtraNodeConfig;
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for scheme in [Scheme::Bicord, Scheme::Ecc(30)] {
         for n_nodes in 1..=3usize {
-            let mut config = scheme.config(Location::A, seed);
-            config.duration = duration;
-            config.zigbee.arrivals = ArrivalProcess::Poisson(SimDuration::from_millis(300));
-            if n_nodes >= 2 {
-                let mut c = ExtraNodeConfig::at(Location::C);
-                c.burst = BurstSpec {
-                    n_packets: 10,
-                    mpdu_bytes: 50,
-                };
-                c.arrivals = ArrivalProcess::Poisson(SimDuration::from_millis(500));
-                config.extra_nodes.push(c);
-            }
-            if n_nodes >= 3 {
-                let mut d = ExtraNodeConfig::at(Location::D);
-                d.burst = BurstSpec {
-                    n_packets: 3,
-                    mpdu_bytes: 50,
-                };
-                d.arrivals = ArrivalProcess::Poisson(SimDuration::from_millis(400));
-                config.extra_nodes.push(d);
-            }
-            let r = CoexistenceSim::new(config).run();
-            rows.push(MultiNodeRow {
-                scheme,
-                n_nodes,
-                utilization: r.utilization,
-                aggregate_pdr: r.zigbee_pdr(),
-                mean_delay_ms: r.zigbee.mean_delay_ms,
-                per_node_pdr: r
-                    .per_node
-                    .iter()
-                    .map(|n| n.delivered as f64 / n.generated.max(1) as f64)
-                    .collect(),
-                per_node_delay_ms: r.per_node.iter().map(|n| n.mean_delay_ms).collect(),
-            });
+            jobs.push((scheme, n_nodes));
         }
     }
-    rows
+    parallel_map(jobs, move |(scheme, n_nodes)| {
+        let mut config = scheme.config(Location::A, seed);
+        config.duration = duration;
+        config.zigbee.arrivals = ArrivalProcess::Poisson(SimDuration::from_millis(300));
+        if n_nodes >= 2 {
+            let mut c = ExtraNodeConfig::at(Location::C);
+            c.burst = BurstSpec {
+                n_packets: 10,
+                mpdu_bytes: 50,
+            };
+            c.arrivals = ArrivalProcess::Poisson(SimDuration::from_millis(500));
+            config.extra_nodes.push(c);
+        }
+        if n_nodes >= 3 {
+            let mut d = ExtraNodeConfig::at(Location::D);
+            d.burst = BurstSpec {
+                n_packets: 3,
+                mpdu_bytes: 50,
+            };
+            d.arrivals = ArrivalProcess::Poisson(SimDuration::from_millis(400));
+            config.extra_nodes.push(d);
+        }
+        let r = CoexistenceSim::new(config).run();
+        MultiNodeRow {
+            scheme,
+            n_nodes,
+            utilization: r.utilization,
+            aggregate_pdr: r.zigbee_pdr(),
+            mean_delay_ms: r.zigbee.mean_delay_ms,
+            per_node_pdr: r
+                .per_node
+                .iter()
+                .map(|n| n.delivered as f64 / n.generated.max(1) as f64)
+                .collect(),
+            per_node_delay_ms: r.per_node.iter().map(|n| n.mean_delay_ms).collect(),
+        }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -870,26 +951,27 @@ pub struct DetectorAblationRow {
 /// false positives); large T trades precision for recall.
 pub fn ablation_detector(seed: u64, trials: u32) -> Vec<DetectorAblationRow> {
     use bicord_core::signaling::DetectorConfig;
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for required_highs in [1usize, 2, 3] {
         for window_ms in [2u64, 5, 10] {
-            let mut config =
-                SimConfig::signaling_trial(Location::C, seed, 4, trials, Dbm::new(-1.0));
-            config.detector = DetectorConfig {
-                required_highs,
-                window: SimDuration::from_millis(window_ms),
-                ..DetectorConfig::default()
-            };
-            let r = CoexistenceSim::new(config).run();
-            rows.push(DetectorAblationRow {
-                required_highs,
-                window_ms,
-                precision: r.detection.precision,
-                recall: r.detection.recall,
-            });
+            jobs.push((required_highs, window_ms));
         }
     }
-    rows
+    parallel_map(jobs, move |(required_highs, window_ms)| {
+        let mut config = SimConfig::signaling_trial(Location::C, seed, 4, trials, Dbm::new(-1.0));
+        config.detector = DetectorConfig {
+            required_highs,
+            window: SimDuration::from_millis(window_ms),
+            ..DetectorConfig::default()
+        };
+        let r = CoexistenceSim::new(config).run();
+        DetectorAblationRow {
+            required_highs,
+            window_ms,
+            precision: r.detection.precision,
+            recall: r.detection.recall,
+        }
+    })
 }
 
 /// One allocator-ablation point.
@@ -929,35 +1011,37 @@ pub fn ablation_allocator(seed: u64, duration: SimDuration) -> Vec<AllocatorAbla
         ),
         ("neither", u32::MAX, false),
     ];
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for interval_ms in [101u64, 406] {
         for (variant, shrink, confirm) in variants {
-            let mut config = SimConfig::bicord(Location::A, seed);
-            config.duration = duration;
-            config.zigbee.arrivals = ArrivalProcess::Poisson(SimDuration::from_millis(interval_ms));
-            config.allocator = AllocatorConfig {
-                shrink_after_clean_bursts: shrink,
-                confirm_reestimate: confirm,
-                ..AllocatorConfig::default()
-            };
-            let r = CoexistenceSim::new(config).run();
-            let hist = &r.allocation.white_space_history_ms;
-            let mean_ws = if hist.is_empty() {
-                0.0
-            } else {
-                hist.iter().sum::<f64>() / hist.len() as f64
-            };
-            rows.push(AllocatorAblationRow {
-                variant,
-                interval_ms,
-                utilization: r.utilization,
-                mean_delay_ms: r.zigbee.mean_delay_ms,
-                mean_ws_ms: mean_ws,
-                reservations: r.wifi.reservations,
-            });
+            jobs.push((interval_ms, variant, shrink, confirm));
         }
     }
-    rows
+    parallel_map(jobs, move |(interval_ms, variant, shrink, confirm)| {
+        let mut config = SimConfig::bicord(Location::A, seed);
+        config.duration = duration;
+        config.zigbee.arrivals = ArrivalProcess::Poisson(SimDuration::from_millis(interval_ms));
+        config.allocator = AllocatorConfig {
+            shrink_after_clean_bursts: shrink,
+            confirm_reestimate: confirm,
+            ..AllocatorConfig::default()
+        };
+        let r = CoexistenceSim::new(config).run();
+        let hist = &r.allocation.white_space_history_ms;
+        let mean_ws = if hist.is_empty() {
+            0.0
+        } else {
+            hist.iter().sum::<f64>() / hist.len() as f64
+        };
+        AllocatorAblationRow {
+            variant,
+            interval_ms,
+            utilization: r.utilization,
+            mean_delay_ms: r.zigbee.mean_delay_ms,
+            mean_ws_ms: mean_ws,
+            reservations: r.wifi.reservations,
+        }
+    })
 }
 
 /// Sec. VII-B with measured inputs: runs a BiCord simulation, extracts how

@@ -613,12 +613,16 @@ impl CoexistenceSim {
             _ => None,
         };
         if let Some((observer, listening)) = watch_wanted {
-            let other_ids: Vec<TxId> = self
+            let mut other_ids: Vec<TxId> = self
                 .medium
                 .active_transmissions()
                 .filter(|t| t.id != tx && t.source != observer)
                 .map(|t| t.id)
                 .collect();
+            // active_transmissions() iterates a HashMap: order varies per
+            // process, and both the lazy fading draws and the f64 sum
+            // below must not depend on it.
+            other_ids.sort_unstable();
             let mut interference = MilliWatt::ZERO;
             let mut max_zigbee: Option<MilliWatt> = None;
             for id in other_ids {
@@ -1237,6 +1241,9 @@ impl CoexistenceSim {
         };
         match action {
             EccClientAction::SendData { seq, bytes } => {
+                if let Some(ecc) = self.nodes[node].ecc_client.as_mut() {
+                    ecc.mark_in_flight(seq);
+                }
                 let actions = self.nodes[node].mac.send_data(now, seq, bytes);
                 self.apply_zb_actions(now, node, actions);
             }
@@ -1430,9 +1437,13 @@ impl CoexistenceSim {
                         now + self.ecc_config().packet_interval,
                     );
                 }
-                N::Failed { .. } => {
-                    // The frame stays in the ECC client's queue; retry at
-                    // the next opportunity.
+                N::Failed { seq, .. } => {
+                    // The frame stays in the ECC client's queue; clear the
+                    // in-flight mark so it is re-offered at the next
+                    // opportunity.
+                    if let Some(ecc) = self.nodes[node].ecc_client.as_mut() {
+                        ecc.on_failed(seq);
+                    }
                     self.set_timer(
                         TimerKey::Client(node as u8, ClientTimer::NextPacket),
                         now + self.ecc_config().packet_interval,

@@ -4,9 +4,18 @@
 //! number makes ordering *stable*: two events scheduled for the same instant
 //! pop in the order they were pushed, which keeps simulations deterministic
 //! regardless of heap internals.
+//!
+//! The queue sits on the simulation's hottest path (every frame, timer and
+//! sample passes through it), so the implementation avoids the obvious
+//! overheads: the heap key is a single packed `u128` compare instead of a
+//! two-field lexicographic compare, the live-event set hashes its dense
+//! `u64` sequence numbers with a one-multiply mixer instead of SipHash, and
+//! [`EventQueue::with_capacity`] / [`EventQueue::reserve`] let callers
+//! pre-size both structures.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::time::SimTime;
 
@@ -16,15 +25,59 @@ use crate::time::SimTime;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventHandle(u64);
 
+/// One-multiply hasher for the dense `u64` sequence numbers in the pending
+/// set. SplitMix64-style finalization: fast, and sequential keys spread
+/// across the whole output range (std's SipHash costs ~10× as much per
+/// lookup for zero benefit against non-adversarial keys).
+#[derive(Debug, Default, Clone)]
+pub struct SeqHasher(u64);
+
+impl Hasher for SeqHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only reached via derived Hash impls in tests; fold bytes in.
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        let mut z = self.0 ^ x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+type SeqSet = HashSet<u64, BuildHasherDefault<SeqHasher>>;
+
 struct Entry<E> {
-    time: SimTime,
-    seq: u64,
+    /// `(time << 64) | seq` — one `u128` compare orders by time with FIFO
+    /// tie-break, replacing the two-branch lexicographic compare.
+    key: u128,
     event: E,
+}
+
+#[inline]
+fn pack(time: SimTime, seq: u64) -> u128 {
+    (u128::from(time.as_micros()) << 64) | u128::from(seq)
+}
+
+#[inline]
+fn unpack_time(key: u128) -> SimTime {
+    SimTime::from_micros((key >> 64) as u64)
+}
+
+#[inline]
+fn unpack_seq(key: u128) -> u64 {
+    key as u64
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -36,10 +89,7 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we want the earliest first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key.cmp(&self.key)
     }
 }
 
@@ -65,7 +115,7 @@ pub struct EventQueue<E> {
     next_seq: u64,
     /// Sequence numbers of events that are scheduled and not yet popped or
     /// cancelled. Cancelled entries are dropped lazily at the heap head.
-    pending: std::collections::HashSet<u64>,
+    pending: SeqSet,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -80,15 +130,33 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            pending: std::collections::HashSet::new(),
+            pending: SeqSet::default(),
         }
+    }
+
+    /// Creates an empty queue pre-sized for `capacity` pending events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            pending: SeqSet::with_capacity_and_hasher(capacity, Default::default()),
+        }
+    }
+
+    /// Pre-sizes for at least `additional` further events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+        self.pending.reserve(additional);
     }
 
     /// Schedules `event` at `time` and returns a cancellation handle.
     pub fn push(&mut self, time: SimTime, event: E) -> EventHandle {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.heap.push(Entry {
+            key: pack(time, seq),
+            event,
+        });
         self.pending.insert(seq);
         EventHandle(seq)
     }
@@ -104,8 +172,8 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest live event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.pending.remove(&entry.seq) {
-                return Some((entry.time, entry.event));
+            if self.pending.remove(&unpack_seq(entry.key)) {
+                return Some((unpack_time(entry.key), entry.event));
             }
         }
         None
@@ -115,8 +183,8 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         // Drain cancelled entries off the head so the peeked value is live.
         while let Some(entry) = self.heap.peek() {
-            if self.pending.contains(&entry.seq) {
-                return Some(entry.time);
+            if self.pending.contains(&unpack_seq(entry.key)) {
+                return Some(unpack_time(entry.key));
             }
             self.heap.pop();
         }
@@ -217,6 +285,31 @@ mod tests {
     fn peek_time_empty_is_none() {
         let mut q: EventQueue<()> = EventQueue::new();
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn with_capacity_and_reserve_preserve_behaviour() {
+        let mut q = EventQueue::with_capacity(64);
+        for i in 0..32 {
+            q.push(SimTime::from_micros(100 - i), i);
+        }
+        q.reserve(1_000);
+        assert_eq!(q.len(), 32);
+        assert_eq!(q.pop().unwrap().1, 31, "latest push had earliest time");
+    }
+
+    #[test]
+    fn packed_key_roundtrips_extremes() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::MAX, "max");
+        q.push(SimTime::ZERO, "zero");
+        q.push(SimTime::from_micros(u64::MAX - 1), "almost");
+        assert_eq!(q.pop(), Some((SimTime::ZERO, "zero")));
+        assert_eq!(
+            q.pop(),
+            Some((SimTime::from_micros(u64::MAX - 1), "almost"))
+        );
+        assert_eq!(q.pop(), Some((SimTime::MAX, "max")));
     }
 
     proptest! {

@@ -35,6 +35,7 @@
 pub mod dist;
 pub mod engine;
 pub mod event;
+pub mod par;
 pub mod rng;
 pub mod time;
 

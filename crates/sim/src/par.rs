@@ -1,0 +1,210 @@
+//! Parallel execution of independent replicate cells.
+//!
+//! Every replicated experiment in the workspace is a grid of independent
+//! `(seed, config)` cells — embarrassingly parallel work that the seed
+//! code ran strictly serially. This module provides an order-preserving
+//! [`parallel_map`] built on `std::thread::scope` and a shared
+//! `Mutex<VecDeque>` job queue (no external dependencies), plus the
+//! `BICORD_THREADS` knob.
+//!
+//! # Determinism contract
+//!
+//! `parallel_map(inputs, f)` returns exactly
+//! `inputs.into_iter().map(f).collect()` — same values, same order —
+//! for **every** thread count, provided `f` is a pure function of its
+//! input. Each cell derives all randomness from its own seed, so
+//! scheduling order cannot leak into results; callers aggregate the
+//! returned `Vec` serially, so aggregation order is fixed too.
+//!
+//! # Sizing
+//!
+//! Worker count resolution, in order:
+//! 1. an explicit [`parallel_map_threads`] argument,
+//! 2. the `BICORD_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Workers pull one cell at a time from the shared queue, so long cells
+//! (e.g. 30 s simulations) and short ones (signaling trials) balance
+//! without static chunking.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Resolves the worker count: `BICORD_THREADS` if set and valid,
+/// otherwise the machine's available parallelism.
+///
+/// # Example
+///
+/// ```
+/// let n = bicord_sim::par::num_threads();
+/// assert!(n >= 1);
+/// ```
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("BICORD_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+        eprintln!("warning: ignoring invalid BICORD_THREADS={v:?}");
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `inputs` on [`num_threads`] workers, preserving input
+/// order in the output.
+///
+/// See the module docs for the determinism contract.
+///
+/// # Example
+///
+/// ```
+/// use bicord_sim::par::parallel_map;
+///
+/// let squares = parallel_map((0u64..100).collect(), |x| x * x);
+/// assert_eq!(squares[7], 49);
+/// assert_eq!(squares.len(), 100);
+/// ```
+pub fn parallel_map<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    parallel_map_threads(num_threads(), inputs, f)
+}
+
+/// [`parallel_map`] with an explicit worker count (used by the
+/// determinism tests to pin 1/2/8 threads regardless of environment).
+///
+/// # Panics
+///
+/// Propagates the first worker panic after all workers stop.
+pub fn parallel_map_threads<T, R, F>(threads: usize, inputs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = inputs.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return inputs.into_iter().map(f).collect();
+    }
+
+    let queue: Mutex<VecDeque<(usize, T)>> =
+        Mutex::new(inputs.into_iter().enumerate().collect());
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                // Hold the queue lock only for the pop; the cell itself
+                // runs unlocked.
+                let job = queue.lock().expect("job queue poisoned").pop_front();
+                let Some((index, input)) = job else { break };
+                let result = f(input);
+                *slots[index].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job ran to completion")
+        })
+        .collect()
+}
+
+/// Runs `f` over the replicate seeds `master + 0 .. master + runs`,
+/// in parallel, preserving seed order — the common shape of the paper's
+/// "30 seeded runs" sweeps.
+///
+/// # Example
+///
+/// ```
+/// use bicord_sim::par::replicate_seeds;
+///
+/// let doubled = replicate_seeds(100, 4, |seed| seed * 2);
+/// assert_eq!(doubled, vec![200, 202, 204, 206]);
+/// ```
+pub fn replicate_seeds<R, F>(master: u64, runs: u64, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+{
+    parallel_map((0..runs).map(|k| master + k).collect(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order_across_thread_counts() {
+        let inputs: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = inputs.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let out = parallel_map_threads(threads, inputs.clone(), |x| x * 3 + 1);
+            assert_eq!(out, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = parallel_map_threads(8, Vec::<u32>::new(), |x| x);
+        assert!(empty.is_empty());
+        let one = parallel_map_threads(8, vec![41], |x| x + 1);
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn all_jobs_run_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = parallel_map_threads(4, (0..100usize).collect(), |x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        // Long jobs early, short late: single-cell pulls mean no worker
+        // idles while the queue is non-empty, and order still holds.
+        let out = parallel_map_threads(4, (0..40u64).collect(), |x| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            x * x
+        });
+        assert_eq!(out, (0..40u64).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn replicate_seeds_orders_by_seed() {
+        assert_eq!(replicate_seeds(10, 3, |s| s), vec![10, 11, 12]);
+        assert!(replicate_seeds(10, 0, |s| s).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let _ = parallel_map_threads(2, vec![0u32, 1, 2, 3], |x| {
+            assert!(x != 2, "boom");
+            x
+        });
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Perf smoke test: the parallel replicate harness must produce output
+# byte-identical to a serial run. Runs `fig10_replicated --quick` with
+# BICORD_THREADS=1 and BICORD_THREADS=8, diffs the stdout tables, and
+# fails on any divergence. Also reports the wall-clock ratio.
+#
+# Usage: scripts/perf_smoke.sh [path-to-fig10_replicated-binary]
+# With no argument, builds and runs via `cargo run --release`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN="${1:-}"
+run_fig10() {
+    local threads="$1" out="$2"
+    if [[ -n "$BIN" ]]; then
+        BICORD_THREADS="$threads" BICORD_BENCH_JSON=0 "$BIN" --quick >"$out" 2>/dev/null
+    else
+        BICORD_THREADS="$threads" BICORD_BENCH_JSON=0 \
+            cargo run -q --offline --release -p bicord-bench --bin fig10_replicated -- --quick \
+            >"$out" 2>/dev/null
+    fi
+}
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+echo "perf_smoke: serial run (BICORD_THREADS=1)..."
+t0=$(date +%s%N)
+run_fig10 1 "$tmpdir/serial.txt"
+t1=$(date +%s%N)
+
+echo "perf_smoke: parallel run (BICORD_THREADS=8)..."
+run_fig10 8 "$tmpdir/parallel.txt"
+t2=$(date +%s%N)
+
+if ! diff -u "$tmpdir/serial.txt" "$tmpdir/parallel.txt"; then
+    echo "perf_smoke: FAIL — parallel output diverges from serial" >&2
+    exit 1
+fi
+
+serial_ms=$(( (t1 - t0) / 1000000 ))
+parallel_ms=$(( (t2 - t1) / 1000000 ))
+echo "perf_smoke: PASS — outputs byte-identical"
+echo "perf_smoke: serial ${serial_ms} ms, 8-thread ${parallel_ms} ms"
+if [[ "$parallel_ms" -gt 0 ]]; then
+    echo "perf_smoke: speedup $(awk "BEGIN { printf \"%.2fx\", $serial_ms / $parallel_ms }")"
+fi

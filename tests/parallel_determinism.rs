@@ -1,0 +1,77 @@
+//! Determinism of the parallel replicate harness (ISSUE satellite #2):
+//! the same master seed pushed through `parallel_map_threads` with 1, 2
+//! and 8 workers must yield results **identical** to a plain serial map —
+//! same run outcomes, same aggregated `Replicates` statistics, bit for
+//! bit. These tests use real simulation cells, not toy closures, so any
+//! scheduling leak into the RNG streams would show up here.
+
+use bicord::metrics::Replicates;
+use bicord::scenario::experiments::{allocation_run, AllocationRun};
+use bicord::scenario::Location;
+use bicord::sim::par::{parallel_map_threads, replicate_seeds};
+use bicord::sim::SimDuration;
+
+const MASTER_SEED: u64 = 4242;
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// One short but real allocation-learning simulation, the cell shape the
+/// fig. 8/9/10 sweeps parallelise over.
+fn cell(seed: u64) -> AllocationRun {
+    allocation_run(
+        Location::A,
+        seed,
+        SimDuration::from_millis(30),
+        5,
+        SimDuration::from_secs(2),
+    )
+}
+
+#[test]
+fn run_results_match_serial_for_every_thread_count() {
+    let seeds: Vec<u64> = (0..6).map(|k| MASTER_SEED + k).collect();
+    let serial: Vec<AllocationRun> = seeds.iter().map(|&s| cell(s)).collect();
+    for threads in THREAD_COUNTS {
+        let parallel = parallel_map_threads(threads, seeds.clone(), cell);
+        assert_eq!(parallel, serial, "threads={threads}");
+    }
+}
+
+#[test]
+fn aggregated_replicates_match_serial_bitwise() {
+    let seeds: Vec<u64> = (0..6).map(|k| MASTER_SEED + k).collect();
+    let aggregate = |runs: &[AllocationRun]| {
+        let mut ws = Replicates::new();
+        let mut iters = Replicates::new();
+        for run in runs {
+            ws.push(run.final_ws_ms);
+            iters.push(f64::from(run.iterations));
+        }
+        (
+            ws.mean(),
+            ws.ci95_halfwidth(),
+            iters.mean(),
+            iters.ci95_halfwidth(),
+        )
+    };
+    let serial: Vec<AllocationRun> = seeds.iter().map(|&s| cell(s)).collect();
+    let expected = aggregate(&serial);
+    for threads in THREAD_COUNTS {
+        let parallel = parallel_map_threads(threads, seeds.clone(), cell);
+        let got = aggregate(&parallel);
+        // Bitwise equality: aggregation order is fixed, so even f64
+        // summation order must not depend on the worker count.
+        assert_eq!(got.0.to_bits(), expected.0.to_bits(), "threads={threads}");
+        assert_eq!(got.1.to_bits(), expected.1.to_bits(), "threads={threads}");
+        assert_eq!(got.2.to_bits(), expected.2.to_bits(), "threads={threads}");
+        assert_eq!(got.3.to_bits(), expected.3.to_bits(), "threads={threads}");
+    }
+}
+
+#[test]
+fn replicate_seeds_matches_explicit_seed_list() {
+    // `replicate_seeds` is sugar for mapping over master+0..master+runs;
+    // its output must equal the hand-rolled serial loop.
+    let serial: Vec<AllocationRun> = (0..4).map(|k| cell(MASTER_SEED + k)).collect();
+    let via_helper = replicate_seeds(MASTER_SEED, 4, cell);
+    assert_eq!(via_helper, serial);
+}

@@ -1,0 +1,47 @@
+//! Cargo-test wrapper around `scripts/perf_smoke.sh`: serial vs
+//! parallel `fig10_replicated --quick` must emit byte-identical tables.
+//! Thread counts are pinned via `BICORD_THREADS` on *child processes*,
+//! so this never races with other tests over environment variables.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Finds an already-built `fig10_replicated` binary (release preferred,
+/// then debug). Returns `None` if neither profile has built it yet — in
+/// that case the script would fall back to `cargo run --release`, which
+/// is too slow to hide inside `cargo test`, so we skip instead.
+fn find_binary(repo: &Path) -> Option<PathBuf> {
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| repo.join("target"));
+    ["release", "debug"]
+        .iter()
+        .map(|profile| target.join(profile).join("fig10_replicated"))
+        .find(|p| p.is_file())
+}
+
+#[test]
+fn serial_and_parallel_quick_tables_are_byte_identical() {
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let Some(binary) = find_binary(repo) else {
+        eprintln!("perf_smoke: no prebuilt fig10_replicated binary; skipping");
+        return;
+    };
+    let script = repo.join("scripts/perf_smoke.sh");
+    let output = Command::new("bash")
+        .arg(&script)
+        .arg(&binary)
+        .output()
+        .expect("perf_smoke.sh should spawn");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "perf_smoke.sh failed (serial vs parallel output diverged?)\n\
+         --- stdout ---\n{stdout}\n--- stderr ---\n{stderr}"
+    );
+    assert!(
+        stdout.contains("outputs byte-identical"),
+        "unexpected perf_smoke.sh output:\n{stdout}"
+    );
+}

@@ -1,0 +1,217 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use — [`Criterion`],
+//! [`black_box`], [`criterion_group!`], [`criterion_main!`], benchmark
+//! groups — backed by a simple calibrated wall-clock timer instead of
+//! criterion's statistical machinery. Each benchmark is auto-tuned to
+//! run for roughly [`Criterion::measurement_secs`] and reports the mean
+//! per-iteration time on stdout as
+//! `bench: <name> ... <mean> <unit>/iter (<iters> iters)`.
+//!
+//! Honours `--bench` / `--test` harness flags: under `cargo test`
+//! (which passes `--test`) benches run a single iteration as a smoke
+//! test, keeping `cargo test` fast.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting
+/// benchmarked work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Per-iteration timing loop handed to `bench_function` closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the configured iteration count, timing the batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measurement_secs: f64,
+    smoke_only: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs bench targets with `--test`; a lone positional
+        // argument is a name filter (cargo bench -- <filter>).
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let smoke_only = args.iter().any(|a| a == "--test");
+        let filter = args
+            .iter()
+            .find(|a| !a.starts_with('-'))
+            .cloned();
+        Criterion {
+            measurement_secs: 1.0,
+            smoke_only,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Target wall-clock spent measuring each benchmark.
+    pub fn measurement_secs(&self) -> f64 {
+        self.measurement_secs
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run(name, f, None);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F, sample_size: Option<usize>) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Warm-up / calibration pass.
+        f(&mut b);
+        if self.smoke_only {
+            println!("bench: {name} ... smoke ok (1 iter)");
+            return;
+        }
+        let per_iter = b.elapsed.as_secs_f64().max(1e-9);
+        let budget = match sample_size {
+            // Group sample_size caps the number of timed iterations for
+            // expensive benches.
+            Some(n) => (n as f64 * per_iter).min(self.measurement_secs),
+            None => self.measurement_secs,
+        };
+        let iters = ((budget / per_iter) as u64).clamp(1, 1_000_000_000);
+        b.iters = iters;
+        f(&mut b);
+        let mean = b.elapsed.as_secs_f64() / iters as f64;
+        let (value, unit) = humanize(mean);
+        println!("bench: {name} ... {value:.3} {unit}/iter ({iters} iters)");
+    }
+}
+
+fn humanize(secs: f64) -> (f64, &'static str) {
+    if secs >= 1.0 {
+        (secs, "s")
+    } else if secs >= 1e-3 {
+        (secs * 1e3, "ms")
+    } else if secs >= 1e-6 {
+        (secs * 1e6, "µs")
+    } else {
+        (secs * 1e9, "ns")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps iterations for expensive benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let sample_size = self.sample_size;
+        self.criterion.run(&full, f, sample_size);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench-harness entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iters: 10,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 10);
+        assert!(b.elapsed >= Duration::ZERO);
+    }
+
+    #[test]
+    fn humanize_picks_sane_units() {
+        assert_eq!(humanize(2.0).1, "s");
+        assert_eq!(humanize(2e-3).1, "ms");
+        assert_eq!(humanize(2e-6).1, "µs");
+        assert_eq!(humanize(2e-9).1, "ns");
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion {
+            measurement_secs: 0.001,
+            smoke_only: true,
+            filter: None,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        c.bench_function("top", |b| b.iter(|| black_box(2 + 2)));
+    }
+}
