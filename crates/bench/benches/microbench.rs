@@ -163,6 +163,54 @@ fn bench_generate_trace(c: &mut Criterion) {
     });
 }
 
+/// The observability layer's zero-cost claim: pushing CSI samples through
+/// the sink-generic `push_obs` with a [`NoopSink`] must cost the same as
+/// the plain `push` path (both monomorphize to no emission), while a
+/// recording [`VecSink`] shows the price of actually keeping records.
+fn bench_sink_overhead(c: &mut Criterion) {
+    use bicord_sim::obs::{NoopSink, VecSink};
+
+    let model = CsiModel::intel5300();
+    let mut rng = stream_rng(1, SeedDomain::Csi, 51);
+    let samples: Vec<CsiSample> = (0..10_000u64)
+        .map(|i| {
+            let disturbance = if i % 40 < 8 {
+                Disturbance::Zigbee { sir_db: -14.0 }
+            } else {
+                Disturbance::None
+            };
+            model.sample(&mut rng, SimTime::from_micros(i * 500), disturbance)
+        })
+        .collect();
+
+    c.bench_function("csi_detector_10k_samples_noop_sink", |b| {
+        b.iter(|| {
+            let mut det = CsiDetector::new(DetectorConfig::default(), model);
+            let mut sink = NoopSink;
+            let mut hits = 0u32;
+            for s in &samples {
+                if det.push_obs(black_box(*s), &mut sink).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    c.bench_function("csi_detector_10k_samples_vec_sink", |b| {
+        b.iter(|| {
+            let mut det = CsiDetector::new(DetectorConfig::default(), model);
+            let mut sink = VecSink::new();
+            let mut hits = 0u32;
+            for s in &samples {
+                if det.push_obs(black_box(*s), &mut sink).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box((hits, sink.events.len()))
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_csi_detector,
@@ -170,6 +218,7 @@ criterion_group!(
     bench_feature_extraction,
     bench_kmeans,
     bench_event_queue,
-    bench_generate_trace
+    bench_generate_trace,
+    bench_sink_overhead
 );
 criterion_main!(benches);

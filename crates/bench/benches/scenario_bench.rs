@@ -11,7 +11,7 @@ use bicord_sim::SimDuration;
 fn one_second(config_builder: impl Fn(u64) -> SimConfig) -> u64 {
     let mut config = config_builder(1);
     config.duration = SimDuration::from_secs(1);
-    let results = CoexistenceSim::new(config).run();
+    let results = CoexistenceSim::new(config).unwrap().run();
     results.events
 }
 

@@ -10,6 +10,8 @@ use bicord_metrics::table::{fmt1, fmt3, pct, TextTable};
 use bicord_scenario::experiments::{ablation_allocator, ablation_detector};
 
 fn main() {
+    let cli = bicord_bench::BenchCli::parse_or_exit("ablations");
+    cli.apply();
     let trials = run_count(300, 40);
     eprintln!("Ablation 1: detector rule sweep (N x T), {trials} trials per cell...");
     let mut perf = PerfRecorder::start("ablations");

@@ -8,6 +8,8 @@ use bicord_metrics::table::{pct, TextTable};
 use bicord_scenario::experiments::cti_accuracy;
 
 fn main() {
+    let cli = bicord_bench::BenchCli::parse_or_exit("cti_accuracy");
+    cli.apply();
     let traces = run_count(200, 40) as usize;
     eprintln!("CTI detection: {traces} traces per technology / device...");
     let mut perf = PerfRecorder::start("cti_accuracy");

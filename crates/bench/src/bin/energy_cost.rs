@@ -10,6 +10,8 @@ use bicord_scenario::experiments::{energy_cost, energy_cost_measured};
 use bicord_sim::SimDuration;
 
 fn main() {
+    let cli = bicord_bench::BenchCli::parse_or_exit("energy_cost");
+    cli.apply();
     let rows = energy_cost();
     let mut table = TextTable::new(vec![
         "control packets",

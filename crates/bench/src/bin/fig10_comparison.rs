@@ -9,9 +9,21 @@
 
 use bicord_bench::{run_duration, BENCH_SEED};
 use bicord_metrics::table::{fmt1, pct, TextTable};
+use bicord_scenario::config::SimConfig;
 use bicord_scenario::experiments::{fig10_comparison, Scheme};
+use bicord_sim::SimDuration;
 
 fn main() {
+    let cli = bicord_bench::BenchCli::parse_or_exit("fig10_comparison");
+    cli.apply();
+    cli.maybe_trace(
+        "fig10_comparison",
+        SimConfig::builder()
+            .seed(BENCH_SEED)
+            .duration(SimDuration::from_secs(5))
+            .build()
+            .expect("trace config is valid"),
+    );
     let duration = run_duration(60, 6);
     eprintln!("Fig. 10: 4 schemes x 5 intervals, {duration} each...");
     let rows = fig10_comparison(BENCH_SEED, duration);

@@ -5,9 +5,21 @@
 
 use bicord_bench::{run_count, run_duration, PerfRecorder, BENCH_SEED};
 use bicord_metrics::table::TextTable;
+use bicord_scenario::config::SimConfig;
 use bicord_scenario::experiments::{fig10_replicated, Scheme};
+use bicord_sim::SimDuration;
 
 fn main() {
+    let cli = bicord_bench::BenchCli::parse_or_exit("fig10_replicated");
+    cli.apply();
+    cli.maybe_trace(
+        "fig10_replicated",
+        SimConfig::builder()
+            .seed(BENCH_SEED)
+            .duration(SimDuration::from_secs(5))
+            .build()
+            .expect("trace config is valid"),
+    );
     let duration = run_duration(30, 4);
     let runs = u64::from(run_count(5, 2));
     eprintln!("Fig. 10 replicated: 4 schemes x 5 intervals, {runs} x {duration} each...");

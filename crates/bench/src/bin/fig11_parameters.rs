@@ -11,6 +11,8 @@ use bicord_metrics::table::{fmt1, pct, TextTable};
 use bicord_scenario::experiments::fig11_parameters;
 
 fn main() {
+    let cli = bicord_bench::BenchCli::parse_or_exit("fig11_parameters");
+    cli.apply();
     let duration = run_duration(40, 6);
     eprintln!("Fig. 11: three parameter sweeps, {duration} each...");
     let mut perf = PerfRecorder::start("fig11_parameters");

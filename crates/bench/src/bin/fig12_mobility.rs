@@ -9,6 +9,8 @@ use bicord_metrics::table::{fmt1, pct, TextTable};
 use bicord_scenario::experiments::{fig12_mobility_replicated, MobilityScenario};
 
 fn main() {
+    let cli = bicord_bench::BenchCli::parse_or_exit("fig12_mobility");
+    cli.apply();
     let duration = run_duration(30, 6);
     let runs = u64::from(run_count(5, 1));
     eprintln!("Fig. 12: three scenarios x two burst intervals, {runs} x {duration} each...");

@@ -12,6 +12,8 @@ use bicord_metrics::table::{fmt1, pct, TextTable};
 use bicord_scenario::experiments::{fig13_priority, PriorityRow, Scheme};
 
 fn main() {
+    let cli = bicord_bench::BenchCli::parse_or_exit("fig13_priority");
+    cli.apply();
     let duration = run_duration(10, 4);
     eprintln!("Fig. 13: 3 schemes x 5 priority shares, {duration} each...");
     let mut perf = PerfRecorder::start("fig13_priority");

@@ -53,6 +53,8 @@ fn render(label: &str, deviations: &[(f64, bool)], model: &CsiModel) {
 }
 
 fn main() {
+    let cli = bicord_bench::BenchCli::parse_or_exit("fig3_csi");
+    cli.apply();
     let model = CsiModel::intel5300();
     let mut rng = stream_rng(BENCH_SEED, SeedDomain::Csi, 9);
     let samples = (WINDOW / model.sample_period()) as usize;

@@ -5,10 +5,30 @@
 //! 62.7 ms.
 
 use bicord_bench::BENCH_SEED;
+use bicord_core::allocation::AllocatorConfig;
 use bicord_metrics::table::{fmt1, TextTable};
+use bicord_scenario::config::SimConfig;
 use bicord_scenario::experiments::fig7_learning;
+use bicord_sim::SimDuration;
+use bicord_workloads::traffic::ArrivalProcess;
 
 fn main() {
+    let cli = bicord_bench::BenchCli::parse_or_exit("fig7_learning");
+    cli.apply();
+    cli.maybe_trace(
+        "fig7_learning",
+        SimConfig::builder()
+            .seed(BENCH_SEED)
+            .duration(SimDuration::from_secs(8))
+            .burst(10, 50)
+            .arrivals(ArrivalProcess::Periodic(SimDuration::from_millis(200)))
+            .allocator(AllocatorConfig {
+                initial_step: SimDuration::from_millis(30),
+                ..AllocatorConfig::default()
+            })
+            .build()
+            .expect("trace config is valid"),
+    );
     eprintln!("Fig. 7: learning a 10-packet burst with a 30 ms step at location A...");
     let run = fig7_learning(BENCH_SEED);
 

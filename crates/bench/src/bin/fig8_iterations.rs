@@ -11,6 +11,8 @@ use bicord_scenario::experiments::fig8_fig9;
 use bicord_sim::SimDuration;
 
 fn main() {
+    let cli = bicord_bench::BenchCli::parse_or_exit("fig8_iterations");
+    cli.apply();
     let runs = u64::from(run_count(30, 5));
     eprintln!("Fig. 8: sweeping 2 locations x 2 steps x 3 burst sizes, {runs} runs each...");
     let mut perf = PerfRecorder::start("fig8_iterations");

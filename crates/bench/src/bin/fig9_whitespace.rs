@@ -8,6 +8,8 @@ use bicord_scenario::experiments::fig8_fig9;
 use bicord_sim::SimDuration;
 
 fn main() {
+    let cli = bicord_bench::BenchCli::parse_or_exit("fig9_whitespace");
+    cli.apply();
     let runs = u64::from(run_count(30, 5));
     eprintln!("Fig. 9: converged white space across the Fig. 8 grid, {runs} runs each...");
     let mut perf = PerfRecorder::start("fig9_whitespace");

@@ -59,6 +59,8 @@ fn folding_sweep() {
 }
 
 fn main() {
+    let cli = bicord_bench::BenchCli::parse_or_exit("motivation_ctc");
+    cli.apply();
     folding_sweep();
     let rows = motivation_ctc();
     let mut table = TextTable::new(vec![

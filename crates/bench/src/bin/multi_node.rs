@@ -8,9 +8,23 @@
 
 use bicord_bench::{run_duration, PerfRecorder, BENCH_SEED};
 use bicord_metrics::table::{fmt1, pct, TextTable};
+use bicord_scenario::config::{ExtraNodeConfig, SimConfig};
 use bicord_scenario::experiments::multi_node;
+use bicord_scenario::geometry::Location;
+use bicord_sim::SimDuration;
 
 fn main() {
+    let cli = bicord_bench::BenchCli::parse_or_exit("multi_node");
+    cli.apply();
+    cli.maybe_trace(
+        "multi_node",
+        SimConfig::builder()
+            .seed(BENCH_SEED)
+            .duration(SimDuration::from_secs(5))
+            .extra_node(ExtraNodeConfig::at(Location::C))
+            .build()
+            .expect("trace config is valid"),
+    );
     let duration = run_duration(30, 5);
     eprintln!("Multi-node: 1-3 heterogeneous ZigBee pairs x 2 schemes, {duration} each...");
     let mut perf = PerfRecorder::start("multi_node");

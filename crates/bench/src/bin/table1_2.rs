@@ -4,10 +4,22 @@
 
 use bicord_bench::{quick_mode, run_count, PerfRecorder, BENCH_SEED};
 use bicord_metrics::table::{fmt3, TextTable};
+use bicord_phy::units::Dbm;
+use bicord_scenario::config::SimConfig;
 use bicord_scenario::experiments::{table1_2, table_powers};
 use bicord_scenario::geometry::Location;
 
 fn main() {
+    let cli = bicord_bench::BenchCli::parse_or_exit("table1_2");
+    cli.apply();
+    cli.maybe_trace(
+        "table1_2",
+        SimConfig::builder()
+            .seed(BENCH_SEED)
+            .signaling_trial(4, 60, Dbm::new(0.0))
+            .build()
+            .expect("trace config is valid"),
+    );
     let trials = run_count(600, 60);
     eprintln!(
         "Table I/II grid: 4 locations x 3 powers x 3 packet counts, {trials} trials each{}...",
@@ -21,7 +33,10 @@ fn main() {
         "mean_precision",
         cells.iter().map(|c| c.precision).sum::<f64>() / n,
     );
-    perf.metric("mean_recall", cells.iter().map(|c| c.recall).sum::<f64>() / n);
+    perf.metric(
+        "mean_recall",
+        cells.iter().map(|c| c.recall).sum::<f64>() / n,
+    );
     perf.finish();
 
     for (metric, pick) in [("Table I — precision", true), ("Table II — recall", false)] {

@@ -36,6 +36,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+
+pub use cli::BenchCli;
+
 use std::time::Instant;
 
 use bicord_metrics::TextTable;
@@ -268,10 +272,7 @@ mod tests {
 
     #[test]
     fn merge_replaces_same_experiment_and_keeps_others() {
-        let dir = std::env::temp_dir().join(format!(
-            "bicord-bench-test-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("bicord-bench-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("BENCH_results.json");
         let rec = |name: &str, wall: f64| {

@@ -18,6 +18,7 @@
 //!   update, so an expiry timer (10 s) periodically resets the allocator to
 //!   the learning phase to reclaim over-provisioned channel time.
 
+use bicord_sim::obs::{EventSink, NoopSink, TraceEvent};
 use bicord_sim::{SimDuration, SimTime};
 
 /// Allocator parameters.
@@ -192,13 +193,29 @@ impl WhiteSpaceAllocator {
     /// estimate resets the allocator to the learning phase first (the
     /// burst may have become shorter — Sec. VI "white space adjustment").
     pub fn on_request(&mut self, now: SimTime) -> SimDuration {
+        self.on_request_obs(now, &mut NoopSink)
+    }
+
+    /// [`WhiteSpaceAllocator::on_request`] with observability: emits a
+    /// [`TraceEvent::ReEstimate`] (`reason: "expiry"`) when a stale
+    /// converged estimate resets to learning, and a [`TraceEvent::NRound`]
+    /// for the round counted to the current burst.
+    pub fn on_request_obs<S: EventSink>(&mut self, now: SimTime, sink: &mut S) -> SimDuration {
         if self.phase == AllocationPhase::Converged
             && now.saturating_since(self.last_estimate_update) >= self.config.reestimate_after
         {
             self.reset_learning(now);
+            sink.emit(&TraceEvent::ReEstimate {
+                t_us: now.as_micros(),
+                reason: "expiry",
+            });
         }
         self.burst_active = true;
         self.rounds_this_burst += 1;
+        sink.emit(&TraceEvent::NRound {
+            t_us: now.as_micros(),
+            rounds: self.rounds_this_burst,
+        });
         self.clamped(self.estimate)
     }
 
@@ -207,6 +224,19 @@ impl WhiteSpaceAllocator {
     /// Applies the paper's conservative estimator and returns the new
     /// phase. Calling it with no active burst is a no-op.
     pub fn on_burst_end(&mut self, now: SimTime) -> AllocationPhase {
+        self.on_burst_end_obs(now, &mut NoopSink)
+    }
+
+    /// [`WhiteSpaceAllocator::on_burst_end`] with observability: emits a
+    /// [`TraceEvent::Estimate`] with the post-update estimate of every
+    /// served burst, plus a [`TraceEvent::ReEstimate`] when the estimate
+    /// is probed downwards (`"shrink-probe"`) or a confirmed multi-round
+    /// burst re-opens learning (`"growth"`).
+    pub fn on_burst_end_obs<S: EventSink>(
+        &mut self,
+        now: SimTime,
+        sink: &mut S,
+    ) -> AllocationPhase {
         if !self.burst_active {
             return self.phase;
         }
@@ -234,8 +264,13 @@ impl WhiteSpaceAllocator {
                     .saturating_sub(self.config.control_duration)
                     .max(self.config.initial_step);
                 self.clean_streak = 0;
+                sink.emit(&TraceEvent::ReEstimate {
+                    t_us: now.as_micros(),
+                    reason: "shrink-probe",
+                });
             }
             self.last_estimate_update = now;
+            self.emit_estimate(now, rounds, sink);
             return self.phase;
         }
         self.clean_streak = 0;
@@ -250,9 +285,14 @@ impl WhiteSpaceAllocator {
         {
             self.pending_reestimate = true;
             self.last_estimate_update = now;
+            self.emit_estimate(now, rounds, sink);
             return self.phase;
         }
         self.pending_reestimate = false;
+        sink.emit(&TraceEvent::ReEstimate {
+            t_us: now.as_micros(),
+            reason: "growth",
+        });
 
         // T_estimation = (T_w − 2·T_c) · N_round  — conservative: subtract
         // two control-packet durations per round.
@@ -282,7 +322,21 @@ impl WhiteSpaceAllocator {
         self.phase = AllocationPhase::Learning;
         self.iterations_to_converge += 1;
         self.last_estimate_update = now;
+        self.emit_estimate(now, rounds, sink);
         self.phase
+    }
+
+    /// Emits the post-update [`TraceEvent::Estimate`] for a served burst.
+    fn emit_estimate<S: EventSink>(&self, now: SimTime, rounds: u32, sink: &mut S) {
+        sink.emit(&TraceEvent::Estimate {
+            t_us: now.as_micros(),
+            estimate_us: self.estimate.as_micros(),
+            rounds,
+            phase: match self.phase {
+                AllocationPhase::Learning => "learning",
+                AllocationPhase::Converged => "converged",
+            },
+        });
     }
 
     /// Forces a return to the learning phase (expiry timer or an explicit

@@ -15,6 +15,7 @@
 //!   the Wi-Fi device no longer detects ZigBee traffic for a given time").
 
 use bicord_phy::csi::{CsiModel, CsiSample};
+use bicord_sim::obs::{EventSink, NoopSink, TraceEvent};
 use bicord_sim::{SimDuration, SimTime};
 
 use crate::allocation::{AllocatorConfig, WhiteSpaceAllocator};
@@ -134,22 +135,49 @@ impl BicordCoordinator {
 
     /// Feeds one CSI sample; may emit a reservation.
     pub fn on_csi_sample(&mut self, sample: CsiSample) -> Vec<CoordinatorAction> {
-        let Some(detection) = self.detector.push(sample) else {
+        self.on_csi_sample_obs(sample, &mut NoopSink)
+    }
+
+    /// [`BicordCoordinator::on_csi_sample`] with observability: the
+    /// detector emits per-sample classification/detection records and the
+    /// allocator its round/estimate records into `sink`. With [`NoopSink`]
+    /// this monomorphizes to exactly `on_csi_sample`.
+    pub fn on_csi_sample_obs<S: EventSink>(
+        &mut self,
+        sample: CsiSample,
+        sink: &mut S,
+    ) -> Vec<CoordinatorAction> {
+        let Some(detection) = self.detector.push_obs(sample, sink) else {
             return Vec::new();
         };
-        self.on_detection(detection)
+        self.on_detection_obs(detection, sink)
     }
 
     /// Handles a positive detection directly (exposed for tests and for
     /// scenarios that run their own detector).
     pub fn on_detection(&mut self, detection: Detection) -> Vec<CoordinatorAction> {
+        self.on_detection_obs(detection, &mut NoopSink)
+    }
+
+    /// [`BicordCoordinator::on_detection`] with observability: emits the
+    /// allocator's round records and a [`TraceEvent::Reservation`] when a
+    /// white space is granted.
+    pub fn on_detection_obs<S: EventSink>(
+        &mut self,
+        detection: Detection,
+        sink: &mut S,
+    ) -> Vec<CoordinatorAction> {
         if !self.respond {
             self.ignored_requests += 1;
             return Vec::new();
         }
         let now = detection.at;
-        let ws = self.allocator.on_request(now);
+        let ws = self.allocator.on_request_obs(now, sink);
         self.reservations += 1;
+        sink.emit(&TraceEvent::Reservation {
+            t_us: now.as_micros(),
+            ws_us: ws.as_micros(),
+        });
         let gap = self.allocator.config().end_detect_gap;
         vec![
             CoordinatorAction::Reserve(ws),
@@ -163,9 +191,21 @@ impl BicordCoordinator {
 
     /// Handles an expired timer.
     pub fn on_timer(&mut self, now: SimTime, timer: CoordinatorTimer) -> Vec<CoordinatorAction> {
+        self.on_timer_obs(now, timer, &mut NoopSink)
+    }
+
+    /// [`BicordCoordinator::on_timer`] with observability: burst-end
+    /// timers run the allocator's estimation step, which emits its
+    /// [`TraceEvent::Estimate`]/[`TraceEvent::ReEstimate`] records.
+    pub fn on_timer_obs<S: EventSink>(
+        &mut self,
+        now: SimTime,
+        timer: CoordinatorTimer,
+        sink: &mut S,
+    ) -> Vec<CoordinatorAction> {
         match timer {
             CoordinatorTimer::BurstEnd => {
-                self.allocator.on_burst_end(now);
+                self.allocator.on_burst_end_obs(now, sink);
                 Vec::new()
             }
         }
@@ -281,11 +321,11 @@ mod tests {
         use super::*;
         use proptest::prelude::*;
 
-        /// Model-based property: feed the coordinator synthetic bursts of
-        /// high-fluctuation CSI (each burst = one ZigBee request round,
-        /// separated far enough to be distinct bursts) and check the
-        /// allocator's reservations stay within configured bounds and the
-        /// burst accounting matches.
+        // Model-based property: feed the coordinator synthetic bursts of
+        // high-fluctuation CSI (each burst = one ZigBee request round,
+        // separated far enough to be distinct bursts) and check the
+        // allocator's reservations stay within configured bounds and the
+        // burst accounting matches.
         proptest! {
             #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
 

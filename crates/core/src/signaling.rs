@@ -14,6 +14,7 @@
 use std::collections::VecDeque;
 
 use bicord_phy::csi::{CsiClass, CsiModel, CsiSample};
+use bicord_sim::obs::{EventSink, NoopSink, TraceEvent};
 use bicord_sim::{SimDuration, SimTime};
 
 /// Configuration of the CSI detector.
@@ -112,6 +113,14 @@ impl CsiDetector {
     /// Consumes one CSI sample; returns a [`Detection`] when the
     /// continuity rule fires (and the detector is out of its hold-off).
     pub fn push(&mut self, sample: CsiSample) -> Option<Detection> {
+        self.push_obs(sample, &mut NoopSink)
+    }
+
+    /// [`CsiDetector::push`] with observability: emits a
+    /// [`TraceEvent::CsiClassified`] for every sample and a
+    /// [`TraceEvent::Detection`] when the continuity rule fires. With
+    /// [`NoopSink`] this monomorphizes to exactly `push`.
+    pub fn push_obs<S: EventSink>(&mut self, sample: CsiSample, sink: &mut S) -> Option<Detection> {
         self.samples_seen += 1;
         // Expire samples that slid out of the window.
         while let Some(&front) = self.highs.front() {
@@ -121,7 +130,13 @@ impl CsiDetector {
                 break;
             }
         }
-        if self.model.classify(&sample) != CsiClass::HighFluctuation {
+        let high = self.model.classify(&sample) == CsiClass::HighFluctuation;
+        sink.emit(&TraceEvent::CsiClassified {
+            t_us: sample.time.as_micros(),
+            deviation: sample.deviation,
+            high,
+        });
+        if !high {
             return None;
         }
         self.highs.push_back(sample.time);
@@ -141,6 +156,11 @@ impl CsiDetector {
             window_start: *self.highs.front().expect("window non-empty"),
             highs_in_window: self.highs.len(),
         };
+        sink.emit(&TraceEvent::Detection {
+            t_us: detection.at.as_micros(),
+            window_start_us: detection.window_start.as_micros(),
+            highs: detection.highs_in_window as u32,
+        });
         // Consume the window so the next detection needs fresh evidence.
         self.highs.clear();
         Some(detection)

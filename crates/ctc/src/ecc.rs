@@ -340,7 +340,10 @@ mod tests {
         // while the MAC still holds the frame) must not re-offer seq 0.
         assert_eq!(c.next_action(ws_start), EccClientAction::Wait);
         assert_eq!(
-            c.on_white_space(ws_start + SimDuration::from_millis(100), SimDuration::from_millis(30)),
+            c.on_white_space(
+                ws_start + SimDuration::from_millis(100),
+                SimDuration::from_millis(30)
+            ),
             EccClientAction::Wait
         );
         // Delivery clears the mark and the next packet flows.

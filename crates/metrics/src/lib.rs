@@ -9,6 +9,8 @@
 //! * [`throughput`] — delivered-bytes accounting (Fig. 10c),
 //! * [`precision_recall`] — detector quality (Tables I and II),
 //! * [`replicates`] — mean ± 95 % CI across repeated seeded runs,
+//! * [`registry`] — counter/histogram registry fed by the
+//!   `bicord_sim::obs` observability layer,
 //! * [`table`] — fixed-width text tables for the bench harness output.
 
 #![forbid(unsafe_code)]
@@ -16,6 +18,7 @@
 
 pub mod delay;
 pub mod precision_recall;
+pub mod registry;
 pub mod replicates;
 pub mod stats;
 pub mod table;
@@ -24,6 +27,7 @@ pub mod utilization;
 
 pub use delay::DelayTracker;
 pub use precision_recall::PrecisionRecall;
+pub use registry::{CountingSink, MetricsRegistry};
 pub use replicates::Replicates;
 pub use stats::Summary;
 pub use table::TextTable;

@@ -1,0 +1,259 @@
+//! Counter/histogram registry fed by the observability layer.
+//!
+//! [`MetricsRegistry`] is a small, dependency-free metrics store:
+//! insertion-ordered named counters plus fixed-bound histograms, with a
+//! deterministic JSON rendering. [`CountingSink`] adapts a registry into
+//! a [`bicord_sim::obs::EventSink`], so any instrumented run can produce
+//! aggregate statistics without writing a trace file.
+
+use std::fmt::Write as _;
+
+use bicord_sim::obs::{EventSink, TraceEvent};
+
+/// A named monotonically increasing counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Counter {
+    name: String,
+    value: u64,
+}
+
+/// A fixed-bound histogram: `bounds` are inclusive upper edges; values
+/// above the last bound land in the overflow bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    name: String,
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` buckets; last is overflow.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    fn new(name: &str, bounds: &[f64]) -> Self {
+        Histogram {
+            name: name.to_string(),
+            bounds: bounds.to_vec(),
+            buckets: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+/// Insertion-ordered counters and histograms with deterministic JSON
+/// output. Lookup is linear — registries hold a handful of series, and
+/// determinism (no hash-order iteration) matters more than O(1) here.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: Vec<Counter>,
+    histograms: Vec<Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero first.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        match self.counters.iter_mut().find(|c| c.name == name) {
+            Some(c) => c.value += delta,
+            None => self.counters.push(Counter {
+                name: name.to_string(),
+                value: delta,
+            }),
+        }
+    }
+
+    /// Increments the named counter by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of a counter (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// Declares a histogram with the given inclusive upper bucket bounds.
+    /// Re-declaring an existing name keeps the original bounds.
+    pub fn declare_histogram(&mut self, name: &str, bounds: &[f64]) {
+        if !self.histograms.iter().any(|h| h.name == name) {
+            self.histograms.push(Histogram::new(name, bounds));
+        }
+    }
+
+    /// Records one observation; the histogram must have been declared.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        if let Some(h) = self.histograms.iter_mut().find(|h| h.name == name) {
+            h.observe(value);
+        }
+    }
+
+    /// The named histogram, if declared.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Deterministic JSON rendering: counters and histograms in
+    /// declaration order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", c.name, c.value);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"sum\":{}",
+                h.name, h.count, h.sum
+            );
+            out.push_str(",\"buckets\":[");
+            for (j, b) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Adapts a [`MetricsRegistry`] into an [`EventSink`]: counts every
+/// record by kind and feeds white-space and `T_estimation` sizes into
+/// histograms (bounds in milliseconds).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CountingSink {
+    /// The registry being populated.
+    pub registry: MetricsRegistry,
+}
+
+/// Millisecond bucket bounds shared by the duration histograms.
+const MS_BOUNDS: &[f64] = &[1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0];
+
+impl CountingSink {
+    /// A sink over a fresh registry with the standard histograms
+    /// declared.
+    pub fn new() -> Self {
+        let mut registry = MetricsRegistry::new();
+        registry.declare_histogram("white_space_ms", MS_BOUNDS);
+        registry.declare_histogram("estimate_ms", MS_BOUNDS);
+        CountingSink { registry }
+    }
+}
+
+impl EventSink for CountingSink {
+    fn emit(&mut self, event: &TraceEvent) {
+        self.registry.inc(event.kind());
+        match *event {
+            TraceEvent::Reservation { ws_us, .. } => {
+                self.registry
+                    .observe("white_space_ms", ws_us as f64 / 1000.0);
+            }
+            TraceEvent::Estimate { estimate_us, .. } => {
+                self.registry
+                    .observe("estimate_ms", estimate_us as f64 / 1000.0);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut r = MetricsRegistry::new();
+        assert_eq!(r.counter("x"), 0);
+        r.inc("x");
+        r.add("x", 4);
+        assert_eq!(r.counter("x"), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_by_inclusive_upper_bound() {
+        let mut r = MetricsRegistry::new();
+        r.declare_histogram("h", &[1.0, 10.0]);
+        r.observe("h", 0.5);
+        r.observe("h", 1.0);
+        r.observe("h", 5.0);
+        r.observe("h", 100.0);
+        let h = r.histogram("h").unwrap();
+        assert_eq!(h.buckets, vec![2, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 106.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counting_sink_counts_kinds_and_observes_durations() {
+        let mut s = CountingSink::new();
+        s.emit(&TraceEvent::Reservation {
+            t_us: 1,
+            ws_us: 30_000,
+        });
+        s.emit(&TraceEvent::Reservation {
+            t_us: 2,
+            ws_us: 7_000,
+        });
+        s.emit(&TraceEvent::Detection {
+            t_us: 3,
+            window_start_us: 0,
+            highs: 2,
+        });
+        assert_eq!(s.registry.counter("reservation"), 2);
+        assert_eq!(s.registry.counter("detection"), 1);
+        assert_eq!(s.registry.histogram("white_space_ms").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic_and_ordered() {
+        let mut r = MetricsRegistry::new();
+        r.inc("b");
+        r.inc("a");
+        r.declare_histogram("h", &[1.0]);
+        r.observe("h", 0.5);
+        assert_eq!(
+            r.to_json(),
+            "{\"counters\":{\"b\":1,\"a\":1},\"histograms\":\
+             {\"h\":{\"count\":1,\"sum\":0.5,\"buckets\":[1,0]}}}"
+        );
+    }
+}

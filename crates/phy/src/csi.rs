@@ -412,9 +412,7 @@ mod tests {
         for _ in 0..3 {
             sampler.sample_batch_into(&mut r1, SimTime::ZERO, m.sample_period(), 100, &mut buf);
             let loose: Vec<CsiSample> = (0..100u64)
-                .map(|i| {
-                    sampler.sample(&mut r2, SimTime::ZERO + m.sample_period() * i)
-                })
+                .map(|i| sampler.sample(&mut r2, SimTime::ZERO + m.sample_period() * i))
                 .collect();
             assert_eq!(buf, loose);
         }

@@ -165,7 +165,13 @@ pub fn generate_trace<R: Rng + ?Sized>(
         sample_period: TRACE_SAMPLE_PERIOD,
         samples: Vec::new(),
     };
-    generate_trace_into(rng, config, duration, &mut TraceScratch::default(), &mut trace);
+    generate_trace_into(
+        rng,
+        config,
+        duration,
+        &mut TraceScratch::default(),
+        &mut trace,
+    );
     trace
 }
 
@@ -394,7 +400,13 @@ mod tests {
         };
         for cfg in &configs {
             let fresh = generate_trace(&mut fresh_rng, cfg, TRACE_DURATION);
-            generate_trace_into(&mut reuse_rng, cfg, TRACE_DURATION, &mut scratch, &mut reused);
+            generate_trace_into(
+                &mut reuse_rng,
+                cfg,
+                TRACE_DURATION,
+                &mut scratch,
+                &mut reused,
+            );
             assert_eq!(fresh, reused);
         }
     }

@@ -1,4 +1,12 @@
 //! Scenario configuration and result structures.
+//!
+//! Construct a [`SimConfig`] either from a preset
+//! ([`SimConfig::bicord`], [`SimConfig::ecc`], ...) or with the checked
+//! [`SimConfig::builder`]; [`crate::sim::CoexistenceSim::new`] validates
+//! either way and rejects inconsistent combinations with [`ConfigError`].
+
+use std::error::Error;
+use std::fmt;
 
 use bicord_core::allocation::AllocatorConfig;
 use bicord_core::client::ClientConfig;
@@ -292,6 +300,384 @@ impl SimConfig {
             .signal_power
             .unwrap_or_else(|| self.location.paper_signal_power())
     }
+
+    /// A checked, chainable constructor (starts from the BiCord preset at
+    /// [`Location::A`], seed 0).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bicord_scenario::config::SimConfig;
+    /// use bicord_scenario::geometry::Location;
+    /// use bicord_sim::SimDuration;
+    ///
+    /// let config = SimConfig::builder()
+    ///     .location(Location::C)
+    ///     .seed(7)
+    ///     .duration(SimDuration::from_secs(5))
+    ///     .build()
+    ///     .expect("valid configuration");
+    /// assert_eq!(config.seed, 7);
+    /// ```
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::new()
+    }
+
+    /// Checks the configuration for inconsistent mode/traffic/geometry
+    /// combinations. [`crate::sim::CoexistenceSim::new`] calls this;
+    /// builders call it in [`SimConfigBuilder::build`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(1..=13).contains(&self.wifi_channel) {
+            return Err(ConfigError::InvalidWifiChannel(self.wifi_channel));
+        }
+        if !(11..=26).contains(&self.zigbee_channel) {
+            return Err(ConfigError::InvalidZigbeeChannel(self.zigbee_channel));
+        }
+        if self.duration.is_zero() {
+            return Err(ConfigError::ZeroDuration);
+        }
+        if self.zigbee.burst.n_packets == 0 || self.zigbee.burst.mpdu_bytes == 0 {
+            return Err(ConfigError::EmptyBurst { node: 0 });
+        }
+        if self.zigbee.arrivals.mean_interval().is_zero() {
+            return Err(ConfigError::NonPositiveInterval {
+                what: "primary ZigBee burst arrivals",
+            });
+        }
+        for (i, node) in self.extra_nodes.iter().enumerate() {
+            if node.burst.n_packets == 0 || node.burst.mpdu_bytes == 0 {
+                return Err(ConfigError::EmptyBurst { node: i + 1 });
+            }
+            if node.arrivals.mean_interval().is_zero() {
+                return Err(ConfigError::NonPositiveInterval {
+                    what: "extra-node burst arrivals",
+                });
+            }
+        }
+        // Node device ids are 2 + 2·n / 3 + 2·n and must stay clear of the
+        // fixed ids (extra Wi-Fi station = 500); timer keys index nodes
+        // with a u8.
+        let node_count = 1 + self.extra_nodes.len();
+        if node_count > MAX_ZIGBEE_NODES {
+            return Err(ConfigError::TooManyNodes { count: node_count });
+        }
+        if let Some(interval) = self.wifi.enqueue_interval {
+            if interval.is_zero() {
+                return Err(ConfigError::NonPositiveInterval {
+                    what: "Wi-Fi enqueue interval",
+                });
+            }
+        }
+        match &self.mode {
+            Mode::SignalingTrial {
+                control_packets,
+                trial_period,
+                trials,
+            } => {
+                if *trials == 0 || *control_packets == 0 {
+                    return Err(ConfigError::TrialWithoutTrials {
+                        trials: *trials,
+                        control_packets: *control_packets,
+                    });
+                }
+                if trial_period.is_zero() {
+                    return Err(ConfigError::NonPositiveInterval {
+                        what: "signaling-trial period",
+                    });
+                }
+                if !self.extra_nodes.is_empty() {
+                    return Err(ConfigError::TrialWithExtraNodes);
+                }
+            }
+            Mode::Ecc(ecc) => {
+                if ecc.white_space.is_zero() || ecc.period.is_zero() {
+                    return Err(ConfigError::NonPositiveInterval {
+                        what: "ECC period/white space",
+                    });
+                }
+            }
+            Mode::Bicord | Mode::Unprotected => {}
+        }
+        Ok(())
+    }
+}
+
+/// Maximum ZigBee sender/receiver pairs per run (primary + extras): node
+/// device ids `2 + 2·n` must stay below the extra Wi-Fi station's fixed
+/// id 500.
+pub const MAX_ZIGBEE_NODES: usize = 248;
+
+/// Why a [`SimConfig`] was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// Wi-Fi channel outside 1–13.
+    InvalidWifiChannel(u8),
+    /// ZigBee channel outside 11–26.
+    InvalidZigbeeChannel(u8),
+    /// The run would simulate no time at all.
+    ZeroDuration,
+    /// A ZigBee node's burst has zero packets or zero-byte packets.
+    EmptyBurst {
+        /// Node index (0 = the primary node).
+        node: usize,
+    },
+    /// More ZigBee pairs than the device-id layout supports.
+    TooManyNodes {
+        /// Total node count (primary + extras).
+        count: usize,
+    },
+    /// Signaling-trial mode measures the single primary link; extra nodes
+    /// would corrupt the precision/recall ground truth.
+    TrialWithExtraNodes,
+    /// Signaling-trial mode with nothing to measure.
+    TrialWithoutTrials {
+        /// Configured trial count.
+        trials: u32,
+        /// Configured control packets per trial.
+        control_packets: u32,
+    },
+    /// A period or interval that must be positive was zero.
+    NonPositiveInterval {
+        /// Which interval was rejected.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidWifiChannel(n) => {
+                write!(f, "Wi-Fi channel {n} outside the valid range 1-13")
+            }
+            ConfigError::InvalidZigbeeChannel(n) => {
+                write!(f, "ZigBee channel {n} outside the valid range 11-26")
+            }
+            ConfigError::ZeroDuration => write!(f, "run duration must be positive"),
+            ConfigError::EmptyBurst { node } => {
+                write!(
+                    f,
+                    "ZigBee node {node} has an empty burst (no packets or 0 B packets)"
+                )
+            }
+            ConfigError::TooManyNodes { count } => write!(
+                f,
+                "{count} ZigBee nodes exceed the supported maximum of {MAX_ZIGBEE_NODES}"
+            ),
+            ConfigError::TrialWithExtraNodes => {
+                write!(
+                    f,
+                    "signaling-trial mode does not support extra ZigBee nodes"
+                )
+            }
+            ConfigError::TrialWithoutTrials {
+                trials,
+                control_packets,
+            } => write!(
+                f,
+                "signaling-trial mode needs positive trials and control packets \
+                 (got {trials} trials x {control_packets} packets)"
+            ),
+            ConfigError::NonPositiveInterval { what } => {
+                write!(f, "{what} must be positive")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Chainable, validated constructor for [`SimConfig`].
+///
+/// Wraps a full [`SimConfig`] (starting from the BiCord preset), so every
+/// preset field keeps its paper default unless overridden;
+/// [`SimConfigBuilder::build`] runs [`SimConfig::validate`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        SimConfigBuilder::new()
+    }
+}
+
+impl SimConfigBuilder {
+    /// Starts from the BiCord preset at [`Location::A`], seed 0.
+    pub fn new() -> Self {
+        SimConfigBuilder {
+            config: SimConfig::bicord(Location::A, 0),
+        }
+    }
+
+    /// Master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Virtual run length.
+    pub fn duration(mut self, duration: SimDuration) -> Self {
+        self.config.duration = duration;
+        self
+    }
+
+    /// ZigBee sender location (Fig. 6).
+    pub fn location(mut self, location: Location) -> Self {
+        self.config.location = location;
+        self
+    }
+
+    /// Coordination scheme (any [`Mode`] value).
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    /// BiCord coordination (the default).
+    pub fn bicord(self) -> Self {
+        self.mode(Mode::Bicord)
+    }
+
+    /// ECC baseline with the given fixed white-space length.
+    pub fn ecc(self, white_space: SimDuration) -> Self {
+        self.mode(Mode::Ecc(EccConfig::with_white_space(white_space)))
+    }
+
+    /// Plain CSMA under interference (no coordination).
+    pub fn unprotected(self) -> Self {
+        self.mode(Mode::Unprotected)
+    }
+
+    /// Table I/II signaling-trial mode; also sizes the run duration to
+    /// cover the trials and applies the signaling-power override.
+    pub fn signaling_trial(mut self, control_packets: u32, trials: u32, signal_power: Dbm) -> Self {
+        let trial_period = SimDuration::from_millis(100);
+        self.config.mode = Mode::SignalingTrial {
+            control_packets,
+            trial_period,
+            trials,
+        };
+        self.config.zigbee.signal_power = Some(signal_power);
+        self.config.duration = trial_period * u64::from(trials) + SimDuration::from_millis(50);
+        self
+    }
+
+    /// Primary node burst shape (`n_packets` packets of `mpdu_bytes`).
+    pub fn burst(mut self, n_packets: u32, mpdu_bytes: usize) -> Self {
+        self.config.zigbee.burst = BurstSpec {
+            n_packets,
+            mpdu_bytes,
+        };
+        self
+    }
+
+    /// Primary node burst arrival process.
+    pub fn arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.config.zigbee.arrivals = arrivals;
+        self
+    }
+
+    /// Replaces the whole ZigBee traffic configuration.
+    pub fn zigbee(mut self, zigbee: ZigbeeTrafficConfig) -> Self {
+        self.config.zigbee = zigbee;
+        self
+    }
+
+    /// Replaces the whole Wi-Fi traffic configuration.
+    pub fn wifi(mut self, wifi: WifiTrafficConfig) -> Self {
+        self.config.wifi = wifi;
+        self
+    }
+
+    /// Adds one extra ZigBee sender/receiver pair.
+    pub fn extra_node(mut self, node: ExtraNodeConfig) -> Self {
+        self.config.extra_nodes.push(node);
+        self
+    }
+
+    /// Adds a second contending Wi-Fi station.
+    pub fn extra_wifi(mut self, wifi: ExtraWifiConfig) -> Self {
+        self.config.extra_wifi = Some(wifi);
+        self
+    }
+
+    /// Adds an active Bluetooth interferer.
+    pub fn bluetooth(mut self, bt: BluetoothConfig) -> Self {
+        self.config.bluetooth = Some(bt);
+        self
+    }
+
+    /// Ambient noise-burst process.
+    pub fn noise(mut self, noise: NoiseBurstProcess) -> Self {
+        self.config.noise = noise;
+        self
+    }
+
+    /// Walking-person disturbance timeline (Sec. VIII-F).
+    pub fn person(mut self, person: PersonMobility) -> Self {
+        self.config.person = Some(person);
+        self
+    }
+
+    /// ZigBee-sender movement timeline (Sec. VIII-F).
+    pub fn device_mobility(mut self, mobility: DeviceMobility) -> Self {
+        self.config.device_mobility = Some(mobility);
+        self
+    }
+
+    /// Wi-Fi priority schedule (Sec. VIII-G).
+    pub fn priority(mut self, schedule: PrioritySchedule) -> Self {
+        self.config.priority = Some(schedule);
+        self
+    }
+
+    /// CSI detector rule.
+    pub fn detector(mut self, detector: DetectorConfig) -> Self {
+        self.config.detector = detector;
+        self
+    }
+
+    /// White-space allocator parameters.
+    pub fn allocator(mut self, allocator: AllocatorConfig) -> Self {
+        self.config.allocator = allocator;
+        self
+    }
+
+    /// ZigBee client parameters.
+    pub fn client(mut self, client: ClientConfig) -> Self {
+        self.config.client = client;
+        self
+    }
+
+    /// Record a [`ChannelTrace`] of every transmission and white space.
+    pub fn record_trace(mut self, record: bool) -> Self {
+        self.config.record_trace = record;
+        self
+    }
+
+    /// Wi-Fi channel (1–13).
+    pub fn wifi_channel(mut self, channel: u8) -> Self {
+        self.config.wifi_channel = channel;
+        self
+    }
+
+    /// ZigBee channel (11–26).
+    pub fn zigbee_channel(mut self, channel: u8) -> Self {
+        self.config.zigbee_channel = channel;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found by [`SimConfig::validate`].
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
 }
 
 /// ZigBee-side outcome counters.
@@ -551,5 +937,122 @@ mod tests {
     fn pdr_handles_zero_generated() {
         let r = RunResults::default();
         assert_eq!(r.zigbee_pdr(), 0.0);
+    }
+
+    #[test]
+    fn builder_defaults_equal_bicord_preset() {
+        let built = SimConfig::builder().build().unwrap();
+        assert_eq!(built, SimConfig::bicord(Location::A, 0));
+    }
+
+    #[test]
+    fn builder_overrides_compose() {
+        let c = SimConfig::builder()
+            .seed(9)
+            .location(Location::C)
+            .duration(SimDuration::from_secs(3))
+            .burst(10, 50)
+            .ecc(SimDuration::from_millis(20))
+            .build()
+            .unwrap();
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.location, Location::C);
+        assert_eq!(c.zigbee.burst.n_packets, 10);
+        assert!(matches!(c.mode, Mode::Ecc(_)));
+    }
+
+    #[test]
+    fn validate_rejects_bad_channels() {
+        assert_eq!(
+            SimConfig::builder().wifi_channel(0).build().unwrap_err(),
+            ConfigError::InvalidWifiChannel(0)
+        );
+        assert_eq!(
+            SimConfig::builder().zigbee_channel(27).build().unwrap_err(),
+            ConfigError::InvalidZigbeeChannel(27)
+        );
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_runs() {
+        assert_eq!(
+            SimConfig::builder()
+                .duration(SimDuration::ZERO)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroDuration
+        );
+        assert_eq!(
+            SimConfig::builder().burst(0, 50).build().unwrap_err(),
+            ConfigError::EmptyBurst { node: 0 }
+        );
+        assert_eq!(
+            SimConfig::builder()
+                .arrivals(ArrivalProcess::Poisson(SimDuration::ZERO))
+                .build()
+                .unwrap_err(),
+            ConfigError::NonPositiveInterval {
+                what: "primary ZigBee burst arrivals"
+            }
+        );
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_trial_mode() {
+        let err = SimConfig::builder()
+            .signaling_trial(4, 10, Dbm::new(0.0))
+            .extra_node(ExtraNodeConfig::at(Location::B))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::TrialWithExtraNodes);
+        let err = SimConfig::builder()
+            .signaling_trial(4, 10, Dbm::new(0.0))
+            .duration(SimDuration::from_secs(1)) // restore a duration
+            .mode(Mode::SignalingTrial {
+                control_packets: 0,
+                trial_period: SimDuration::from_millis(100),
+                trials: 10,
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::TrialWithoutTrials { .. }));
+    }
+
+    #[test]
+    fn validate_rejects_extra_node_with_empty_burst() {
+        let mut node = ExtraNodeConfig::at(Location::B);
+        node.burst.n_packets = 0;
+        assert_eq!(
+            SimConfig::builder().extra_node(node).build().unwrap_err(),
+            ConfigError::EmptyBurst { node: 1 }
+        );
+    }
+
+    #[test]
+    fn config_error_messages_are_descriptive() {
+        let msgs = [
+            ConfigError::InvalidWifiChannel(0).to_string(),
+            ConfigError::TooManyNodes { count: 300 }.to_string(),
+            ConfigError::TrialWithoutTrials {
+                trials: 0,
+                control_packets: 4,
+            }
+            .to_string(),
+        ];
+        assert!(msgs[0].contains("1-13"));
+        assert!(msgs[1].contains("248"));
+        assert!(msgs[2].contains("0 trials"));
+    }
+
+    #[test]
+    fn presets_all_validate() {
+        SimConfig::bicord(Location::A, 1).validate().unwrap();
+        SimConfig::ecc(Location::B, 1, SimDuration::from_millis(20))
+            .validate()
+            .unwrap();
+        SimConfig::unprotected(Location::C, 1).validate().unwrap();
+        SimConfig::signaling_trial(Location::D, 1, 4, 10, Dbm::new(0.0))
+            .validate()
+            .unwrap();
     }
 }

@@ -64,7 +64,9 @@ pub fn table1_2(seed: u64, trials: u32) -> Vec<SignalingCell> {
     }
     parallel_map(jobs, move |(location, power, packets)| {
         let config = SimConfig::signaling_trial(location, seed, packets, trials, power);
-        let r = CoexistenceSim::new(config).run();
+        let r = CoexistenceSim::new(config)
+            .expect("experiment presets build valid configs")
+            .run();
         SignalingCell {
             location,
             power,
@@ -138,7 +140,9 @@ pub fn allocation_run(
         mpdu_bytes: 50,
     };
     config.zigbee.arrivals = ArrivalProcess::Periodic(SimDuration::from_millis(200));
-    let r = CoexistenceSim::new(config.clone()).run();
+    let r = CoexistenceSim::new(config.clone())
+        .expect("experiment presets build valid configs")
+        .run();
     // The steady-state white space: the mean of the last reservations
     // (the raw final estimate may be caught mid-probe of the allocator's
     // opportunistic shrink).
@@ -314,11 +318,18 @@ pub struct ComparisonRow {
 }
 
 /// One Fig. 10 cell: a single `(seed, interval, scheme)` simulation.
-fn fig10_cell(seed: u64, interval: SimDuration, scheme: Scheme, duration: SimDuration) -> ComparisonRow {
+fn fig10_cell(
+    seed: u64,
+    interval: SimDuration,
+    scheme: Scheme,
+    duration: SimDuration,
+) -> ComparisonRow {
     let mut config = scheme.config(Location::A, seed);
     config.duration = duration;
     config.zigbee.arrivals = ArrivalProcess::Poisson(interval);
-    let r = CoexistenceSim::new(config).run();
+    let r = CoexistenceSim::new(config)
+        .expect("experiment presets build valid configs")
+        .run();
     ComparisonRow {
         scheme,
         interval_ms: interval.as_micros() / 1000,
@@ -453,7 +464,9 @@ pub fn fig11_parameters(seed: u64, duration: SimDuration) -> Vec<ParameterRow> {
         jobs.push(("location", location.label().to_string(), config));
     }
     parallel_map(jobs, |(dimension, value, config)| {
-        let r = CoexistenceSim::new(config).run();
+        let r = CoexistenceSim::new(config)
+            .expect("experiment presets build valid configs")
+            .run();
         ParameterRow {
             dimension,
             value,
@@ -543,7 +556,9 @@ fn fig12_cell(
             ));
         }
     }
-    let r = CoexistenceSim::new(config).run();
+    let r = CoexistenceSim::new(config)
+        .expect("experiment presets build valid configs")
+        .run();
     MobilityRow {
         scenario,
         interval_ms: interval.as_micros() / 1000,
@@ -666,7 +681,9 @@ pub fn fig13_priority(seed: u64, duration: SimDuration) -> Vec<PriorityRow> {
             SimDuration::from_millis(500),
             &mut rng,
         ));
-        let r = CoexistenceSim::new(config).run();
+        let r = CoexistenceSim::new(config)
+            .expect("experiment presets build valid configs")
+            .run();
         PriorityRow {
             scheme,
             proportion,
@@ -911,7 +928,9 @@ pub fn multi_node(seed: u64, duration: SimDuration) -> Vec<MultiNodeRow> {
             d.arrivals = ArrivalProcess::Poisson(SimDuration::from_millis(400));
             config.extra_nodes.push(d);
         }
-        let r = CoexistenceSim::new(config).run();
+        let r = CoexistenceSim::new(config)
+            .expect("experiment presets build valid configs")
+            .run();
         MultiNodeRow {
             scheme,
             n_nodes,
@@ -964,7 +983,9 @@ pub fn ablation_detector(seed: u64, trials: u32) -> Vec<DetectorAblationRow> {
             window: SimDuration::from_millis(window_ms),
             ..DetectorConfig::default()
         };
-        let r = CoexistenceSim::new(config).run();
+        let r = CoexistenceSim::new(config)
+            .expect("experiment presets build valid configs")
+            .run();
         DetectorAblationRow {
             required_highs,
             window_ms,
@@ -1026,7 +1047,9 @@ pub fn ablation_allocator(seed: u64, duration: SimDuration) -> Vec<AllocatorAbla
             confirm_reestimate: confirm,
             ..AllocatorConfig::default()
         };
-        let r = CoexistenceSim::new(config).run();
+        let r = CoexistenceSim::new(config)
+            .expect("experiment presets build valid configs")
+            .run();
         let hist = &r.allocation.white_space_history_ms;
         let mean_ws = if hist.is_empty() {
             0.0
@@ -1074,7 +1097,9 @@ pub fn energy_cost_measured(seed: u64, duration: SimDuration) -> MeasuredEnergy 
     };
     config.zigbee.arrivals = ArrivalProcess::Poisson(SimDuration::from_millis(500));
     let interval = config.client.packet_interval;
-    let r = CoexistenceSim::new(config).run();
+    let r = CoexistenceSim::new(config)
+        .expect("experiment presets build valid configs")
+        .run();
 
     let bursts = (r.zigbee.generated / 10).max(1) as f64;
     let controls_per_burst = r.zigbee.control_packets as f64 / bursts;

@@ -18,9 +18,13 @@
 //! use bicord_scenario::sim::CoexistenceSim;
 //! use bicord_sim::SimDuration;
 //!
-//! let mut config = SimConfig::bicord(Location::A, 1);
-//! config.duration = SimDuration::from_secs(2);
-//! let results = CoexistenceSim::new(config).run();
+//! let config = SimConfig::builder()
+//!     .location(Location::A)
+//!     .seed(1)
+//!     .duration(SimDuration::from_secs(2))
+//!     .build()
+//!     .expect("valid config");
+//! let results = CoexistenceSim::new(config).unwrap().run();
 //! assert!(results.zigbee.delivered > 0);
 //! ```
 
@@ -33,6 +37,6 @@ pub mod geometry;
 pub mod sim;
 pub mod trace;
 
-pub use config::{Mode, RunResults, SimConfig};
+pub use config::{ConfigError, Mode, RunResults, SimConfig, SimConfigBuilder};
 pub use geometry::Location;
 pub use sim::CoexistenceSim;

@@ -42,13 +42,14 @@ use bicord_phy::noise::{NoiseBurst, WIFI_NOISE_FLOOR, ZIGBEE_NOISE_FLOOR};
 use bicord_phy::reception::PrrModel;
 use bicord_phy::spectrum::{Band, WifiChannel, ZigbeeChannel};
 use bicord_phy::units::{Dbm, MilliWatt};
+use bicord_sim::obs::{EventSink, NoopSink, TraceEvent};
 use bicord_sim::{stream_rng, Engine, SeedDomain, SimDuration, SimTime};
 use bicord_workloads::priority::TrafficClass;
 use bicord_workloads::traffic::{ArrivalProcess, BurstSpec, BurstTrafficGenerator};
 
 use crate::config::{
-    AllocationResults, DetectionResults, Mode, NodeResults, RunResults, SimConfig, WifiResults,
-    ZigbeeResults,
+    AllocationResults, ConfigError, DetectionResults, Mode, NodeResults, RunResults, SimConfig,
+    WifiResults, ZigbeeResults,
 };
 use crate::geometry;
 use crate::geometry::Location;
@@ -114,6 +115,25 @@ enum Event {
     BluetoothSlot,
 }
 
+impl Event {
+    /// Stable label used for [`TraceEvent::Dequeue`] records.
+    fn kind_label(&self) -> &'static str {
+        match self {
+            Event::Timer(_) => "timer",
+            Event::TxEnd(_) => "tx_end",
+            Event::ZigbeeBurst { .. } => "zigbee_burst",
+            Event::WifiEnqueue => "wifi_enqueue",
+            Event::EccReserve => "ecc_reserve",
+            Event::TrialStart => "trial_start",
+            Event::TrialEnd => "trial_end",
+            Event::ChannelClearCheck => "channel_clear_check",
+            Event::MobilityStep(_) => "mobility_step",
+            Event::PriorityBoundary(_) => "priority_boundary",
+            Event::BluetoothSlot => "bluetooth_slot",
+        }
+    }
+}
+
 /// Reception bookkeeping for one in-flight frame.
 #[derive(Debug, Clone, Copy)]
 struct RxWatch {
@@ -160,10 +180,28 @@ struct ZbNode {
 
 /// The full coexistence simulation.
 ///
-/// Construct with [`CoexistenceSim::new`] and execute with
-/// [`CoexistenceSim::run`]; the run is fully determined by the
+/// Construct with [`CoexistenceSim::new`] (validated, uninstrumented) or
+/// [`CoexistenceSim::with_sink`] (validated, instrumented) and execute
+/// with [`CoexistenceSim::run`]; the run is fully determined by the
 /// [`SimConfig::seed`].
-pub struct CoexistenceSim {
+///
+/// The sink type parameter defaults to [`NoopSink`], whose calls compile
+/// away — an uninstrumented run pays nothing for the observability
+/// layer. Pass `&mut sink` to keep ownership of a real sink across the
+/// consuming [`CoexistenceSim::run`]:
+///
+/// ```no_run
+/// use bicord_scenario::config::SimConfig;
+/// use bicord_scenario::sim::CoexistenceSim;
+/// use bicord_sim::obs::VecSink;
+///
+/// let config = SimConfig::builder().build().unwrap();
+/// let mut sink = VecSink::new();
+/// let results = CoexistenceSim::with_sink(config, &mut sink).unwrap().run();
+/// assert_eq!(results.wifi.reservations, sink.of_kind("reservation").len() as u64);
+/// ```
+pub struct CoexistenceSim<S: EventSink = NoopSink> {
+    sink: S,
     config: SimConfig,
     engine: Engine<Event>,
     medium: Medium,
@@ -211,8 +249,48 @@ pub struct CoexistenceSim {
 }
 
 impl CoexistenceSim {
-    /// Builds the scenario described by `config`.
-    pub fn new(config: SimConfig) -> Self {
+    /// Builds the scenario described by `config` without instrumentation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for inconsistent configurations (see
+    /// [`SimConfig::validate`]).
+    pub fn new(config: SimConfig) -> Result<Self, ConfigError> {
+        CoexistenceSim::with_sink(config, NoopSink)
+    }
+
+    /// Infallible shim for the pre-`Result` constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SimConfig::validate`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use CoexistenceSim::new and handle the ConfigError"
+    )]
+    pub fn new_unchecked(config: SimConfig) -> Self {
+        match CoexistenceSim::new(config) {
+            Ok(sim) => sim,
+            Err(e) => panic!("invalid SimConfig: {e}"),
+        }
+    }
+}
+
+impl<S: EventSink> CoexistenceSim<S> {
+    /// Builds the scenario described by `config` with an [`EventSink`]
+    /// receiving the run's structured observability records.
+    ///
+    /// Pass `&mut sink` (any `&mut impl EventSink` is itself a sink) to
+    /// retain ownership of the sink after the consuming
+    /// [`CoexistenceSim::run`] — required for sinks with an explicit
+    /// finish step such as [`bicord_sim::obs::JsonlSink`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for inconsistent configurations (see
+    /// [`SimConfig::validate`]).
+    pub fn with_sink(config: SimConfig, sink: S) -> Result<Self, ConfigError> {
+        config.validate()?;
         let seed = config.seed;
         let mut medium = Medium::new(ChannelConfig::default(), seed);
         medium.add_device(WIFI_TX, geometry::wifi_sender_position());
@@ -401,7 +479,8 @@ impl CoexistenceSim {
 
         let wifi = WifiMac::new(config.wifi.rate, seed, 0);
 
-        CoexistenceSim {
+        Ok(CoexistenceSim {
+            sink,
             engine,
             medium,
             wifi,
@@ -412,10 +491,10 @@ impl CoexistenceSim {
             trial_detector,
             trial: TrialState::default(),
             wifi_band: WifiChannel::new(config.wifi_channel)
-                .expect("valid Wi-Fi channel")
+                .expect("validate() checked the Wi-Fi channel")
                 .band(),
             zigbee_band: ZigbeeChannel::new(config.zigbee_channel)
-                .expect("valid ZigBee channel")
+                .expect("validate() checked the ZigBee channel")
                 .band(),
             wifi_sensed_busy: false,
             wifi2_sensed_busy: false,
@@ -445,7 +524,7 @@ impl CoexistenceSim {
             },
             end_at,
             config,
-        }
+        })
     }
 
     /// Runs the scenario to completion and returns the measured results.
@@ -480,6 +559,10 @@ impl CoexistenceSim {
     // ------------------------------------------------------------------
 
     fn handle(&mut self, now: SimTime, event: Event) {
+        self.sink.emit(&TraceEvent::Dequeue {
+            t_us: now.as_micros(),
+            kind: event.kind_label(),
+        });
         match event {
             Event::Timer(key) => {
                 self.timers.remove(&key);
@@ -531,7 +614,7 @@ impl CoexistenceSim {
             }
             TimerKey::Coord(t) => {
                 if let Some(coordinator) = self.coordinator.as_mut() {
-                    let actions = coordinator.on_timer(now, t);
+                    let actions = coordinator.on_timer_obs(now, t, &mut self.sink);
                     self.apply_coord_actions(now, actions);
                 }
             }
@@ -709,6 +792,10 @@ impl CoexistenceSim {
                     }
                     WifiFrameKind::Cts { nav } => {
                         self.util.add(Occupant::WifiCts, airtime);
+                        self.sink.emit(&TraceEvent::WhiteSpace {
+                            t_us: tx.end.as_micros(),
+                            nav_us: nav.as_micros(),
+                        });
                         // Surrounding Wi-Fi stations decode the CTS and set
                         // their NAV — the mechanism that actually protects
                         // the white space.
@@ -890,10 +977,10 @@ impl CoexistenceSim {
         }
 
         if let Some(coordinator) = self.coordinator.as_mut() {
-            let actions = coordinator.on_csi_sample(sample);
+            let actions = coordinator.on_csi_sample_obs(sample, &mut self.sink);
             self.apply_coord_actions(now, actions);
         } else if let Some(detector) = self.trial_detector.as_mut() {
-            if let Some(detection) = detector.push(sample) {
+            if let Some(detection) = detector.push_obs(sample, &mut self.sink) {
                 let zigbee_caused = self
                     .high_truth
                     .iter()
@@ -1088,6 +1175,10 @@ impl CoexistenceSim {
             .map(|p| p.class_at(now) == TrafficClass::HighPriority)
             .unwrap_or(false);
         if !high_priority {
+            self.sink.emit(&TraceEvent::Reservation {
+                t_us: now.as_micros(),
+                ws_us: ws.as_micros(),
+            });
             let actions = self.wifi.reserve_channel(now, ws);
             self.apply_wifi_actions(now, actions);
             self.ws_history.push(ws);
@@ -1118,7 +1209,7 @@ impl CoexistenceSim {
         }
     }
 
-    fn on_trial_end(&mut self, _now: SimTime) {
+    fn on_trial_end(&mut self, now: SimTime) {
         if !self.trial.active {
             return;
         }
@@ -1127,6 +1218,11 @@ impl CoexistenceSim {
         } else {
             self.pr.false_negative();
         }
+        self.sink.emit(&TraceEvent::TrialResolved {
+            t_us: now.as_micros(),
+            index: self.trial.index,
+            detected: self.trial.detected_this_trial,
+        });
         self.trial.active = false;
     }
 
@@ -1399,6 +1495,11 @@ impl CoexistenceSim {
     }
 
     fn record_delivery(&mut self, now: SimTime, node: usize, seq: u32) {
+        self.sink.emit(&TraceEvent::PacketDelivered {
+            t_us: now.as_micros(),
+            node: node as u32,
+            seq,
+        });
         let bytes = self.nodes[node].burst.mpdu_bytes as u64;
         let state = &mut self.nodes[node];
         state.delivered += 1;
@@ -1496,6 +1597,10 @@ impl CoexistenceSim {
                     self.apply_zb_actions(now, node, zb_actions);
                 }
                 ClientAction::MacSendControl { bytes } => {
+                    self.sink.emit(&TraceEvent::ChannelRequest {
+                        t_us: now.as_micros(),
+                        node: node as u32,
+                    });
                     let zb_actions = self.nodes[node].mac.send_control(now, bytes);
                     self.apply_zb_actions(now, node, zb_actions);
                 }
@@ -1557,7 +1662,14 @@ impl CoexistenceSim {
                 ClientAction::PacketDelivered { seq, .. } => {
                     self.record_delivery(now, node, seq);
                 }
-                ClientAction::BurstComplete { .. } => {}
+                ClientAction::BurstComplete { delivered, failed } => {
+                    self.sink.emit(&TraceEvent::BurstComplete {
+                        t_us: now.as_micros(),
+                        node: node as u32,
+                        delivered,
+                        failed,
+                    });
+                }
             }
         }
     }
@@ -1708,7 +1820,7 @@ mod tests {
 
     fn short(mut config: SimConfig) -> RunResults {
         config.duration = SimDuration::from_secs(3);
-        CoexistenceSim::new(config).run()
+        CoexistenceSim::new(config).unwrap().run()
     }
 
     #[test]
@@ -1798,7 +1910,7 @@ mod tests {
     #[test]
     fn signaling_trial_produces_detection_stats() {
         let config = SimConfig::signaling_trial(Location::A, 17, 4, 60, Dbm::new(0.0));
-        let r = CoexistenceSim::new(config).run();
+        let r = CoexistenceSim::new(config).unwrap().run();
         let total = r.detection.tp + r.detection.fn_count;
         assert_eq!(total, 60, "every trial must resolve");
         assert!(
@@ -1818,6 +1930,7 @@ mod tests {
             60,
             Dbm::new(0.0),
         ))
+        .unwrap()
         .run();
         let weak = CoexistenceSim::new(SimConfig::signaling_trial(
             Location::B,
@@ -1826,6 +1939,7 @@ mod tests {
             60,
             Dbm::new(-3.0),
         ))
+        .unwrap()
         .run();
         assert!(
             strong.detection.recall >= weak.detection.recall,
@@ -1840,7 +1954,7 @@ mod tests {
         let run = |seed| {
             let mut c = SimConfig::bicord(Location::A, seed);
             c.duration = SimDuration::from_secs(2);
-            CoexistenceSim::new(c).run()
+            CoexistenceSim::new(c).unwrap().run()
         };
         let a = run(99);
         let b = run(99);
@@ -1857,7 +1971,7 @@ mod tests {
         let base = {
             let mut c = SimConfig::ecc(Location::A, 58, SimDuration::from_millis(30));
             c.duration = SimDuration::from_secs(5);
-            CoexistenceSim::new(c).run()
+            CoexistenceSim::new(c).unwrap().run()
         };
         let lossy = {
             let mut c = SimConfig::bicord(Location::A, 58);
@@ -1866,7 +1980,7 @@ mod tests {
                 ..EccConfig::with_white_space(SimDuration::from_millis(30))
             });
             c.duration = SimDuration::from_secs(5);
-            CoexistenceSim::new(c).run()
+            CoexistenceSim::new(c).unwrap().run()
         };
         let (bd, ld) = (
             base.zigbee.mean_delay_ms.expect("base delivered"),
@@ -1883,7 +1997,7 @@ mod tests {
         let mut config = SimConfig::bicord(Location::A, 50);
         config.extra_nodes.push(ExtraNodeConfig::at(Location::C));
         config.duration = SimDuration::from_secs(4);
-        let r = CoexistenceSim::new(config).run();
+        let r = CoexistenceSim::new(config).unwrap().run();
         assert_eq!(r.per_node.len(), 2);
         for (i, node) in r.per_node.iter().enumerate() {
             assert!(node.generated > 0, "node {i} generated nothing");
@@ -1914,7 +2028,7 @@ mod tests {
         };
         config.extra_nodes.push(extra);
         config.duration = SimDuration::from_secs(6);
-        let r = CoexistenceSim::new(config).run();
+        let r = CoexistenceSim::new(config).unwrap().run();
         assert!(r.per_node[0].delivered > 0);
         assert!(r.per_node[1].delivered > 0);
         // The white-space history must show materially different lengths.
@@ -1936,7 +2050,7 @@ mod tests {
         config.wifi_channel = 1;
         config.zigbee_channel = 26;
         config.duration = SimDuration::from_secs(3);
-        let r = CoexistenceSim::new(config).run();
+        let r = CoexistenceSim::new(config).unwrap().run();
         assert!(
             r.zigbee_prr() > 0.9,
             "disjoint channels: PRR {}",
@@ -1947,7 +2061,7 @@ mod tests {
         config.wifi_channel = 1;
         config.zigbee_channel = 26;
         config.duration = SimDuration::from_secs(3);
-        let r = CoexistenceSim::new(config).run();
+        let r = CoexistenceSim::new(config).unwrap().run();
         assert_eq!(
             r.zigbee.signaling_rounds, 0,
             "no interference, no reason to signal"
@@ -1962,7 +2076,7 @@ mod tests {
         config.wifi_channel = 13;
         config.zigbee_channel = 26;
         config.duration = SimDuration::from_secs(3);
-        let r = CoexistenceSim::new(config).run();
+        let r = CoexistenceSim::new(config).unwrap().run();
         assert!(r.zigbee.signaling_rounds > 0, "signaling must happen");
         assert!(r.zigbee_pdr() > 0.6, "PDR {}", r.zigbee_pdr());
     }
@@ -1974,7 +2088,7 @@ mod tests {
             bicord_workloads::traffic::ArrivalProcess::Periodic(SimDuration::from_secs(1000));
         config.extra_wifi = Some(crate::config::ExtraWifiConfig::default());
         config.duration = SimDuration::from_secs(3);
-        let r = CoexistenceSim::new(config).run();
+        let r = CoexistenceSim::new(config).unwrap().run();
         // Both stations transmit; DCF carrier sense keeps them mostly
         // collision-free, so the received-frame count stays high.
         assert!(
@@ -1997,7 +2111,7 @@ mod tests {
         let mut config = SimConfig::bicord(Location::A, 61);
         config.extra_wifi = Some(crate::config::ExtraWifiConfig::default());
         config.duration = SimDuration::from_secs(4);
-        let r = CoexistenceSim::new(config).run();
+        let r = CoexistenceSim::new(config).unwrap().run();
         assert!(r.wifi.reservations > 0, "no white spaces reserved");
         assert!(
             r.zigbee_pdr() > 0.6,
@@ -2023,7 +2137,7 @@ mod tests {
             ..crate::config::BluetoothConfig::default()
         });
         config.duration = SimDuration::from_secs(4);
-        let r = CoexistenceSim::new(config).run();
+        let r = CoexistenceSim::new(config).unwrap().run();
         assert_eq!(
             r.zigbee.signaling_rounds, 0,
             "must not signal at a Bluetooth interferer"
@@ -2040,7 +2154,7 @@ mod tests {
         let mut config = SimConfig::bicord(Location::A, 57);
         config.bluetooth = Some(crate::config::BluetoothConfig::default());
         config.duration = SimDuration::from_secs(3);
-        let r = CoexistenceSim::new(config).run();
+        let r = CoexistenceSim::new(config).unwrap().run();
         assert!(
             r.zigbee.signaling_rounds > 0,
             "Wi-Fi is the dominant jammer"
@@ -2053,7 +2167,7 @@ mod tests {
         let mut config = SimConfig::bicord(Location::A, 55);
         config.duration = SimDuration::from_secs(2);
         config.record_trace = true;
-        let r = CoexistenceSim::new(config).run();
+        let r = CoexistenceSim::new(config).unwrap().run();
         let trace = r.trace.as_ref().expect("trace was requested");
         use crate::trace::SpanKind as K;
         let kinds: Vec<bool> = vec![
@@ -2076,7 +2190,7 @@ mod tests {
         // Without the flag, no trace comes back.
         let mut config = SimConfig::bicord(Location::A, 55);
         config.duration = SimDuration::from_secs(1);
-        let r = CoexistenceSim::new(config).run();
+        let r = CoexistenceSim::new(config).unwrap().run();
         assert!(r.trace.is_none());
     }
 
@@ -2089,10 +2203,64 @@ mod tests {
         config.wifi.tx_power = Dbm::new(-60.0);
         config.extra_nodes.push(ExtraNodeConfig::at(Location::C));
         config.duration = SimDuration::from_secs(4);
-        let r = CoexistenceSim::new(config).run();
+        let r = CoexistenceSim::new(config).unwrap().run();
         for (i, node) in r.per_node.iter().enumerate() {
             let pdr = node.delivered as f64 / node.generated.max(1) as f64;
             assert!(pdr > 0.8, "node {i} PDR {pdr} on a clear channel");
         }
+    }
+
+    #[test]
+    fn new_rejects_invalid_config() {
+        let mut config = SimConfig::bicord(Location::A, 1);
+        config.duration = SimDuration::ZERO;
+        assert!(CoexistenceSim::new(config).is_err());
+
+        let mut config = SimConfig::bicord(Location::A, 1);
+        config.zigbee.burst.n_packets = 0;
+        assert!(CoexistenceSim::new(config).is_err());
+    }
+
+    #[test]
+    fn instrumented_run_matches_uninstrumented_results() {
+        use bicord_sim::obs::VecSink;
+        let mut config = SimConfig::bicord(Location::A, 7);
+        config.duration = SimDuration::from_secs(3);
+
+        let plain = CoexistenceSim::new(config.clone()).unwrap().run();
+        let mut sink = VecSink::new();
+        let traced = CoexistenceSim::with_sink(config, &mut sink).unwrap().run();
+
+        // Instrumentation must be an observer, never a participant.
+        assert_eq!(plain.zigbee.delivered, traced.zigbee.delivered);
+        assert_eq!(plain.wifi.reservations, traced.wifi.reservations);
+        assert_eq!(
+            plain.zigbee.signaling_rounds,
+            traced.zigbee.signaling_rounds
+        );
+
+        // The trace mirrors the aggregate counters.
+        assert_eq!(
+            sink.of_kind("reservation").len() as u64,
+            traced.wifi.reservations
+        );
+        assert_eq!(
+            sink.of_kind("packet_delivered").len() as u64,
+            traced.zigbee.delivered
+        );
+        assert!(!sink.of_kind("dequeue").is_empty());
+        assert!(!sink.of_kind("csi_classified").is_empty());
+        assert!(!sink.of_kind("estimate").is_empty());
+        assert!(!sink.of_kind("channel_request").is_empty());
+        assert!(!sink.of_kind("white_space").is_empty());
+
+        // Records arrive in non-decreasing simulation-time order per kind
+        // (the DES dequeues monotonically; sub-events share the dequeue time).
+        let times: Vec<u64> = sink
+            .of_kind("dequeue")
+            .iter()
+            .map(|e| e.time_us())
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
     }
 }

@@ -11,7 +11,9 @@
 //! * [`Engine`] — a run loop combining a clock with an event queue,
 //! * [`rng`] — reproducible per-component random-number streams,
 //! * [`dist`] — the handful of distributions the models need (exponential,
-//!   normal, Poisson) implemented without external dependencies.
+//!   normal, Poisson) implemented without external dependencies,
+//! * [`obs`] — structured observability: the [`obs::EventSink`] trait,
+//!   the [`obs::TraceEvent`] taxonomy, and the JSONL timeline writer.
 //!
 //! # Example
 //!
@@ -35,11 +37,13 @@
 pub mod dist;
 pub mod engine;
 pub mod event;
+pub mod obs;
 pub mod par;
 pub mod rng;
 pub mod time;
 
 pub use engine::Engine;
 pub use event::EventQueue;
+pub use obs::{EventSink, JsonlSink, NoopSink, TraceEvent, VecSink};
 pub use rng::{derive_seed, stream_rng, SeedDomain};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,732 @@
+//! Structured observability for the discrete-event simulation.
+//!
+//! Every layer of the runtime — the engine loop, the coordinator, the
+//! clients, the CSI detector and the white-space allocator — emits
+//! [`TraceEvent`] records into an [`EventSink`]. Sinks are monomorphized
+//! into the hot path: the default [`NoopSink`] is a zero-sized type whose
+//! `emit` is empty, so an uninstrumented run compiles to exactly the code
+//! it ran before the observability layer existed.
+//!
+//! The taxonomy is deliberately flat and primitive-typed (times in
+//! microseconds, node indices as `u32`) so that this module needs no
+//! knowledge of radios and every record serializes deterministically.
+//!
+//! # Sinks
+//!
+//! * [`NoopSink`] — the default; discards everything at compile time.
+//! * [`VecSink`] — collects records in memory (tests, ad-hoc analysis).
+//! * [`JsonlSink`] — writes a schema-versioned JSONL timeline
+//!   (`bicord --trace run.jsonl`, bench `--trace`).
+//! * [`Tee`] — duplicates records into two sinks.
+//!
+//! Emitters may guard expensive record construction with
+//! [`EventSink::enabled`]; for cheap records they simply call
+//! [`EventSink::emit`] and rely on monomorphization to delete the call for
+//! [`NoopSink`].
+//!
+//! See `docs/OBSERVABILITY.md` for the event taxonomy and the JSONL
+//! schema.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The JSONL trace schema identifier written in every file header.
+///
+/// Bump the trailing number whenever a record's fields change meaning;
+/// readers must check it via [`TraceHeader::parse`].
+pub const TRACE_SCHEMA: &str = "bicord-trace/1";
+
+/// One structured observability record.
+///
+/// All timestamps are virtual microseconds since the start of the run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// The engine dispatched one DES event (`kind` is the scenario's
+    /// event-type label). High volume: sinks typically aggregate these.
+    Dequeue {
+        /// Dispatch time.
+        t_us: u64,
+        /// Event-type label.
+        kind: &'static str,
+    },
+    /// The CSI detector classified one sample against its threshold.
+    CsiClassified {
+        /// Sample time.
+        t_us: u64,
+        /// Amplitude deviation of the sample.
+        deviation: f64,
+        /// `true` = high fluctuation (contributes to the continuity rule).
+        high: bool,
+    },
+    /// The continuity rule fired: the Wi-Fi side believes a ZigBee node
+    /// requested the channel.
+    Detection {
+        /// When the rule fired.
+        t_us: u64,
+        /// Earliest contributing high-fluctuation sample.
+        window_start_us: u64,
+        /// High samples in the window at firing time.
+        highs: u32,
+    },
+    /// A ZigBee node handed a signaling control packet to its MAC.
+    ChannelRequest {
+        /// Hand-off time.
+        t_us: u64,
+        /// Node index (0 = primary).
+        node: u32,
+    },
+    /// The coordinator granted a white space (a CTS-to-self follows).
+    Reservation {
+        /// Grant time.
+        t_us: u64,
+        /// White-space length in microseconds.
+        ws_us: u64,
+    },
+    /// A CTS-to-self finished on air; its NAV opens a white space.
+    WhiteSpace {
+        /// CTS end time (= white-space start).
+        t_us: u64,
+        /// NAV duration in microseconds.
+        nav_us: u64,
+    },
+    /// The allocator counted one more signaling round for the current
+    /// burst (`N_round` in Sec. VI).
+    NRound {
+        /// Request time.
+        t_us: u64,
+        /// Rounds granted to the burst so far.
+        rounds: u32,
+    },
+    /// The allocator updated its burst-length estimate (`T_estimation`).
+    Estimate {
+        /// Burst-end time at which the estimator ran.
+        t_us: u64,
+        /// New estimate in microseconds.
+        estimate_us: u64,
+        /// Rounds the finished burst took.
+        rounds: u32,
+        /// `"learning"` or `"converged"` after the update.
+        phase: &'static str,
+    },
+    /// The allocator fell back to the learning phase (or probed the
+    /// estimate downwards).
+    ReEstimate {
+        /// Trigger time.
+        t_us: u64,
+        /// `"expiry"`, `"growth"`, or `"shrink-probe"`.
+        reason: &'static str,
+    },
+    /// A ZigBee node finished one application burst.
+    BurstComplete {
+        /// Completion time.
+        t_us: u64,
+        /// Node index.
+        node: u32,
+        /// Packets delivered.
+        delivered: u32,
+        /// Packets abandoned.
+        failed: u32,
+    },
+    /// One ZigBee data packet was acknowledged end-to-end.
+    PacketDelivered {
+        /// Delivery time.
+        t_us: u64,
+        /// Node index.
+        node: u32,
+        /// Application sequence number.
+        seq: u32,
+    },
+    /// A Table I/II signaling trial resolved.
+    TrialResolved {
+        /// Resolution time.
+        t_us: u64,
+        /// 1-based trial index.
+        index: u32,
+        /// Whether the detector caught the trial.
+        detected: bool,
+    },
+}
+
+impl TraceEvent {
+    /// Stable short name of the record kind (used as the JSONL `ev` field
+    /// and as the counter key in metric registries).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Dequeue { .. } => "dequeue",
+            TraceEvent::CsiClassified { .. } => "csi_classified",
+            TraceEvent::Detection { .. } => "detection",
+            TraceEvent::ChannelRequest { .. } => "channel_request",
+            TraceEvent::Reservation { .. } => "reservation",
+            TraceEvent::WhiteSpace { .. } => "white_space",
+            TraceEvent::NRound { .. } => "n_round",
+            TraceEvent::Estimate { .. } => "estimate",
+            TraceEvent::ReEstimate { .. } => "re_estimate",
+            TraceEvent::BurstComplete { .. } => "burst_complete",
+            TraceEvent::PacketDelivered { .. } => "packet_delivered",
+            TraceEvent::TrialResolved { .. } => "trial_resolved",
+        }
+    }
+
+    /// The record's virtual timestamp in microseconds.
+    pub fn time_us(&self) -> u64 {
+        match *self {
+            TraceEvent::Dequeue { t_us, .. }
+            | TraceEvent::CsiClassified { t_us, .. }
+            | TraceEvent::Detection { t_us, .. }
+            | TraceEvent::ChannelRequest { t_us, .. }
+            | TraceEvent::Reservation { t_us, .. }
+            | TraceEvent::WhiteSpace { t_us, .. }
+            | TraceEvent::NRound { t_us, .. }
+            | TraceEvent::Estimate { t_us, .. }
+            | TraceEvent::ReEstimate { t_us, .. }
+            | TraceEvent::BurstComplete { t_us, .. }
+            | TraceEvent::PacketDelivered { t_us, .. }
+            | TraceEvent::TrialResolved { t_us, .. } => t_us,
+        }
+    }
+
+    /// Serializes the record as one deterministic JSON line (no trailing
+    /// newline). Field order is fixed; floats use Rust's shortest
+    /// round-trip formatting.
+    pub fn write_jsonl(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"t_us\":{},\"ev\":\"{}\"",
+            self.time_us(),
+            self.kind()
+        );
+        match *self {
+            TraceEvent::Dequeue { kind, .. } => {
+                let _ = write!(out, ",\"kind\":\"{kind}\"");
+            }
+            TraceEvent::CsiClassified {
+                deviation, high, ..
+            } => {
+                let _ = write!(out, ",\"deviation\":{deviation},\"high\":{high}");
+            }
+            TraceEvent::Detection {
+                window_start_us,
+                highs,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"window_start_us\":{window_start_us},\"highs\":{highs}"
+                );
+            }
+            TraceEvent::ChannelRequest { node, .. } => {
+                let _ = write!(out, ",\"node\":{node}");
+            }
+            TraceEvent::Reservation { ws_us, .. } => {
+                let _ = write!(out, ",\"ws_us\":{ws_us}");
+            }
+            TraceEvent::WhiteSpace { nav_us, .. } => {
+                let _ = write!(out, ",\"nav_us\":{nav_us}");
+            }
+            TraceEvent::NRound { rounds, .. } => {
+                let _ = write!(out, ",\"rounds\":{rounds}");
+            }
+            TraceEvent::Estimate {
+                estimate_us,
+                rounds,
+                phase,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"estimate_us\":{estimate_us},\"rounds\":{rounds},\"phase\":\"{phase}\""
+                );
+            }
+            TraceEvent::ReEstimate { reason, .. } => {
+                let _ = write!(out, ",\"reason\":\"{reason}\"");
+            }
+            TraceEvent::BurstComplete {
+                node,
+                delivered,
+                failed,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{node},\"delivered\":{delivered},\"failed\":{failed}"
+                );
+            }
+            TraceEvent::PacketDelivered { node, seq, .. } => {
+                let _ = write!(out, ",\"node\":{node},\"seq\":{seq}");
+            }
+            TraceEvent::TrialResolved {
+                index, detected, ..
+            } => {
+                let _ = write!(out, ",\"index\":{index},\"detected\":{detected}");
+            }
+        }
+        out.push('}');
+    }
+}
+
+/// A consumer of [`TraceEvent`] records.
+///
+/// Implementations are monomorphized into the simulation hot path; keep
+/// `emit` cheap. Emitters constructing *expensive* records should guard
+/// with [`EventSink::enabled`]; cheap records can be emitted
+/// unconditionally and rely on the optimizer deleting the dead
+/// construction for [`NoopSink`].
+pub trait EventSink {
+    /// `false` for sinks that discard everything — lets emitters skip
+    /// record construction entirely.
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consumes one record.
+    fn emit(&mut self, event: &TraceEvent);
+}
+
+impl<S: EventSink + ?Sized> EventSink for &mut S {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline]
+    fn emit(&mut self, event: &TraceEvent) {
+        (**self).emit(event)
+    }
+}
+
+/// The default sink: a zero-sized type that discards everything. With
+/// `NoopSink` the instrumentation compiles away entirely (verified by the
+/// `perf_smoke` overhead test).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopSink;
+
+impl EventSink for NoopSink {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn emit(&mut self, _event: &TraceEvent) {}
+}
+
+/// Collects records in memory; useful in tests and for ad-hoc analysis.
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    /// The records received, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// Records of one kind, in order.
+    pub fn of_kind(&self, kind: &str) -> Vec<TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.kind() == kind)
+            .copied()
+            .collect()
+    }
+}
+
+impl EventSink for VecSink {
+    fn emit(&mut self, event: &TraceEvent) {
+        self.events.push(*event);
+    }
+}
+
+/// Duplicates every record into two sinks (e.g. a [`JsonlSink`] timeline
+/// plus a counting registry).
+#[derive(Debug, Default)]
+pub struct Tee<A, B>(pub A, pub B);
+
+impl<A: EventSink, B: EventSink> EventSink for Tee<A, B> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.0.enabled() || self.1.enabled()
+    }
+
+    #[inline]
+    fn emit(&mut self, event: &TraceEvent) {
+        if self.0.enabled() {
+            self.0.emit(event);
+        }
+        if self.1.enabled() {
+            self.1.emit(event);
+        }
+    }
+}
+
+/// The self-describing first line of a JSONL trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Schema identifier (must equal [`TRACE_SCHEMA`] for this version).
+    pub schema: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Coordination-mode label (`"bicord"`, `"ecc"`, ...).
+    pub mode: String,
+    /// Virtual run length in microseconds.
+    pub duration_us: u64,
+}
+
+impl TraceHeader {
+    /// A version-1 header for a run.
+    pub fn new(seed: u64, mode: &str, duration_us: u64) -> Self {
+        TraceHeader {
+            schema: TRACE_SCHEMA.to_string(),
+            seed,
+            mode: mode.to_string(),
+            duration_us,
+        }
+    }
+
+    /// Serializes the header as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"schema\":\"{}\",\"seed\":{},\"mode\":\"{}\",\"duration_us\":{}}}",
+            self.schema, self.seed, self.mode, self.duration_us
+        )
+    }
+
+    /// Parses a header line produced by [`TraceHeader::to_json`].
+    ///
+    /// Returns `None` for malformed lines or unknown schemas — callers
+    /// must treat that as "do not interpret the rest of the file".
+    pub fn parse(line: &str) -> Option<Self> {
+        let schema = json_str_field(line, "schema")?;
+        if schema != TRACE_SCHEMA {
+            return None;
+        }
+        Some(TraceHeader {
+            schema,
+            seed: json_u64_field(line, "seed")?,
+            mode: json_str_field(line, "mode")?,
+            duration_us: json_u64_field(line, "duration_us")?,
+        })
+    }
+}
+
+/// Extracts a `"key":"value"` string field from a flat JSON line. Values
+/// containing escapes are not supported (the writer never emits any).
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extracts a `"key":123` integer field from a flat JSON line.
+fn json_u64_field(line: &str, key: &str) -> Option<u64> {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker)? + marker.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Writes a deterministic, schema-versioned JSONL timeline of one run.
+///
+/// Line 1 is the [`TraceHeader`]; every further line is one
+/// [`TraceEvent`]. [`TraceEvent::Dequeue`] records are high-volume, so by
+/// default they are *aggregated* into per-kind counts reported in the
+/// summary trailer instead of being written individually; enable
+/// [`JsonlSink::include_dequeues`] for the full stream. The final line is
+/// a summary object (`{"summary":true,...}`).
+///
+/// Output depends only on the emitted records, which for a seeded run
+/// depend only on the configuration — never on wall clock, thread count,
+/// or environment.
+#[derive(Debug)]
+pub struct JsonlSink {
+    path: PathBuf,
+    out: io::BufWriter<std::fs::File>,
+    line: String,
+    include_dequeues: bool,
+    events_written: u64,
+    dequeue_counts: BTreeMap<&'static str, u64>,
+    error: Option<io::Error>,
+}
+
+impl JsonlSink {
+    /// Creates `path` (truncating) and writes the header line.
+    pub fn create(path: impl AsRef<Path>, header: &TraceHeader) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = std::fs::File::create(&path)?;
+        let mut out = io::BufWriter::new(file);
+        out.write_all(header.to_json().as_bytes())?;
+        out.write_all(b"\n")?;
+        Ok(JsonlSink {
+            path,
+            out,
+            line: String::with_capacity(128),
+            include_dequeues: false,
+            events_written: 0,
+            dequeue_counts: BTreeMap::new(),
+            error: None,
+        })
+    }
+
+    /// Also writes every individual [`TraceEvent::Dequeue`] record
+    /// (large files; off by default).
+    pub fn include_dequeues(mut self, yes: bool) -> Self {
+        self.include_dequeues = yes;
+        self
+    }
+
+    /// The file being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records written so far (excluding header and summary).
+    pub fn events_written(&self) -> u64 {
+        self.events_written
+    }
+
+    /// Writes the summary trailer and flushes. Returns the total record
+    /// count, or the first I/O error encountered at any point.
+    pub fn finish(mut self) -> io::Result<u64> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        let mut trailer = String::from("{\"summary\":true");
+        let _ = write!(trailer, ",\"events\":{}", self.events_written);
+        trailer.push_str(",\"dequeues\":{");
+        for (i, (kind, n)) in self.dequeue_counts.iter().enumerate() {
+            if i > 0 {
+                trailer.push(',');
+            }
+            let _ = write!(trailer, "\"{kind}\":{n}");
+        }
+        trailer.push_str("}}");
+        self.out.write_all(trailer.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.out.flush()?;
+        Ok(self.events_written)
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&mut self, event: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        if let TraceEvent::Dequeue { kind, .. } = event {
+            *self.dequeue_counts.entry(kind).or_insert(0) += 1;
+            if !self.include_dequeues {
+                return;
+            }
+        }
+        self.line.clear();
+        event.write_jsonl(&mut self.line);
+        self.line.push('\n');
+        if let Err(e) = self.out.write_all(self.line.as_bytes()) {
+            self.error = Some(e);
+            return;
+        }
+        self.events_written += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_sink_is_zero_sized_and_disabled() {
+        assert_eq!(std::mem::size_of::<NoopSink>(), 0);
+        assert!(!NoopSink.enabled());
+        // Emitting into it is a no-op (must not panic, must stay ZST).
+        let mut s = NoopSink;
+        s.emit(&TraceEvent::Reservation { t_us: 1, ws_us: 2 });
+    }
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let mut s = VecSink::new();
+        s.emit(&TraceEvent::NRound { t_us: 1, rounds: 1 });
+        s.emit(&TraceEvent::Reservation {
+            t_us: 2,
+            ws_us: 30_000,
+        });
+        s.emit(&TraceEvent::NRound { t_us: 3, rounds: 2 });
+        assert_eq!(s.events.len(), 3);
+        assert_eq!(s.of_kind("n_round").len(), 2);
+        assert_eq!(s.events[1].time_us(), 2);
+    }
+
+    #[test]
+    fn mut_ref_is_a_sink() {
+        fn takes_sink<S: EventSink>(sink: &mut S) {
+            sink.emit(&TraceEvent::Dequeue { t_us: 0, kind: "x" });
+        }
+        let mut s = VecSink::new();
+        takes_sink(&mut &mut s);
+        assert_eq!(s.events.len(), 1);
+    }
+
+    #[test]
+    fn tee_duplicates_and_respects_enabled() {
+        let mut t = Tee(VecSink::new(), NoopSink);
+        t.emit(&TraceEvent::Detection {
+            t_us: 5,
+            window_start_us: 1,
+            highs: 2,
+        });
+        assert!(t.enabled());
+        assert_eq!(t.0.events.len(), 1);
+    }
+
+    #[test]
+    fn jsonl_serialization_is_stable() {
+        let mut line = String::new();
+        TraceEvent::Estimate {
+            t_us: 1_500,
+            estimate_us: 42_000,
+            rounds: 3,
+            phase: "learning",
+        }
+        .write_jsonl(&mut line);
+        assert_eq!(
+            line,
+            "{\"t_us\":1500,\"ev\":\"estimate\",\"estimate_us\":42000,\
+             \"rounds\":3,\"phase\":\"learning\"}"
+        );
+        line.clear();
+        TraceEvent::CsiClassified {
+            t_us: 7,
+            deviation: 0.25,
+            high: false,
+        }
+        .write_jsonl(&mut line);
+        assert_eq!(
+            line,
+            "{\"t_us\":7,\"ev\":\"csi_classified\",\"deviation\":0.25,\"high\":false}"
+        );
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let h = TraceHeader::new(42, "bicord", 10_000_000);
+        let parsed = TraceHeader::parse(&h.to_json()).expect("own output parses");
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn header_rejects_unknown_schema() {
+        let line = "{\"schema\":\"bicord-trace/999\",\"seed\":1,\"mode\":\"x\",\"duration_us\":5}";
+        assert!(TraceHeader::parse(line).is_none());
+        assert!(TraceHeader::parse("not json").is_none());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_header_events_and_summary() {
+        let dir = std::env::temp_dir().join(format!("bicord-obs-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        let header = TraceHeader::new(7, "bicord", 1_000_000);
+        let mut sink = JsonlSink::create(&path, &header).unwrap();
+        sink.emit(&TraceEvent::Dequeue {
+            t_us: 1,
+            kind: "Timer",
+        });
+        sink.emit(&TraceEvent::Dequeue {
+            t_us: 2,
+            kind: "Timer",
+        });
+        sink.emit(&TraceEvent::Reservation {
+            t_us: 3,
+            ws_us: 30_000,
+        });
+        let n = sink.finish().unwrap();
+        assert_eq!(n, 1, "dequeues aggregate by default");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(TraceHeader::parse(lines[0]).is_some());
+        assert!(lines[1].contains("\"ev\":\"reservation\""));
+        assert!(lines[2].contains("\"summary\":true"));
+        assert!(lines[2].contains("\"Timer\":2"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn jsonl_sink_can_include_dequeues() {
+        let dir = std::env::temp_dir().join(format!("bicord-obs-test2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        let mut sink = JsonlSink::create(&path, &TraceHeader::new(1, "x", 1))
+            .unwrap()
+            .include_dequeues(true);
+        sink.emit(&TraceEvent::Dequeue {
+            t_us: 1,
+            kind: "Timer",
+        });
+        assert_eq!(sink.finish().unwrap(), 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"ev\":\"dequeue\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_kind_serializes_with_its_kind_label() {
+        let events = [
+            TraceEvent::Dequeue { t_us: 0, kind: "k" },
+            TraceEvent::CsiClassified {
+                t_us: 0,
+                deviation: 0.5,
+                high: true,
+            },
+            TraceEvent::Detection {
+                t_us: 0,
+                window_start_us: 0,
+                highs: 2,
+            },
+            TraceEvent::ChannelRequest { t_us: 0, node: 0 },
+            TraceEvent::Reservation { t_us: 0, ws_us: 1 },
+            TraceEvent::WhiteSpace { t_us: 0, nav_us: 1 },
+            TraceEvent::NRound { t_us: 0, rounds: 1 },
+            TraceEvent::Estimate {
+                t_us: 0,
+                estimate_us: 1,
+                rounds: 1,
+                phase: "learning",
+            },
+            TraceEvent::ReEstimate {
+                t_us: 0,
+                reason: "expiry",
+            },
+            TraceEvent::BurstComplete {
+                t_us: 0,
+                node: 0,
+                delivered: 1,
+                failed: 0,
+            },
+            TraceEvent::PacketDelivered {
+                t_us: 0,
+                node: 0,
+                seq: 9,
+            },
+            TraceEvent::TrialResolved {
+                t_us: 0,
+                index: 1,
+                detected: true,
+            },
+        ];
+        for e in &events {
+            let mut line = String::new();
+            e.write_jsonl(&mut line);
+            assert!(line.contains(&format!("\"ev\":\"{}\"", e.kind())), "{line}");
+        }
+    }
+}

@@ -94,8 +94,7 @@ where
         return inputs.into_iter().map(f).collect();
     }
 
-    let queue: Mutex<VecDeque<(usize, T)>> =
-        Mutex::new(inputs.into_iter().enumerate().collect());
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(inputs.into_iter().enumerate().collect());
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {

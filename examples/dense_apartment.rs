@@ -56,7 +56,7 @@ fn main() {
     table.title("Dense apartment: 3 ZigBee devices + Bluetooth + saturated Wi-Fi");
 
     for (label, bicord) in [("BiCord", true), ("ECC-30ms", false)] {
-        let results = CoexistenceSim::new(build(bicord)).run();
+        let results = CoexistenceSim::new(build(bicord)).unwrap().run();
         let names = ["motion sensors (A)", "smart meter (C)", "door lock (D)"];
         for (i, node) in results.per_node.iter().enumerate() {
             table.row(vec![

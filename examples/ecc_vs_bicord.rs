@@ -52,7 +52,7 @@ fn main() {
     for (label, config) in configs.iter_mut() {
         config.duration = duration;
         config.zigbee.arrivals = ArrivalProcess::Poisson(interval);
-        let r = CoexistenceSim::new(config.clone()).run();
+        let r = CoexistenceSim::new(config.clone()).unwrap().run();
         table.row(vec![
             label.to_string(),
             pct(r.utilization),

@@ -5,19 +5,20 @@
 //! cargo run --example quickstart
 //! ```
 
-use bicord::scenario::config::SimConfig;
-use bicord::scenario::geometry::Location;
-use bicord::scenario::sim::CoexistenceSim;
-use bicord::sim::SimDuration;
+use bicord::prelude::*;
 
 fn main() {
     // A saturated Wi-Fi link (100 B frames at 1 Mb/s) and a ZigBee node at
     // location A sending bursts of five 50 B packets every ~200 ms.
-    let mut config = SimConfig::bicord(Location::A, 42);
-    config.duration = SimDuration::from_secs(10);
+    let config = SimConfig::builder()
+        .location(Location::A)
+        .seed(42)
+        .duration(SimDuration::from_secs(10))
+        .build()
+        .expect("valid config");
 
     println!("Running BiCord for {} of virtual time...", config.duration);
-    let results = CoexistenceSim::new(config).run();
+    let results = CoexistenceSim::new(config).unwrap().run();
 
     println!();
     println!("=== BiCord quickstart ===");

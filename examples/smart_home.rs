@@ -68,7 +68,7 @@ fn main() {
             config.duration = SimDuration::from_secs(12);
             config.zigbee.burst = profile.burst;
             config.zigbee.arrivals = ArrivalProcess::Poisson(profile.interval);
-            let r = CoexistenceSim::new(config).run();
+            let r = CoexistenceSim::new(config).unwrap().run();
             table.row(vec![
                 profile.name.to_string(),
                 location.label().to_string(),

@@ -5,25 +5,27 @@
 //! cargo run --example timeline
 //! ```
 
-use bicord::scenario::config::SimConfig;
-use bicord::scenario::geometry::Location;
-use bicord::scenario::sim::CoexistenceSim;
+use bicord::prelude::*;
 use bicord::scenario::trace::SpanKind;
-use bicord::sim::{SimDuration, SimTime};
-use bicord::workloads::traffic::{ArrivalProcess, BurstSpec};
+use bicord::sim::SimTime;
 
 fn main() {
-    let mut config = SimConfig::bicord(Location::A, 9);
-    config.duration = SimDuration::from_secs(3);
-    config.zigbee.burst = BurstSpec {
-        n_packets: 8,
-        mpdu_bytes: 50,
-    };
-    config.zigbee.arrivals = ArrivalProcess::Periodic(SimDuration::from_millis(250));
-    config.record_trace = true;
+    let config = SimConfig::builder()
+        .location(Location::A)
+        .seed(9)
+        .duration(SimDuration::from_secs(3))
+        .burst(8, 50)
+        .arrivals(ArrivalProcess::Periodic(SimDuration::from_millis(250)))
+        .record_trace(true)
+        .build()
+        .expect("valid config");
 
     println!("Running BiCord with tracing for {}...", config.duration);
-    let results = CoexistenceSim::new(config).run();
+    // Capture the structured event stream alongside the channel trace.
+    let mut sink = VecSink::new();
+    let results = CoexistenceSim::with_sink(config, &mut sink)
+        .expect("valid config")
+        .run();
     let trace = results.trace.as_ref().expect("tracing was enabled");
 
     // Zoom into a window containing a full coordination round: find the
@@ -61,5 +63,13 @@ fn main() {
         results.utilization * 100.0,
         results.zigbee_pdr() * 100.0,
         results.zigbee.mean_delay_ms.unwrap_or(f64::NAN),
+    );
+    println!(
+        "event stream: {} records ({} detections, {} requests, {} reservations, {} estimates)",
+        sink.events.len(),
+        sink.of_kind("detection").len(),
+        sink.of_kind("channel_request").len(),
+        sink.of_kind("reservation").len(),
+        sink.of_kind("estimate").len(),
     );
 }

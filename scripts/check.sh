@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Pre-PR gate: formatting, lints, and the full test suite.
+#
+# Run this before every push; CI runs the same three steps. The build is
+# fully offline (vendored deps only), so no network access is needed.
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "check: cargo fmt --check"
+cargo fmt --all --check
+
+echo "check: cargo clippy --workspace --all-targets -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "check: cargo test -q"
+cargo test -q --offline
+
+echo "check: PASS"

@@ -13,6 +13,7 @@
 //!   --interval-ms <N>           mean Poisson burst interval           [200]
 //!   --extra-node <LOC:BURST:INTERVAL_MS>   add a ZigBee pair (repeatable)
 //!   --timeline                  print an ASCII channel timeline
+//!   --trace <PATH>              write a JSONL event timeline (docs/OBSERVABILITY.md)
 //!   --help                      this text
 //! ```
 //!
@@ -22,11 +23,8 @@
 //! bicord --mode ecc-30 --location C --seconds 20 --extra-node D:3:400
 //! ```
 
-use bicord::scenario::config::{ExtraNodeConfig, SimConfig};
-use bicord::scenario::geometry::Location;
-use bicord::scenario::sim::CoexistenceSim;
-use bicord::sim::{SimDuration, SimTime};
-use bicord::workloads::traffic::{ArrivalProcess, BurstSpec};
+use bicord::prelude::*;
+use bicord::sim::SimTime;
 
 #[derive(Debug, Clone, PartialEq)]
 struct CliOptions {
@@ -39,6 +37,7 @@ struct CliOptions {
     interval_ms: u64,
     extra_nodes: Vec<(Location, u32, u64)>,
     timeline: bool,
+    trace: Option<std::path::PathBuf>,
 }
 
 impl Default for CliOptions {
@@ -53,6 +52,7 @@ impl Default for CliOptions {
             interval_ms: 200,
             extra_nodes: Vec::new(),
             timeline: false,
+            trace: None,
         }
     }
 }
@@ -123,6 +123,7 @@ fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<CliOptions, Str
                 .extra_nodes
                 .push(parse_extra_node(&value("--extra-node")?)?),
             "--timeline" => options.timeline = true,
+            "--trace" => options.trace = Some(std::path::PathBuf::from(value("--trace")?)),
             "--help" | "-h" => return Err("help".to_string()),
             other => return Err(format!("unknown option '{other}' (try --help)")),
         }
@@ -178,6 +179,7 @@ OPTIONS:
   --interval-ms <N>         mean Poisson burst interval         [200]
   --extra-node LOC:BURST:INTERVAL_MS  add a ZigBee pair (repeatable)
   --timeline                print an ASCII channel timeline
+  --trace <PATH>            write a JSONL event timeline (docs/OBSERVABILITY.md)
   --help                    this text"
 }
 
@@ -205,7 +207,40 @@ fn main() {
         "running {} at {} for {}s (seed {})...",
         options.mode, options.location, options.seconds, options.seed
     );
-    let results = CoexistenceSim::new(config).run();
+    let results = match options.trace.as_deref() {
+        Some(path) => {
+            let header = TraceHeader::new(config.seed, &options.mode, config.duration.as_micros());
+            let mut sink = match JsonlSink::create(path, &header) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot write trace {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            };
+            let results = match CoexistenceSim::with_sink(config, &mut sink) {
+                Ok(sim) => sim.run(),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            };
+            match sink.finish() {
+                Ok(events) => eprintln!("trace: {} events -> {}", events, path.display()),
+                Err(e) => {
+                    eprintln!("error: trace write failed: {e}");
+                    std::process::exit(2);
+                }
+            }
+            results
+        }
+        None => match CoexistenceSim::new(config) {
+            Ok(sim) => sim.run(),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
 
     print!("{}", results.summary_text());
 
@@ -265,6 +300,13 @@ mod tests {
         assert_eq!(o.interval_ms, 400);
         assert_eq!(o.extra_nodes, vec![(Location::D, 3, 500)]);
         assert!(o.timeline);
+    }
+
+    #[test]
+    fn trace_flag_takes_a_path() {
+        let o = parse(&["--trace", "run.jsonl"]).unwrap();
+        assert_eq!(o.trace.as_deref(), Some(std::path::Path::new("run.jsonl")));
+        assert!(parse(&["--trace"]).is_err());
     }
 
     #[test]

@@ -31,12 +31,33 @@
 //! use bicord::sim::SimDuration;
 //!
 //! // Run BiCord for two simulated seconds at location A.
-//! let mut config = SimConfig::bicord(Location::A, 42);
-//! config.duration = SimDuration::from_secs(2);
-//! let results = CoexistenceSim::new(config).run();
+//! let config = SimConfig::builder()
+//!     .location(Location::A)
+//!     .seed(42)
+//!     .duration(SimDuration::from_secs(2))
+//!     .build()
+//!     .expect("valid config");
+//! let results = CoexistenceSim::new(config).unwrap().run();
 //!
 //! assert!(results.zigbee.delivered > 0);
 //! assert!(results.utilization > 0.5);
+//! ```
+//!
+//! The [`prelude`] re-exports the same types for one-line imports:
+//!
+//! ```
+//! use bicord::prelude::*;
+//!
+//! let config = SimConfig::builder()
+//!     .duration(SimDuration::from_secs(2))
+//!     .build()
+//!     .unwrap();
+//! let mut sink = VecSink::new();
+//! let results = CoexistenceSim::with_sink(config, &mut sink).unwrap().run();
+//! assert_eq!(
+//!     sink.of_kind("reservation").len() as u64,
+//!     results.wifi.reservations
+//! );
 //! ```
 //!
 //! Run `cargo run -p bicord-bench --bin fig10_comparison` (and its
@@ -54,3 +75,21 @@ pub use bicord_phy as phy;
 pub use bicord_scenario as scenario;
 pub use bicord_sim as sim;
 pub use bicord_workloads as workloads;
+
+/// One-line import of everything a typical simulation script needs:
+/// configuration (builder, presets, errors), the runtime, event sinks,
+/// and the few value types that appear in every config.
+pub mod prelude {
+    pub use bicord_metrics::registry::{CountingSink, MetricsRegistry};
+    pub use bicord_phy::units::Dbm;
+    pub use bicord_scenario::config::{
+        ConfigError, ExtraNodeConfig, Mode, RunResults, SimConfig, SimConfigBuilder,
+    };
+    pub use bicord_scenario::geometry::Location;
+    pub use bicord_scenario::sim::CoexistenceSim;
+    pub use bicord_sim::obs::{
+        EventSink, JsonlSink, NoopSink, TraceEvent, TraceHeader, VecSink, TRACE_SCHEMA,
+    };
+    pub use bicord_sim::{SimDuration, SimTime};
+    pub use bicord_workloads::traffic::{ArrivalProcess, BurstSpec};
+}

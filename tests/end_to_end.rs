@@ -12,7 +12,7 @@ use bicord::workloads::traffic::{ArrivalProcess, BurstSpec};
 
 fn run_secs(mut config: SimConfig, secs: u64) -> bicord::scenario::config::RunResults {
     config.duration = SimDuration::from_secs(secs);
-    CoexistenceSim::new(config).run()
+    CoexistenceSim::new(config).unwrap().run()
 }
 
 #[test]
@@ -35,7 +35,10 @@ fn coordination_ladder_holds() {
     assert!(ecc > 0.5, "ECC PDR {ecc}");
     assert!(none < 0.4, "unprotected PDR {none}");
     assert!(bicord >= ecc - 0.05);
-    assert!(ecc > none + 0.3, "ladder collapsed: ECC {ecc} vs none {none}");
+    assert!(
+        ecc > none + 0.3,
+        "ladder collapsed: ECC {ecc} vs none {none}"
+    );
 }
 
 #[test]
@@ -90,7 +93,7 @@ fn priority_schedule_reduces_zigbee_service() {
             SimDuration::from_millis(500),
             &mut rng,
         ));
-        CoexistenceSim::new(config).run()
+        CoexistenceSim::new(config).unwrap().run()
     };
     let mut none_share = 0.0;
     let mut half_share = 0.0;
@@ -158,7 +161,7 @@ fn mobility_degrades_gracefully() {
 fn signaling_trial_mode_is_detection_only() {
     let config = SimConfig::signaling_trial(Location::A, 350, 4, 40, Dbm::new(0.0));
     assert!(matches!(config.mode, Mode::SignalingTrial { .. }));
-    let r = CoexistenceSim::new(config).run();
+    let r = CoexistenceSim::new(config).unwrap().run();
     // No data traffic, no reservations — only detection statistics.
     assert_eq!(r.zigbee.generated, 0);
     assert_eq!(r.wifi.reservations, 0);
@@ -170,7 +173,7 @@ fn results_are_reproducible_and_seed_sensitive() {
     let run = |seed| {
         let mut c = SimConfig::bicord(Location::C, seed);
         c.duration = SimDuration::from_secs(3);
-        CoexistenceSim::new(c).run()
+        CoexistenceSim::new(c).unwrap().run()
     };
     let a = run(42);
     let b = run(42);

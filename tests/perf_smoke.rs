@@ -45,3 +45,50 @@ fn serial_and_parallel_quick_tables_are_byte_identical() {
         "unexpected perf_smoke.sh output:\n{stdout}"
     );
 }
+
+/// The uninstrumented simulation (`NoopSink`, what every sweep runs) must
+/// not pay for the observability layer: it may not run measurably slower
+/// than the *actively counting* instrumented variant. The generous bound
+/// only trips when the `EventSink` plumbing stops compiling away (e.g. a
+/// dynamic dispatch or an unconditional allocation sneaks into the hot
+/// path) — ordinary timing noise stays far below it.
+#[test]
+fn noop_sink_is_not_slower_than_a_counting_sink() {
+    use bicord::prelude::*;
+    use std::time::Instant;
+
+    let config = || {
+        SimConfig::builder()
+            .seed(11)
+            .duration(SimDuration::from_secs(2))
+            .build()
+            .expect("valid config")
+    };
+    // Warm-up, then min-of-5 for each variant to shed scheduler noise.
+    CoexistenceSim::new(config()).unwrap().run();
+    let time_min = |mut run: Box<dyn FnMut()>| {
+        (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                run();
+                t.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    let noop = time_min(Box::new(move || {
+        CoexistenceSim::new(config()).unwrap().run();
+    }));
+    let counting = time_min(Box::new(move || {
+        let mut sink = CountingSink::new();
+        CoexistenceSim::with_sink(config(), &mut sink)
+            .unwrap()
+            .run();
+        assert!(sink.registry.counter("dequeue") > 0);
+    }));
+    assert!(
+        noop.as_secs_f64() <= counting.as_secs_f64() * 1.25,
+        "NoopSink run ({noop:?}) slower than CountingSink run ({counting:?}) — \
+         the sink abstraction is no longer zero-cost"
+    );
+}

@@ -24,7 +24,7 @@ fn mode_strategy() -> impl Strategy<Value = u8> {
 
 fn check_invariants(config: SimConfig) {
     let n_nodes = 1 + config.extra_nodes.len();
-    let results = CoexistenceSim::new(config).run();
+    let results = CoexistenceSim::new(config).unwrap().run();
     assert!(results.utilization >= 0.0 && results.utilization <= 1.0);
     assert!(results.zigbee_utilization <= results.utilization + 1e-9);
     assert!(results.wifi_utilization <= results.utilization + 1e-9);

@@ -53,10 +53,7 @@ impl Default for Criterion {
         // argument is a name filter (cargo bench -- <filter>).
         let args: Vec<String> = std::env::args().skip(1).collect();
         let smoke_only = args.iter().any(|a| a == "--test");
-        let filter = args
-            .iter()
-            .find(|a| !a.starts_with('-'))
-            .cloned();
+        let filter = args.iter().find(|a| !a.starts_with('-')).cloned();
         Criterion {
             measurement_secs: 1.0,
             smoke_only,

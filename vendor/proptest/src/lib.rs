@@ -402,7 +402,7 @@ pub mod test_runner {
         let base: u64 = std::env::var("PROPTEST_RNG_SEED")
             .ok()
             .and_then(|v| v.parse().ok())
-            .unwrap_or(0x42CD_21);
+            .unwrap_or(0x0042_CD21);
         let mut h = base ^ 0xcbf2_9ce4_8422_2325;
         for b in name.bytes() {
             h ^= u64::from(b);
@@ -611,7 +611,9 @@ mod tests {
         fn any_and_eq(x in any::<u64>(), flag in any::<bool>()) {
             let y = x;
             prop_assert_eq!(x, y);
-            prop_assert!(flag || !flag);
+            #[allow(clippy::overly_complex_bool_expr)]
+            let tautology = flag || !flag;
+            prop_assert!(tautology);
         }
     }
 
