@@ -8,10 +8,14 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use bicord_core::allocation::{AllocatorConfig, WhiteSpaceAllocator};
 use bicord_core::cti::{classify, extract_features, KMeans, KMeansConfig};
 use bicord_core::signaling::{CsiDetector, DetectorConfig};
+use bicord_mac::frames::{DeviceId, Payload};
+use bicord_mac::medium::{ChannelConfig, Medium};
 use bicord_phy::csi::{CsiModel, CsiSample, Disturbance};
 use bicord_phy::interferers::{
     generate_trace, generate_trace_into, RssiTrace, TraceConfig, TraceScratch, TRACE_DURATION,
 };
+use bicord_phy::spectrum::{WifiChannel, ZigbeeChannel};
+use bicord_phy::units::Dbm;
 use bicord_sim::event::EventQueue;
 use bicord_sim::{stream_rng, SeedDomain, SimTime};
 
@@ -163,6 +167,67 @@ fn bench_generate_trace(c: &mut Criterion) {
     });
 }
 
+/// The innermost DES loop: every CCA poll and reception decision funnels
+/// into `Medium::sensed_power` / `Medium::interference_against`. The
+/// fixture mirrors a dense multi-node cell — 10 devices, 8 concurrent
+/// transmissions on mixed Wi-Fi/ZigBee bands — and queries with warm
+/// fading caches, which is the steady state the simulation spends its
+/// time in.
+fn bench_medium_queries(c: &mut Criterion) {
+    use bicord_sim::SimTime;
+
+    let wifi_band = WifiChannel::new(11).unwrap().band();
+    let zigbee_band = ZigbeeChannel::new(24).unwrap().band();
+    let mut medium = Medium::new(ChannelConfig::default(), 97);
+    for d in 0..10u32 {
+        medium.add_device(
+            DeviceId::new(d),
+            bicord_phy::geometry::Point::new(f64::from(d) * 1.5, f64::from(d % 3)),
+        );
+    }
+    // 8 concurrent transmissions: devices 1..=8, alternating bands.
+    let now = SimTime::from_micros(500);
+    let mut signal = None;
+    for d in 1..=8u32 {
+        let band = if d % 2 == 0 { wifi_band } else { zigbee_band };
+        let id = medium.begin_transmission(
+            DeviceId::new(d),
+            Dbm::new(10.0),
+            band,
+            SimTime::ZERO,
+            SimTime::from_millis(2),
+            Payload::Noise,
+        );
+        signal.get_or_insert(id);
+    }
+    let signal = signal.expect("at least one transmission");
+    let observer = DeviceId::new(0);
+    // Warm the lazy fading/shadowing draws so the benches measure the
+    // steady-state query path, not first-touch RNG sampling.
+    black_box(medium.sensed_power(observer, &zigbee_band, now, None));
+    black_box(medium.interference_against(signal, observer, &zigbee_band));
+
+    c.bench_function("medium_sensed_power_8tx", |b| {
+        b.iter(|| {
+            black_box(medium.sensed_power(
+                black_box(observer),
+                black_box(&zigbee_band),
+                black_box(now),
+                None,
+            ))
+        })
+    });
+    c.bench_function("medium_interference_8tx", |b| {
+        b.iter(|| {
+            black_box(medium.interference_against(
+                black_box(signal),
+                black_box(observer),
+                black_box(&zigbee_band),
+            ))
+        })
+    });
+}
+
 /// The observability layer's zero-cost claim: pushing CSI samples through
 /// the sink-generic `push_obs` with a [`NoopSink`] must cost the same as
 /// the plain `push` path (both monomorphize to no emission), while a
@@ -219,6 +284,7 @@ criterion_group!(
     bench_kmeans,
     bench_event_queue,
     bench_generate_trace,
+    bench_medium_queries,
     bench_sink_overhead
 );
 criterion_main!(benches);

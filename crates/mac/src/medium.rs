@@ -14,8 +14,18 @@
 //!   with R's listening band.
 //! * *What is the SINR of transmission T at device R?* — signal versus the
 //!   sum of everything else plus the thermal floor.
+//!
+//! # Query-layer caching
+//!
+//! The three queries above are the innermost loop of the simulation
+//! (every CCA poll goes through [`Medium::sensed_power`]), so the medium
+//! memoizes the deterministic parts of the link budget — see
+//! `DESIGN.md` §6 "Medium caching & invalidation" for the cache keys,
+//! the invalidation rules, and the bit-for-bit determinism argument.
+//! [`Medium::cache_stats`] exposes hit/miss counters for observability.
 
 use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
 
 use rand::rngs::StdRng;
 
@@ -24,9 +34,24 @@ use bicord_phy::pathloss::PathLossModel;
 use bicord_phy::spectrum::Band;
 use bicord_phy::units::{Dbm, MilliWatt};
 use bicord_sim::dist::normal;
+use bicord_sim::event::SeqHasher;
 use bicord_sim::{stream_rng, SeedDomain, SimTime};
 
 use crate::frames::{DeviceId, Payload};
+
+/// Hot-path maps use the sim's SplitMix-style [`SeqHasher`]: keys are
+/// small dense integers (ids), never adversarial.
+type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<SeqHasher>>;
+
+/// A `(tx band, listening band)` pair keyed by the exact bit patterns of
+/// the four band edges — bit-identical inputs are the only ones allowed
+/// to share a memoized overlap fraction.
+type BandPairKey = [u64; 4];
+
+/// Distinct `(tx band, listening band)` pairs per scenario are a small
+/// constant (Wi-Fi/ZigBee/Bluetooth cross products); cap the memo so a
+/// pathological caller cannot grow it without bound.
+const BAND_MEMO_CAP: usize = 32;
 
 /// Identifies one transmission placed on the medium.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -108,14 +133,42 @@ impl Default for ChannelConfig {
 pub struct Medium {
     config: ChannelConfig,
     devices: HashMap<DeviceId, Point>,
-    active: HashMap<TxId, Transmission>,
+    /// Active transmissions, ascending by [`TxId`]. Ids are allocated
+    /// monotonically, so pushing at the tail keeps the slab sorted and
+    /// every query iterates in deterministic id order without collecting.
+    active: Vec<Transmission>,
     next_tx: u64,
-    /// Static shadowing per unordered device pair, dB.
+    /// Static shadowing per unordered device pair, dB. The source of
+    /// truth for realisations; `link_cache` only mirrors it.
     shadowing: HashMap<(DeviceId, DeviceId), f64>,
     /// Per-(transmission, observer) fading, dB.
-    fading: HashMap<(TxId, DeviceId), f64>,
+    fading: FastMap<(TxId, DeviceId), f64>,
+    /// Memoized `(path-loss dB, shadowing dB)` per directed
+    /// `(source, observer)` pair at the devices' *current* positions.
+    /// Invalidated whenever either endpoint moves.
+    link_cache: FastMap<(DeviceId, DeviceId), (f64, f64)>,
+    /// Memoized spectral overlap fractions per `(tx band, listening
+    /// band)` pair.
+    band_overlap: Vec<(BandPairKey, f64)>,
+    stats: MediumCacheStats,
     shadowing_rng: StdRng,
     fading_rng: StdRng,
+}
+
+/// Cumulative hit/miss counters of the medium's memoization layers —
+/// surfaced as `medium_cache_stats` trace records and through
+/// `MetricsRegistry` in instrumented runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MediumCacheStats {
+    /// Link-budget queries answered from the `(source, observer)` cache.
+    pub link_hits: u64,
+    /// Link-budget queries that recomputed path loss (and possibly drew
+    /// a shadowing realisation).
+    pub link_misses: u64,
+    /// Band-overlap queries answered from the memo.
+    pub band_hits: u64,
+    /// Band-overlap queries that computed the fraction.
+    pub band_misses: u64,
 }
 
 impl Medium {
@@ -125,10 +178,13 @@ impl Medium {
         Medium {
             config,
             devices: HashMap::new(),
-            active: HashMap::new(),
+            active: Vec::with_capacity(16),
             next_tx: 0,
             shadowing: HashMap::new(),
-            fading: HashMap::new(),
+            fading: FastMap::with_capacity_and_hasher(64, BuildHasherDefault::default()),
+            link_cache: FastMap::with_capacity_and_hasher(64, BuildHasherDefault::default()),
+            band_overlap: Vec::with_capacity(BAND_MEMO_CAP),
+            stats: MediumCacheStats::default(),
             shadowing_rng: stream_rng(master_seed, SeedDomain::Shadowing, 0),
             fading_rng: stream_rng(master_seed, SeedDomain::Shadowing, 1),
         }
@@ -138,10 +194,19 @@ impl Medium {
     ///
     /// Re-registering an existing device moves it (used by mobility).
     pub fn add_device(&mut self, id: DeviceId, position: Point) {
-        self.devices.insert(id, position);
+        if self.devices.insert(id, position).is_some() {
+            // A re-registration is a move: cached path losses involving
+            // this device are stale (shadowing realisations persist until
+            // `invalidate_shadowing`, exactly as before the cache).
+            self.drop_link_cache(id);
+        }
     }
 
     /// Moves a device.
+    ///
+    /// Cached link budgets touching the device are dropped (path loss is
+    /// position-dependent); its shadowing realisations persist until
+    /// [`Medium::invalidate_shadowing`].
     ///
     /// # Panics
     ///
@@ -152,6 +217,13 @@ impl Medium {
             .get_mut(&id)
             .unwrap_or_else(|| panic!("unknown device {id}"));
         *slot = position;
+        self.drop_link_cache(id);
+    }
+
+    /// Drops memoized link budgets for every pair touching `device`.
+    fn drop_link_cache(&mut self, device: DeviceId) {
+        self.link_cache
+            .retain(|(a, b), _| *a != device && *b != device);
     }
 
     /// The device's current position.
@@ -187,19 +259,21 @@ impl Medium {
         );
         let id = TxId(self.next_tx);
         self.next_tx += 1;
-        self.active.insert(
+        self.active.push(Transmission {
             id,
-            Transmission {
-                id,
-                source,
-                power,
-                band,
-                start,
-                end,
-                payload,
-            },
-        );
+            source,
+            power,
+            band,
+            start,
+            end,
+            payload,
+        });
         id
+    }
+
+    /// Position of `id` in the sorted slab, if active.
+    fn slab_index(&self, id: TxId) -> Option<usize> {
+        self.active.binary_search_by_key(&id, |t| t.id).ok()
     }
 
     /// Removes a finished transmission and returns it.
@@ -209,10 +283,10 @@ impl Medium {
     /// Panics if the transmission is not active (double removal is a
     /// scenario bookkeeping bug worth failing loudly on).
     pub fn end_transmission(&mut self, id: TxId) -> Transmission {
-        let tx = self
-            .active
-            .remove(&id)
+        let idx = self
+            .slab_index(id)
             .unwrap_or_else(|| panic!("transmission {id:?} not active"));
+        let tx = self.active.remove(idx);
         // Drop the fading cache entries for this transmission.
         self.fading.retain(|(t, _), _| *t != id);
         tx
@@ -220,12 +294,13 @@ impl Medium {
 
     /// A transmission by id, if still active.
     pub fn transmission(&self, id: TxId) -> Option<&Transmission> {
-        self.active.get(&id)
+        self.slab_index(id).map(|i| &self.active[i])
     }
 
-    /// Iterates over all active transmissions (unspecified order).
+    /// Iterates over all active transmissions in ascending [`TxId`]
+    /// order (the begin order — the order every query evaluates in).
     pub fn active_transmissions(&self) -> impl Iterator<Item = &Transmission> {
-        self.active.values()
+        self.active.iter()
     }
 
     /// Number of active transmissions.
@@ -255,6 +330,69 @@ impl Medium {
             .or_insert_with(|| normal(rng, 0.0, sigma))
     }
 
+    /// The memoized `(path-loss dB, shadowing dB)` budget of the directed
+    /// link `source -> observer` at the devices' current positions.
+    ///
+    /// A miss recomputes path loss from the live positions and reads (or
+    /// lazily draws) the link's shadowing realisation — in exactly the
+    /// order the uncached query used, so RNG consumption is unchanged.
+    fn link_budget(&mut self, source: DeviceId, observer: DeviceId) -> (f64, f64) {
+        if let Some(&cached) = self.link_cache.get(&(source, observer)) {
+            self.stats.link_hits += 1;
+            return cached;
+        }
+        self.stats.link_misses += 1;
+        let src_pos = self.position(source);
+        let obs_pos = self.position(observer);
+        let pl_db = self
+            .config
+            .path_loss
+            .path_loss_db(src_pos.distance_to(obs_pos));
+        let shadow = self.link_shadowing(source, observer);
+        self.link_cache.insert((source, observer), (pl_db, shadow));
+        (pl_db, shadow)
+    }
+
+    /// The memoized spectral overlap fraction of `tx_band` into
+    /// `listening`, keyed by the exact bit patterns of the band edges.
+    fn band_overlap_fraction(&mut self, tx_band: &Band, listening: &Band) -> f64 {
+        let key: BandPairKey = [
+            tx_band.low_mhz.to_bits(),
+            tx_band.high_mhz.to_bits(),
+            listening.low_mhz.to_bits(),
+            listening.high_mhz.to_bits(),
+        ];
+        if let Some(&(_, fraction)) = self.band_overlap.iter().find(|(k, _)| *k == key) {
+            self.stats.band_hits += 1;
+            return fraction;
+        }
+        self.stats.band_misses += 1;
+        let fraction = tx_band.overlap_fraction(listening);
+        if self.band_overlap.len() < BAND_MEMO_CAP {
+            self.band_overlap.push((key, fraction));
+        }
+        fraction
+    }
+
+    /// Cumulative cache hit/miss counters since construction.
+    pub fn cache_stats(&self) -> MediumCacheStats {
+        self.stats
+    }
+
+    /// [`Medium::received_power`] for an already-fetched transmission.
+    ///
+    /// The arithmetic is kept in exactly the uncached form — `(power -
+    /// path_loss) + shadow + fading`, in that association — so memoized
+    /// and fresh budgets produce bit-identical `Dbm` values.
+    fn received_power_of(&mut self, t: Transmission, observer: DeviceId) -> Dbm {
+        if t.source == observer {
+            return Dbm::FLOOR;
+        }
+        let (pl_db, shadow) = self.link_budget(t.source, observer);
+        let fading = self.tx_fading(t.id, observer);
+        (t.power - pl_db) + shadow + fading
+    }
+
     /// Power of transmission `tx` received by `observer`, before any
     /// spectral-overlap weighting.
     ///
@@ -267,21 +405,9 @@ impl Medium {
     /// Panics if the transmission or observer is unknown.
     pub fn received_power(&mut self, tx: TxId, observer: DeviceId) -> Dbm {
         let t = *self
-            .active
-            .get(&tx)
+            .transmission(tx)
             .unwrap_or_else(|| panic!("transmission {tx:?} not active"));
-        if t.source == observer {
-            return Dbm::FLOOR;
-        }
-        let src_pos = self.position(t.source);
-        let obs_pos = self.position(observer);
-        let mean = self
-            .config
-            .path_loss
-            .received_power(t.power, src_pos, obs_pos);
-        let shadow = self.link_shadowing(t.source, observer);
-        let fading = self.tx_fading(tx, observer);
-        mean + shadow + fading
+        self.received_power_of(t, observer)
     }
 
     /// Power of transmission `tx` coupled into `observer`'s `listening`
@@ -300,14 +426,24 @@ impl Medium {
         listening: &Band,
     ) -> MilliWatt {
         let t = *self
-            .active
-            .get(&tx)
+            .transmission(tx)
             .unwrap_or_else(|| panic!("transmission {tx:?} not active"));
-        let overlap = t.band.overlap_fraction(listening);
+        self.in_band_power(t, observer, listening)
+    }
+
+    /// [`Medium::received_power_in_band`] for an already-fetched
+    /// transmission.
+    fn in_band_power(
+        &mut self,
+        t: Transmission,
+        observer: DeviceId,
+        listening: &Band,
+    ) -> MilliWatt {
+        let overlap = self.band_overlap_fraction(&t.band, listening);
         if overlap <= 0.0 {
             return MilliWatt::ZERO;
         }
-        self.received_power(tx, observer)
+        self.received_power_of(t, observer)
             .to_milliwatt()
             .scale(overlap)
     }
@@ -315,6 +451,10 @@ impl Medium {
     /// Total in-band power `observer` senses at `now`, excluding
     /// transmissions from `exclude_source` (a device never senses itself,
     /// and a receiver evaluating a frame excludes that frame's source).
+    ///
+    /// Allocation-free: iterates the id-ordered slab directly, so lazy
+    /// fading draws and the linear f64 summation happen in the same
+    /// ascending-`TxId` order the sorted collect always produced.
     pub fn sensed_power(
         &mut self,
         observer: DeviceId,
@@ -322,26 +462,28 @@ impl Medium {
         now: SimTime,
         exclude_source: Option<DeviceId>,
     ) -> MilliWatt {
-        let mut ids: Vec<TxId> = self
-            .active
-            .values()
-            .filter(|t| t.start <= now && t.end > now)
-            .filter(|t| t.source != observer)
-            .filter(|t| Some(t.source) != exclude_source)
-            .map(|t| t.id)
-            .collect();
-        // HashMap iteration order varies per process; lazy fading draws
-        // and f64 summation must not depend on it.
-        ids.sort_unstable();
-        ids.into_iter()
-            .map(|id| self.received_power_in_band(id, observer, listening))
-            .sum()
+        let mut total = MilliWatt::ZERO;
+        for i in 0..self.active.len() {
+            let t = self.active[i];
+            if t.start > now
+                || t.end <= now
+                || t.source == observer
+                || Some(t.source) == exclude_source
+            {
+                continue;
+            }
+            total += self.in_band_power(t, observer, listening);
+        }
+        total
     }
 
     /// Interference power against transmission `signal` at `observer`:
     /// the in-band sum of every *other* transmission overlapping `signal`'s
     /// airtime, evaluated over the whole frame (worst case: any overlap
     /// counts for its full coupled power).
+    ///
+    /// Allocation-free; same id-ordered evaluation as
+    /// [`Medium::sensed_power`].
     pub fn interference_against(
         &mut self,
         signal: TxId,
@@ -349,21 +491,17 @@ impl Medium {
         listening: &Band,
     ) -> MilliWatt {
         let s = *self
-            .active
-            .get(&signal)
+            .transmission(signal)
             .unwrap_or_else(|| panic!("transmission {signal:?} not active"));
-        let mut ids: Vec<TxId> = self
-            .active
-            .values()
-            .filter(|t| t.id != signal && t.source != observer)
-            .filter(|t| t.overlaps(s.start, s.end))
-            .map(|t| t.id)
-            .collect();
-        // Deterministic order for the lazy fading draws and the f64 sum.
-        ids.sort_unstable();
-        ids.into_iter()
-            .map(|id| self.received_power_in_band(id, observer, listening))
-            .sum()
+        let mut total = MilliWatt::ZERO;
+        for i in 0..self.active.len() {
+            let t = self.active[i];
+            if t.id == signal || t.source == observer || !t.overlaps(s.start, s.end) {
+                continue;
+            }
+            total += self.in_band_power(t, observer, listening);
+        }
+        total
     }
 
     /// The SINR (dB) of transmission `signal` at `observer` listening on
@@ -389,16 +527,31 @@ impl Medium {
         from: SimTime,
         to: SimTime,
     ) -> Vec<Transmission> {
-        let mut txs: Vec<Transmission> = self
-            .active
-            .values()
-            .filter(|t| t.source != observer)
-            .filter(|t| t.overlaps(from, to))
-            .filter(|t| listening.overlap_fraction(&t.band) > 0.0)
-            .copied()
-            .collect();
-        txs.sort_by_key(|t| (t.start, t.id));
+        let mut txs = Vec::new();
+        self.overlapping_into(observer, listening, from, to, &mut txs);
         txs
+    }
+
+    /// [`Medium::overlapping`] into a caller-owned buffer (cleared
+    /// first), so repeated queries reuse one allocation.
+    pub fn overlapping_into(
+        &self,
+        observer: DeviceId,
+        listening: &Band,
+        from: SimTime,
+        to: SimTime,
+        out: &mut Vec<Transmission>,
+    ) {
+        out.clear();
+        out.extend(
+            self.active
+                .iter()
+                .filter(|t| t.source != observer)
+                .filter(|t| t.overlaps(from, to))
+                .filter(|t| listening.overlap_fraction(&t.band) > 0.0)
+                .copied(),
+        );
+        out.sort_by_key(|t| (t.start, t.id));
     }
 
     /// Draws a fresh random value from the medium's fading stream —
@@ -410,9 +563,15 @@ impl Medium {
 
     /// Clears cached shadowing for links touching `device` — called when a
     /// device moves materially (the realisation is position-dependent).
-    pub fn invalidate_shadowing(&mut self, device: DeviceId) {
+    /// Memoized link budgets touching the device are dropped with it.
+    ///
+    /// Returns the number of shadowing realisations discarded.
+    pub fn invalidate_shadowing(&mut self, device: DeviceId) -> usize {
+        let before = self.shadowing.len();
         self.shadowing
             .retain(|(a, b), _| *a != device && *b != device);
+        self.drop_link_cache(device);
+        before - self.shadowing.len()
     }
 }
 
@@ -918,6 +1077,117 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn moving_back_restores_the_exact_link_budget() {
+        // set_position drops the memoized path loss but keeps the
+        // shadowing realisation: moving a device away and back must
+        // reproduce the original received power bit-for-bit.
+        let mut m = setup();
+        let id = m.begin_transmission(
+            DeviceId::new(0),
+            Dbm::new(20.0),
+            wifi_band(),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            wifi_data(),
+        );
+        let home = m.position(DeviceId::new(1));
+        let p_home = m.received_power(id, DeviceId::new(1));
+        m.set_position(DeviceId::new(1), Point::new(9.0, 9.0));
+        let p_away = m.received_power(id, DeviceId::new(1));
+        assert_ne!(p_home, p_away, "path loss must follow the position");
+        m.set_position(DeviceId::new(1), home);
+        assert_eq!(
+            m.received_power(id, DeviceId::new(1)),
+            p_home,
+            "same position + same shadowing + same fading must reproduce \
+             the original budget exactly"
+        );
+    }
+
+    #[test]
+    fn re_registering_a_device_invalidates_its_link_cache() {
+        let mut m = setup();
+        let id = m.begin_transmission(
+            DeviceId::new(0),
+            Dbm::new(20.0),
+            wifi_band(),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            wifi_data(),
+        );
+        let p1 = m.received_power(id, DeviceId::new(1));
+        m.add_device(DeviceId::new(1), Point::new(12.0, 0.0));
+        let p2 = m.received_power(id, DeviceId::new(1));
+        assert!(p2 < p1, "moving away must reduce received power");
+    }
+
+    #[test]
+    fn cache_stats_track_hits_and_misses() {
+        let mut m = setup();
+        assert_eq!(m.cache_stats(), MediumCacheStats::default());
+        m.begin_transmission(
+            DeviceId::new(0),
+            Dbm::new(20.0),
+            wifi_band(),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            wifi_data(),
+        );
+        let now = SimTime::from_micros(500);
+        m.sensed_power(DeviceId::new(1), &wifi_band(), now, None);
+        let cold = m.cache_stats();
+        assert_eq!(cold.link_misses, 1);
+        assert_eq!(cold.band_misses, 1);
+        m.sensed_power(DeviceId::new(1), &wifi_band(), now, None);
+        let warm = m.cache_stats();
+        assert_eq!(warm.link_hits, cold.link_hits + 1);
+        assert_eq!(warm.band_hits, cold.band_hits + 1);
+        assert_eq!(warm.link_misses, cold.link_misses);
+        assert_eq!(warm.band_misses, cold.band_misses);
+    }
+
+    #[test]
+    fn overlapping_into_matches_overlapping_and_reuses_the_buffer() {
+        let mut m = setup();
+        for s in 0..4u64 {
+            m.begin_transmission(
+                DeviceId::new(0),
+                Dbm::new(20.0),
+                wifi_band(),
+                SimTime::from_millis(s),
+                SimTime::from_millis(s + 2),
+                wifi_data(),
+            );
+        }
+        let mut buf = Vec::new();
+        m.overlapping_into(
+            DeviceId::new(2),
+            &wifi_band(),
+            SimTime::ZERO,
+            SimTime::from_millis(10),
+            &mut buf,
+        );
+        assert_eq!(
+            buf,
+            m.overlapping(
+                DeviceId::new(2),
+                &wifi_band(),
+                SimTime::ZERO,
+                SimTime::from_millis(10),
+            )
+        );
+        let cap = buf.capacity();
+        m.overlapping_into(
+            DeviceId::new(2),
+            &wifi_band(),
+            SimTime::ZERO,
+            SimTime::from_millis(10),
+            &mut buf,
+        );
+        assert_eq!(buf.capacity(), cap, "repeat queries must reuse the buffer");
     }
 
     #[test]

@@ -221,8 +221,17 @@ impl WifiMac {
 
     /// Notifies the machine that carrier sense turned busy.
     pub fn on_channel_busy(&mut self, now: SimTime) -> Vec<WifiAction> {
-        self.sensed_busy = true;
         let mut actions = Vec::new();
+        self.on_channel_busy_into(now, &mut actions);
+        actions
+    }
+
+    /// Allocation-free variant of [`WifiMac::on_channel_busy`]: appends
+    /// the resulting actions to a caller-owned buffer. Carrier-sense
+    /// transitions fire on every transmission edge, so drivers on a hot
+    /// path should reuse one buffer across calls.
+    pub fn on_channel_busy_into(&mut self, now: SimTime, actions: &mut Vec<WifiAction>) {
+        self.sensed_busy = true;
         match self.phase {
             Phase::Difs { resume_slots } => {
                 actions.push(WifiAction::CancelTimer(WifiTimer::Difs));
@@ -243,15 +252,20 @@ impl WifiMac {
             }
             _ => {}
         }
-        actions
     }
 
     /// Notifies the machine that carrier sense turned idle.
     pub fn on_channel_idle(&mut self, now: SimTime) -> Vec<WifiAction> {
-        self.sensed_busy = false;
         let mut actions = Vec::new();
-        self.try_advance(now, &mut actions);
+        self.on_channel_idle_into(now, &mut actions);
         actions
+    }
+
+    /// Allocation-free variant of [`WifiMac::on_channel_idle`]: appends
+    /// the resulting actions to a caller-owned buffer.
+    pub fn on_channel_idle_into(&mut self, now: SimTime, actions: &mut Vec<WifiAction>) {
+        self.sensed_busy = false;
+        self.try_advance(now, actions);
     }
 
     /// Sets the NAV from a received CTS (another station's reservation).

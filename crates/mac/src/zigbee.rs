@@ -331,8 +331,22 @@ impl ZigbeeMac {
     /// Reports the CCA verdict requested by a [`ZigbeeTimer::Cca`] expiry.
     pub fn on_cca_result(&mut self, now: SimTime, busy: bool) -> Vec<ZigbeeAction> {
         let mut actions = Vec::new();
+        self.on_cca_result_into(now, busy, &mut actions);
+        actions
+    }
+
+    /// Allocation-free variant of [`ZigbeeMac::on_cca_result`]: appends
+    /// the resulting actions to a caller-owned buffer. CCA verdicts fire
+    /// once per backoff attempt, so drivers on a hot path should reuse
+    /// one buffer across calls.
+    pub fn on_cca_result_into(
+        &mut self,
+        now: SimTime,
+        busy: bool,
+        actions: &mut Vec<ZigbeeAction>,
+    ) {
         let Phase::Cca { nb, be } = self.phase else {
-            return actions;
+            return;
         };
         if !busy {
             self.phase = Phase::TurnaroundData;
@@ -340,7 +354,7 @@ impl ZigbeeMac {
                 timer: ZigbeeTimer::Turnaround,
                 at: now + zigbee_timing::TURNAROUND,
             });
-            return actions;
+            return;
         }
         let nb = nb + 1;
         let be = (be + 1).min(self.config.max_be);
@@ -352,7 +366,7 @@ impl ZigbeeMac {
                 reason: FailReason::ChannelAccessFailure,
             }));
             self.phase = Phase::Idle;
-            self.try_start(now, &mut actions);
+            self.try_start(now, actions);
         } else {
             self.phase = Phase::Backoff { nb, be };
             actions.push(ZigbeeAction::SetTimer {
@@ -360,7 +374,6 @@ impl ZigbeeMac {
                 at: now + self.draw_backoff(be),
             });
         }
-        actions
     }
 
     /// Notifies the machine that its own transmission finished.

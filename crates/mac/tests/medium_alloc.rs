@@ -1,0 +1,122 @@
+//! Proof that the medium's hot queries are allocation-free in steady
+//! state.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after a
+//! warm-up pass has populated the link-budget cache, the fading map, and
+//! the band-overlap memo, repeated `sensed_power` /
+//! `interference_against` / `overlapping_into` calls must perform zero
+//! heap allocations. One `#[test]` only: the counter is process-global,
+//! and a sibling test allocating concurrently would poison the reading.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bicord_mac::frames::{DeviceId, Payload};
+use bicord_mac::medium::{ChannelConfig, Medium, Transmission, TxId};
+use bicord_phy::geometry::Point;
+use bicord_phy::spectrum::Band;
+use bicord_phy::units::Dbm;
+use bicord_sim::SimTime;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_queries_do_not_allocate() {
+    let mut medium = Medium::new(ChannelConfig::default(), 99);
+    let observer = DeviceId::new(0);
+    medium.add_device(observer, Point::new(0.0, 0.0));
+    for i in 1..=8u32 {
+        medium.add_device(
+            DeviceId::new(i),
+            Point::new(f64::from(i), f64::from(i) * 0.5),
+        );
+    }
+
+    let wifi = Band::centered(2462.0, 20.0);
+    let zigbee = Band::centered(2455.0, 2.0);
+    let mut ids: Vec<TxId> = Vec::new();
+    for i in 1..=8u32 {
+        let band = if i % 2 == 0 { wifi } else { zigbee };
+        ids.push(medium.begin_transmission(
+            DeviceId::new(i),
+            Dbm::new(10.0),
+            band,
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            Payload::Noise,
+        ));
+    }
+    let now = SimTime::from_micros(500);
+
+    // Warm-up: populate the link cache, fading map, and band memo for
+    // every (transmission, observer, band) combination the loop below
+    // touches, and grow the overlap scratch to its steady-state size.
+    let mut scratch: Vec<Transmission> = Vec::new();
+    for band in [&wifi, &zigbee] {
+        medium.sensed_power(observer, band, now, None);
+        medium.interference_against(ids[0], observer, band);
+        medium.overlapping_into(
+            observer,
+            band,
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            &mut scratch,
+        );
+    }
+
+    let before = allocations();
+    for _ in 0..100 {
+        for band in [&wifi, &zigbee] {
+            let sensed = medium.sensed_power(observer, band, now, None);
+            assert!(sensed.value() > 0.0);
+            let interference = medium.interference_against(ids[0], observer, band);
+            assert!(interference.value() > 0.0);
+            medium.overlapping_into(
+                observer,
+                band,
+                SimTime::ZERO,
+                SimTime::from_millis(1),
+                &mut scratch,
+            );
+            assert!(!scratch.is_empty());
+        }
+    }
+    let after = allocations();
+
+    assert_eq!(
+        after - before,
+        0,
+        "hot medium queries allocated {} times in steady state",
+        after - before
+    );
+}

@@ -190,6 +190,21 @@ impl EventSink for CountingSink {
                 self.registry
                     .observe("estimate_ms", estimate_us as f64 / 1000.0);
             }
+            TraceEvent::MediumCacheStats {
+                link_hits,
+                link_misses,
+                band_hits,
+                band_misses,
+                ..
+            } => {
+                // The snapshot is cumulative; expose the counters under
+                // their own names (the kind counter above only counts
+                // snapshots).
+                self.registry.add("medium_link_hits", link_hits);
+                self.registry.add("medium_link_misses", link_misses);
+                self.registry.add("medium_band_hits", band_hits);
+                self.registry.add("medium_band_misses", band_misses);
+            }
             _ => {}
         }
     }
@@ -241,6 +256,29 @@ mod tests {
         assert_eq!(s.registry.counter("reservation"), 2);
         assert_eq!(s.registry.counter("detection"), 1);
         assert_eq!(s.registry.histogram("white_space_ms").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn counting_sink_surfaces_medium_cache_stats() {
+        let mut s = CountingSink::new();
+        s.emit(&TraceEvent::MediumCacheInvalidated {
+            t_us: 1,
+            device: 4,
+            dropped: 2,
+        });
+        s.emit(&TraceEvent::MediumCacheStats {
+            t_us: 9,
+            link_hits: 100,
+            link_misses: 7,
+            band_hits: 50,
+            band_misses: 3,
+        });
+        assert_eq!(s.registry.counter("medium_cache_invalidated"), 1);
+        assert_eq!(s.registry.counter("medium_cache_stats"), 1);
+        assert_eq!(s.registry.counter("medium_link_hits"), 100);
+        assert_eq!(s.registry.counter("medium_link_misses"), 7);
+        assert_eq!(s.registry.counter("medium_band_hits"), 50);
+        assert_eq!(s.registry.counter("medium_band_misses"), 3);
     }
 
     #[test]

@@ -229,6 +229,14 @@ pub struct CoexistenceSim<S: EventSink = NoopSink> {
 
     watches: Vec<RxWatch>,
 
+    /// Scratch buffers reused across hot-path calls so the steady state
+    /// allocates nothing per frame. Taken with `mem::take` while in use,
+    /// so re-entrant paths (e.g. `begin_tx` → carrier update → `begin_tx`)
+    /// simply see an empty fresh vector.
+    tx_scratch: Vec<Transmission>,
+    wifi_actions_scratch: Vec<WifiAction>,
+    zb_actions_scratch: Vec<ZigbeeAction>,
+
     util: UtilizationTracker,
     delay: DelayTracker,
     throughput: ThroughputTracker,
@@ -507,6 +515,9 @@ impl<S: EventSink> CoexistenceSim<S> {
             trace_rng: stream_rng(seed, SeedDomain::Interferers, 0),
             bluetooth_rng: stream_rng(seed, SeedDomain::Interferers, 1),
             watches: Vec::new(),
+            tx_scratch: Vec::new(),
+            wifi_actions_scratch: Vec::new(),
+            zb_actions_scratch: Vec::new(),
             util: UtilizationTracker::new(SimTime::ZERO),
             delay: DelayTracker::new(),
             throughput: ThroughputTracker::new(SimTime::ZERO),
@@ -599,8 +610,13 @@ impl<S: EventSink> CoexistenceSim<S> {
                 // CCA verdict: total in-band energy at this ZigBee sender.
                 let node = node as usize;
                 let busy = self.zigbee_channel_busy(now, node);
-                let actions = self.nodes[node].mac.on_cca_result(now, busy);
-                self.apply_zb_actions(now, node, actions);
+                let mut actions = std::mem::take(&mut self.zb_actions_scratch);
+                actions.clear();
+                self.nodes[node]
+                    .mac
+                    .on_cca_result_into(now, busy, &mut actions);
+                self.drain_zb_actions(now, node, &mut actions);
+                self.zb_actions_scratch = actions;
             }
             TimerKey::Zb(node, t) => {
                 let node = node as usize;
@@ -661,19 +677,16 @@ impl<S: EventSink> CoexistenceSim<S> {
             .begin_transmission(source, power, band, now, now + airtime, payload);
         self.engine.schedule_at(now + airtime, Event::TxEnd(tx));
 
-        // Contribute to existing reception watches.
-        let watch_specs: Vec<(usize, DeviceId, Band)> = self
-            .watches
-            .iter()
-            .enumerate()
-            .filter(|(_, w)| w.tx != tx && self.medium.transmission(w.tx).is_some())
-            .map(|(i, w)| (i, w.observer, w.listening))
-            .collect();
-        for (i, observer, listening) in watch_specs {
-            if observer == source {
+        // Contribute to existing reception watches. `RxWatch` is `Copy`,
+        // so an index loop avoids materializing a spec list per frame.
+        for i in 0..self.watches.len() {
+            let w = self.watches[i];
+            if w.tx == tx || w.observer == source || self.medium.transmission(w.tx).is_none() {
                 continue;
             }
-            let p = self.medium.received_power_in_band(tx, observer, &listening);
+            let p = self
+                .medium
+                .received_power_in_band(tx, w.observer, &w.listening);
             let watch = &mut self.watches[i];
             watch.interference += p;
             if payload.is_zigbee() && p.value() > 0.0 {
@@ -696,33 +709,34 @@ impl<S: EventSink> CoexistenceSim<S> {
             _ => None,
         };
         if let Some((observer, listening)) = watch_wanted {
-            let mut other_ids: Vec<TxId> = self
-                .medium
-                .active_transmissions()
-                .filter(|t| t.id != tx && t.source != observer)
-                .map(|t| t.id)
-                .collect();
-            // active_transmissions() iterates a HashMap: order varies per
-            // process, and both the lazy fading draws and the f64 sum
-            // below must not depend on it.
-            other_ids.sort_unstable();
+            // The medium's slab iterates in ascending TxId order already,
+            // so both the lazy fading draws and the f64 sum below evaluate
+            // in the same order a sorted id list did. Snapshot into the
+            // reusable scratch (Transmission is Copy) so the queries can
+            // borrow the medium mutably.
+            let mut others = std::mem::take(&mut self.tx_scratch);
+            others.clear();
+            others.extend(
+                self.medium
+                    .active_transmissions()
+                    .filter(|t| t.id != tx && t.source != observer)
+                    .copied(),
+            );
             let mut interference = MilliWatt::ZERO;
             let mut max_zigbee: Option<MilliWatt> = None;
-            for id in other_ids {
-                let is_zigbee = self
+            for t in &others {
+                let p = self
                     .medium
-                    .transmission(id)
-                    .map(|t| t.payload.is_zigbee())
-                    .unwrap_or(false);
-                let p = self.medium.received_power_in_band(id, observer, &listening);
+                    .received_power_in_band(t.id, observer, &listening);
                 interference += p;
-                if is_zigbee && p.value() > 0.0 {
+                if t.payload.is_zigbee() && p.value() > 0.0 {
                     max_zigbee = Some(match max_zigbee {
                         Some(prev) if prev.value() >= p.value() => prev,
                         _ => p,
                     });
                 }
             }
+            self.tx_scratch = others;
             self.watches.push(RxWatch {
                 tx,
                 observer,
@@ -1011,12 +1025,15 @@ impl<S: EventSink> CoexistenceSim<S> {
             return;
         }
         self.wifi_sensed_busy = busy;
-        let actions = if busy {
-            self.wifi.on_channel_busy(now)
+        let mut actions = std::mem::take(&mut self.wifi_actions_scratch);
+        actions.clear();
+        if busy {
+            self.wifi.on_channel_busy_into(now, &mut actions);
         } else {
-            self.wifi.on_channel_idle(now)
-        };
-        self.apply_wifi_actions(now, actions);
+            self.wifi.on_channel_idle_into(now, &mut actions);
+        }
+        self.drain_wifi_actions(now, &mut actions);
+        self.wifi_actions_scratch = actions;
     }
 
     /// Recomputes the second Wi-Fi station's carrier sense (it hears the
@@ -1033,15 +1050,18 @@ impl<S: EventSink> CoexistenceSim<S> {
             return;
         }
         self.wifi2_sensed_busy = busy;
-        let actions = {
+        let mut actions = std::mem::take(&mut self.wifi_actions_scratch);
+        actions.clear();
+        {
             let w2 = self.wifi2.as_mut().expect("checked above");
             if busy {
-                w2.on_channel_busy(now)
+                w2.on_channel_busy_into(now, &mut actions);
             } else {
-                w2.on_channel_idle(now)
+                w2.on_channel_idle_into(now, &mut actions);
             }
-        };
-        self.apply_wifi2_actions(now, actions);
+        }
+        self.drain_wifi2_actions(now, &mut actions);
+        self.wifi_actions_scratch = actions;
     }
 
     /// A ZigBee sender's wideband CCA verdict (it senses Wi-Fi, noise, and
@@ -1287,8 +1307,12 @@ impl<S: EventSink> CoexistenceSim<S> {
         };
         let position = mobility.position_at(SimTime::ZERO + mobility.step() * index as u64);
         self.medium.set_position(ZIGBEE_TX, position);
-        self.medium.invalidate_shadowing(ZIGBEE_TX);
-        let _ = now;
+        let dropped = self.medium.invalidate_shadowing(ZIGBEE_TX);
+        self.sink.emit(&TraceEvent::MediumCacheInvalidated {
+            t_us: now.as_micros(),
+            device: ZIGBEE_TX.raw(),
+            dropped: dropped as u32,
+        });
     }
 
     fn on_priority_boundary(&mut self, now: SimTime, _index: usize) {
@@ -1383,8 +1407,15 @@ impl<S: EventSink> CoexistenceSim<S> {
         }
     }
 
-    fn apply_wifi_actions(&mut self, now: SimTime, actions: Vec<WifiAction>) {
-        for action in actions {
+    fn apply_wifi_actions(&mut self, now: SimTime, mut actions: Vec<WifiAction>) {
+        self.drain_wifi_actions(now, &mut actions);
+    }
+
+    /// Applies and removes every action in `actions`, leaving the (possibly
+    /// grown) buffer behind for reuse. The hot carrier-sense path feeds this
+    /// from a scratch buffer so the steady state never allocates.
+    fn drain_wifi_actions(&mut self, now: SimTime, actions: &mut Vec<WifiAction>) {
+        for action in actions.drain(..) {
             match action {
                 WifiAction::StartTx { kind, airtime } => {
                     if let WifiFrameKind::Data { priority, .. } = kind {
@@ -1412,8 +1443,12 @@ impl<S: EventSink> CoexistenceSim<S> {
         }
     }
 
-    fn apply_wifi2_actions(&mut self, now: SimTime, actions: Vec<WifiAction>) {
-        for action in actions {
+    fn apply_wifi2_actions(&mut self, now: SimTime, mut actions: Vec<WifiAction>) {
+        self.drain_wifi2_actions(now, &mut actions);
+    }
+
+    fn drain_wifi2_actions(&mut self, now: SimTime, actions: &mut Vec<WifiAction>) {
+        for action in actions.drain(..) {
             match action {
                 WifiAction::StartTx { kind, airtime } => {
                     let power = self
@@ -1436,8 +1471,12 @@ impl<S: EventSink> CoexistenceSim<S> {
         }
     }
 
-    fn apply_zb_actions(&mut self, now: SimTime, node: usize, actions: Vec<ZigbeeAction>) {
-        for action in actions {
+    fn apply_zb_actions(&mut self, now: SimTime, node: usize, mut actions: Vec<ZigbeeAction>) {
+        self.drain_zb_actions(now, node, &mut actions);
+    }
+
+    fn drain_zb_actions(&mut self, now: SimTime, node: usize, actions: &mut Vec<ZigbeeAction>) {
+        for action in actions.drain(..) {
             match action {
                 ZigbeeAction::StartTx { kind, airtime } => {
                     let state = &self.nodes[node];
@@ -1696,6 +1735,19 @@ impl<S: EventSink> CoexistenceSim<S> {
 
     fn finalize(mut self) -> RunResults {
         let end = self.end_at;
+        // Cache efficiency snapshot. Gated on mobility so the default
+        // (static-geometry) traces — including the goldens — are
+        // byte-identical to pre-cache builds.
+        if self.config.device_mobility.is_some() {
+            let stats = self.medium.cache_stats();
+            self.sink.emit(&TraceEvent::MediumCacheStats {
+                t_us: end.as_micros(),
+                link_hits: stats.link_hits,
+                link_misses: stats.link_misses,
+                band_hits: stats.band_hits,
+                band_misses: stats.band_misses,
+            });
+        }
         if let Some((s, e)) = self.zb_span.take() {
             self.util.add(Occupant::ZigbeeData, e - s);
         }

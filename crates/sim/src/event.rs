@@ -38,10 +38,15 @@ impl Hasher for SeqHasher {
     }
 
     fn write(&mut self, bytes: &[u8]) {
-        // Only reached via derived Hash impls in tests; fold bytes in.
+        // Fallback for derived Hash impls over odd-sized fields; fold
+        // bytes in.
         for &b in bytes {
             self.write_u64(u64::from(b));
         }
+    }
+
+    fn write_u32(&mut self, x: u32) {
+        self.write_u64(u64::from(x));
     }
 
     fn write_u64(&mut self, x: u64) {

@@ -147,6 +147,30 @@ pub enum TraceEvent {
         /// Whether the detector caught the trial.
         detected: bool,
     },
+    /// A device move invalidated part of the medium's link-budget cache
+    /// (emitted per mobility step; absent in static scenarios).
+    MediumCacheInvalidated {
+        /// Invalidation time.
+        t_us: u64,
+        /// Raw id of the device that moved.
+        device: u32,
+        /// Shadowing realisations discarded with the cached budgets.
+        dropped: u32,
+    },
+    /// End-of-run snapshot of the medium's cache effectiveness (emitted
+    /// by mobility runs, where invalidation pressure is the question).
+    MediumCacheStats {
+        /// Snapshot time (the end of the run).
+        t_us: u64,
+        /// Link-budget cache hits.
+        link_hits: u64,
+        /// Link-budget cache misses.
+        link_misses: u64,
+        /// Band-overlap memo hits.
+        band_hits: u64,
+        /// Band-overlap memo misses.
+        band_misses: u64,
+    },
 }
 
 impl TraceEvent {
@@ -166,6 +190,8 @@ impl TraceEvent {
             TraceEvent::BurstComplete { .. } => "burst_complete",
             TraceEvent::PacketDelivered { .. } => "packet_delivered",
             TraceEvent::TrialResolved { .. } => "trial_resolved",
+            TraceEvent::MediumCacheInvalidated { .. } => "medium_cache_invalidated",
+            TraceEvent::MediumCacheStats { .. } => "medium_cache_stats",
         }
     }
 
@@ -183,7 +209,9 @@ impl TraceEvent {
             | TraceEvent::ReEstimate { t_us, .. }
             | TraceEvent::BurstComplete { t_us, .. }
             | TraceEvent::PacketDelivered { t_us, .. }
-            | TraceEvent::TrialResolved { t_us, .. } => t_us,
+            | TraceEvent::TrialResolved { t_us, .. }
+            | TraceEvent::MediumCacheInvalidated { t_us, .. }
+            | TraceEvent::MediumCacheStats { t_us, .. } => t_us,
         }
     }
 
@@ -260,6 +288,24 @@ impl TraceEvent {
                 index, detected, ..
             } => {
                 let _ = write!(out, ",\"index\":{index},\"detected\":{detected}");
+            }
+            TraceEvent::MediumCacheInvalidated {
+                device, dropped, ..
+            } => {
+                let _ = write!(out, ",\"device\":{device},\"dropped\":{dropped}");
+            }
+            TraceEvent::MediumCacheStats {
+                link_hits,
+                link_misses,
+                band_hits,
+                band_misses,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"link_hits\":{link_hits},\"link_misses\":{link_misses},\
+                     \"band_hits\":{band_hits},\"band_misses\":{band_misses}"
+                );
             }
         }
         out.push('}');
@@ -721,6 +767,18 @@ mod tests {
                 t_us: 0,
                 index: 1,
                 detected: true,
+            },
+            TraceEvent::MediumCacheInvalidated {
+                t_us: 0,
+                device: 2,
+                dropped: 3,
+            },
+            TraceEvent::MediumCacheStats {
+                t_us: 0,
+                link_hits: 4,
+                link_misses: 1,
+                band_hits: 9,
+                band_misses: 2,
             },
         ];
         for e in &events {

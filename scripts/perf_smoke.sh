@@ -4,6 +4,11 @@
 # BICORD_THREADS=1 and BICORD_THREADS=8, diffs the stdout tables, and
 # fails on any divergence. Also reports the wall-clock ratio.
 #
+# Unless PERF_SMOKE_SKIP_BENCH=1 is set, it then runs the medium-query
+# microbenches in quick mode (short BICORD_BENCH_SECS budget) and the
+# `multi_node --quick` end-to-end bench, appending both as
+# machine-readable records to BENCH_results.json via PerfRecorder.
+#
 # Usage: scripts/perf_smoke.sh [path-to-fig10_replicated-binary]
 # With no argument, builds and runs via `cargo run --release`.
 set -euo pipefail
@@ -46,3 +51,20 @@ echo "perf_smoke: serial ${serial_ms} ms, 8-thread ${parallel_ms} ms"
 if [[ "$parallel_ms" -gt 0 ]]; then
     echo "perf_smoke: speedup $(awk "BEGIN { printf \"%.2fx\", $serial_ms / $parallel_ms }")"
 fi
+
+if [[ "${PERF_SMOKE_SKIP_BENCH:-0}" == "1" ]]; then
+    echo "perf_smoke: PERF_SMOKE_SKIP_BENCH=1 — skipping bench recording"
+    exit 0
+fi
+
+echo "perf_smoke: medium microbenches (quick budget) -> BENCH_results.json..."
+BICORD_BENCH_SECS=0.2 \
+    cargo bench -q --offline -p bicord-bench --bench microbench -- medium \
+    | cargo run -q --offline --release -p bicord-bench --bin record_microbench \
+        -- medium_microbench --quick
+
+echo "perf_smoke: multi_node --quick -> BENCH_results.json..."
+cargo run -q --offline --release -p bicord-bench --bin multi_node -- --quick \
+    >/dev/null
+
+echo "perf_smoke: bench records updated"

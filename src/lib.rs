@@ -66,6 +66,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub use bicord_core as core;
 pub use bicord_ctc as ctc;

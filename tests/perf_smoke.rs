@@ -31,6 +31,10 @@ fn serial_and_parallel_quick_tables_are_byte_identical() {
     let output = Command::new("bash")
         .arg(&script)
         .arg(&binary)
+        // The bench-recording stages re-enter cargo; inside `cargo test`
+        // that would deadlock on the build lock. The diff stage is the
+        // assertion here.
+        .env("PERF_SMOKE_SKIP_BENCH", "1")
         .output()
         .expect("perf_smoke.sh should spawn");
     let stdout = String::from_utf8_lossy(&output.stdout);
@@ -52,15 +56,32 @@ fn serial_and_parallel_quick_tables_are_byte_identical() {
 /// only trips when the `EventSink` plumbing stops compiling away (e.g. a
 /// dynamic dispatch or an unconditional allocation sneaks into the hot
 /// path) — ordinary timing noise stays far below it.
+///
+/// The config enables device mobility so the medium-cache record kinds
+/// (`medium_cache_invalidated` per step, `medium_cache_stats` at
+/// finalize) are part of the workload the bound covers; the counting
+/// variant doubles as the check that those records surface as registry
+/// counters.
 #[test]
 fn noop_sink_is_not_slower_than_a_counting_sink() {
     use bicord::prelude::*;
+    use bicord::sim::{stream_rng, SeedDomain};
+    use bicord::workloads::mobility::DeviceMobility;
     use std::time::Instant;
 
-    let config = || {
+    let duration = SimDuration::from_secs(2);
+    let config = move || {
+        let mut rng = stream_rng(11, SeedDomain::Mobility, 2);
         SimConfig::builder()
             .seed(11)
-            .duration(SimDuration::from_secs(2))
+            .duration(duration)
+            .device_mobility(DeviceMobility::generate(
+                Location::A.sender_position(),
+                1.0,
+                duration,
+                SimDuration::from_millis(250),
+                &mut rng,
+            ))
             .build()
             .expect("valid config")
     };
@@ -85,6 +106,14 @@ fn noop_sink_is_not_slower_than_a_counting_sink() {
             .unwrap()
             .run();
         assert!(sink.registry.counter("dequeue") > 0);
+        // The cache layer's records flow through the registry: mobility
+        // steps invalidate, and the finalize snapshot carries the
+        // hit/miss counters (a hot query layer should be hit-dominated).
+        assert!(sink.registry.counter("medium_cache_invalidated") > 0);
+        assert_eq!(sink.registry.counter("medium_cache_stats"), 1);
+        assert!(
+            sink.registry.counter("medium_link_hits") > sink.registry.counter("medium_link_misses")
+        );
     }));
     assert!(
         noop.as_secs_f64() <= counting.as_secs_f64() * 1.25,

@@ -54,8 +54,15 @@ impl Default for Criterion {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let smoke_only = args.iter().any(|a| a == "--test");
         let filter = args.iter().find(|a| !a.starts_with('-')).cloned();
+        // BICORD_BENCH_SECS shortens (or lengthens) the per-bench budget —
+        // the perf smoke script uses it for a quick-but-still-measured pass.
+        let measurement_secs = std::env::var("BICORD_BENCH_SECS")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|s| *s > 0.0)
+            .unwrap_or(1.0);
         Criterion {
-            measurement_secs: 1.0,
+            measurement_secs,
             smoke_only,
             filter,
         }
