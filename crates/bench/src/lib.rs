@@ -23,6 +23,7 @@
 //! | `motivation_ctc` | Sec. III-A folding analysis + Sec. III-B CTC latency |
 //! | `multi_node` | the Sec. VI multi-node extension (beyond the paper) |
 //! | `ablations` | detector-rule and allocator-stabiliser ablations |
+//! | `robustness_sweep` | fault-rate sweep (beyond the paper): PDR/delay/fallbacks under injected control-packet loss, CTS loss, and phantom CSI |
 //!
 //! Set `BICORD_CSV_DIR=<dir>` to additionally export the main tables as
 //! CSV for plotting.

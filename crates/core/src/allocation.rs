@@ -57,6 +57,14 @@ pub struct AllocatorConfig {
     /// this is the ablation baseline: every multi-round burst immediately
     /// re-estimates.
     pub confirm_reestimate: bool,
+    /// `N_round` sanity bound: a single burst accumulating more rounds
+    /// than this is treated as inconsistent accounting (phantom requests
+    /// chaining bursts together, or lost signaling splitting them), so the
+    /// allocator aborts the white-space schedule and re-enters the
+    /// learning phase from scratch. Well above anything honest traffic
+    /// produces (the growth cap converges real bursts in a handful of
+    /// rounds). `u32::MAX` disables the check.
+    pub abort_rounds_threshold: u32,
 }
 
 impl Default for AllocatorConfig {
@@ -71,6 +79,7 @@ impl Default for AllocatorConfig {
             max_growth_factor: 1.75,
             shrink_after_clean_bursts: 5,
             confirm_reestimate: true,
+            abort_rounds_threshold: 32,
         }
     }
 }
@@ -127,6 +136,8 @@ pub struct WhiteSpaceAllocator {
     pending_reestimate: bool,
     /// Consecutive single-round bursts since the last estimate change.
     clean_streak: u32,
+    /// `N_round` consistency aborts performed.
+    learning_aborts: u64,
 }
 
 impl WhiteSpaceAllocator {
@@ -147,6 +158,7 @@ impl WhiteSpaceAllocator {
             iterations_to_converge: 0,
             pending_reestimate: false,
             clean_streak: 0,
+            learning_aborts: 0,
         }
     }
 
@@ -186,6 +198,12 @@ impl WhiteSpaceAllocator {
         self.iterations_to_converge
     }
 
+    /// How many times inconsistent `N_round` accounting forced an abort
+    /// back into the learning phase.
+    pub fn learning_aborts(&self) -> u64 {
+        self.learning_aborts
+    }
+
     /// Handles one detected channel request; returns the white-space
     /// length to reserve.
     ///
@@ -198,8 +216,10 @@ impl WhiteSpaceAllocator {
 
     /// [`WhiteSpaceAllocator::on_request`] with observability: emits a
     /// [`TraceEvent::ReEstimate`] (`reason: "expiry"`) when a stale
-    /// converged estimate resets to learning, and a [`TraceEvent::NRound`]
-    /// for the round counted to the current burst.
+    /// converged estimate resets to learning, a
+    /// [`TraceEvent::LearningAbort`] when the round count trips the
+    /// consistency bound, and a [`TraceEvent::NRound`] for the round
+    /// counted to the current burst.
     pub fn on_request_obs<S: EventSink>(&mut self, now: SimTime, sink: &mut S) -> SimDuration {
         if self.phase == AllocationPhase::Converged
             && now.saturating_since(self.last_estimate_update) >= self.config.reestimate_after
@@ -212,6 +232,21 @@ impl WhiteSpaceAllocator {
         }
         self.burst_active = true;
         self.rounds_this_burst += 1;
+        if self.rounds_this_burst > self.config.abort_rounds_threshold {
+            // N_round accounting has gone inconsistent (phantom requests
+            // chaining bursts, or lost signaling splitting them): abort
+            // the schedule and relearn from the initial step. The request
+            // itself is still honoured so every detection maps to exactly
+            // one reservation.
+            let rounds = self.rounds_this_burst;
+            self.learning_aborts += 1;
+            self.reset_learning(now);
+            self.rounds_this_burst = 1;
+            sink.emit(&TraceEvent::LearningAbort {
+                t_us: now.as_micros(),
+                rounds,
+            });
+        }
         sink.emit(&TraceEvent::NRound {
             t_us: now.as_micros(),
             rounds: self.rounds_this_burst,
@@ -621,6 +656,63 @@ mod tests {
         let est = a.estimate();
         let ws = a.on_request(SimTime::from_secs(5));
         assert_eq!(ws, est, "within 10 s the estimate is reused");
+    }
+
+    #[test]
+    fn runaway_round_count_aborts_to_learning() {
+        use bicord_sim::obs::VecSink;
+        let cfg = AllocatorConfig {
+            abort_rounds_threshold: 5,
+            ..AllocatorConfig::default()
+        };
+        let mut a = WhiteSpaceAllocator::new(cfg);
+        let mut sink = VecSink::new();
+        let mut now = SimTime::from_millis(1);
+        // Five rounds are tolerated and grow nothing yet; the sixth trips
+        // the consistency bound.
+        for k in 0..6 {
+            let ws = a.on_request_obs(now, &mut sink);
+            now += ws + SimDuration::from_millis(1);
+            if k < 5 {
+                assert!(sink.of_kind("learning_abort").is_empty());
+            }
+        }
+        let aborts = sink.of_kind("learning_abort");
+        assert_eq!(aborts.len(), 1);
+        assert!(matches!(
+            aborts[0],
+            TraceEvent::LearningAbort { rounds: 6, .. }
+        ));
+        assert_eq!(a.learning_aborts(), 1);
+        // The abort re-entered learning from scratch with fresh accounting
+        // while keeping the burst open.
+        assert_eq!(a.phase(), AllocationPhase::Learning);
+        assert_eq!(a.estimate(), SimDuration::from_millis(30));
+        assert_eq!(a.rounds_this_burst(), 1);
+        assert!(a.burst_active());
+        // The burst can still end normally afterwards.
+        a.on_burst_end(now + SimDuration::from_millis(25));
+        assert_eq!(a.rounds_this_burst(), 0);
+        assert!(!a.burst_active());
+    }
+
+    #[test]
+    fn round_counts_at_the_threshold_do_not_abort() {
+        let cfg = AllocatorConfig {
+            abort_rounds_threshold: 5,
+            ..AllocatorConfig::default()
+        };
+        let mut a = WhiteSpaceAllocator::new(cfg);
+        let mut now = SimTime::from_millis(1);
+        for _ in 0..5 {
+            let ws = a.on_request(now);
+            now += ws + SimDuration::from_millis(1);
+        }
+        assert_eq!(a.learning_aborts(), 0);
+        assert_eq!(a.rounds_this_burst(), 5);
+        // The growth path still runs on an honest multi-round burst.
+        a.on_burst_end(now + SimDuration::from_millis(25));
+        assert!(a.estimate() > SimDuration::from_millis(30));
     }
 
     #[test]

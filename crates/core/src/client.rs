@@ -83,6 +83,19 @@ pub enum ClientAction {
         /// Packets abandoned.
         failed: u32,
     },
+    /// A signaling round went unanswered and the client is backing off
+    /// before re-signaling (observability hook).
+    SignalingBackoff {
+        /// Consecutive unanswered rounds so far (including this one).
+        failures: u32,
+    },
+    /// The client gave up on signaling for this burst after `k`
+    /// consecutive unanswered rounds and fell back to plain CSMA
+    /// (observability hook).
+    FallbackToCsma {
+        /// Consecutive unanswered rounds that triggered the fallback.
+        failures: u32,
+    },
 }
 
 /// Client configuration.
@@ -110,6 +123,11 @@ pub struct ClientConfig {
     /// window new bursts signal immediately (the PowerMap is known)
     /// instead of first burning a full CSMA channel-access failure.
     pub diagnosis_ttl: SimDuration,
+    /// After this many *consecutive* unanswered signaling rounds the
+    /// client stops re-signaling for the remainder of the burst and falls
+    /// back to plain CSMA (graceful degradation when the Wi-Fi side never
+    /// answers). Signaling resumes with the next burst. Must be ≥ 1.
+    pub max_signaling_failures: u32,
 }
 
 impl Default for ClientConfig {
@@ -124,6 +142,7 @@ impl Default for ClientConfig {
             busy_threshold_dbm: -80.0,
             noise_floor_dbm: -95.0,
             diagnosis_ttl: SimDuration::from_secs(10),
+            max_signaling_failures: 3,
         }
     }
 }
@@ -185,6 +204,11 @@ pub struct BicordClient {
     channel_clear: bool,
     signaling_rounds: u64,
     bursts_completed: u64,
+    /// Unanswered signaling rounds since the last answered one.
+    consecutive_failures: u32,
+    /// `true` once the current burst gave up on signaling entirely.
+    csma_only_burst: bool,
+    csma_fallbacks: u64,
 }
 
 impl BicordClient {
@@ -204,6 +228,9 @@ impl BicordClient {
             channel_clear: false,
             signaling_rounds: 0,
             bursts_completed: 0,
+            consecutive_failures: 0,
+            csma_only_burst: false,
+            csma_fallbacks: 0,
         }
     }
 
@@ -232,6 +259,12 @@ impl BicordClient {
     /// Total bursts completed (delivered or abandoned).
     pub fn bursts_completed(&self) -> u64 {
         self.bursts_completed
+    }
+
+    /// How many times the client abandoned signaling for a burst and fell
+    /// back to plain CSMA.
+    pub fn csma_fallbacks(&self) -> u64 {
+        self.csma_fallbacks
     }
 
     /// `true` if no burst is in progress.
@@ -302,7 +335,16 @@ impl BicordClient {
                 let _ = reason;
                 match reason {
                     FailReason::ChannelAccessFailure | FailReason::ExceededRetries => {
-                        if self.wifi_confirmed(now) {
+                        if self.csma_only_burst {
+                            // The burst already degraded to plain CSMA:
+                            // back off and retry the data without any
+                            // further cross-technology signaling.
+                            self.state = State::WaitingRetry;
+                            actions.push(ClientAction::SetTimer {
+                                timer: ClientTimer::Retry,
+                                at: now + self.config.retry_backoff,
+                            });
+                        } else if self.wifi_confirmed(now) {
                             // Skip classification; signal immediately (a
                             // later round of the same interference).
                             let power = self
@@ -381,7 +423,10 @@ impl BicordClient {
     pub fn on_channel_busy(&mut self, now: SimTime) -> Vec<ClientAction> {
         self.channel_clear = false;
         let mut actions = Vec::new();
-        if self.state == State::BetweenPackets && !self.burst_finished() && self.wifi_confirmed(now)
+        if self.state == State::BetweenPackets
+            && !self.burst_finished()
+            && !self.csma_only_burst
+            && self.wifi_confirmed(now)
         {
             actions.push(ClientAction::CancelTimer(ClientTimer::NextPacket));
             let power = self
@@ -405,6 +450,8 @@ impl BicordClient {
         actions.push(ClientAction::CancelTimer(ClientTimer::SignalGap));
         actions.push(ClientAction::SetTxPower(self.config.data_power));
         self.controls_this_request = 0;
+        // An answered request clears the degradation pressure.
+        self.consecutive_failures = 0;
         self.send_next(now, &mut actions);
         actions
     }
@@ -430,6 +477,21 @@ impl BicordClient {
                     // Request ignored by Wi-Fi: back off, try plain CSMA
                     // later.
                     self.controls_this_request = 0;
+                    self.consecutive_failures += 1;
+                    actions.push(ClientAction::SignalingBackoff {
+                        failures: self.consecutive_failures,
+                    });
+                    if self.consecutive_failures >= self.config.max_signaling_failures.max(1) {
+                        // k consecutive unanswered rounds: stop signaling
+                        // for this burst and degrade to plain CSMA.
+                        self.csma_only_burst = true;
+                        self.csma_fallbacks += 1;
+                        actions.push(ClientAction::FallbackToCsma {
+                            failures: self.consecutive_failures,
+                        });
+                        self.consecutive_failures = 0;
+                        actions.push(ClientAction::SetTxPower(self.config.data_power));
+                    }
                     self.state = State::WaitingRetry;
                     actions.push(ClientAction::SetTimer {
                         timer: ClientTimer::Retry,
@@ -484,7 +546,10 @@ impl BicordClient {
         }
         self.state = State::Idle;
         // The Wi-Fi diagnosis outlives the burst (bounded by its TTL):
-        // the next burst can signal immediately.
+        // the next burst can signal immediately. A CSMA fallback does not —
+        // every burst gets a fresh chance to coordinate.
+        self.csma_only_burst = false;
+        self.consecutive_failures = 0;
     }
 }
 
@@ -638,6 +703,132 @@ mod tests {
         // Retry timer restarts plain data:
         let actions = c.on_timer(SimTime::from_millis(93), ClientTimer::Retry);
         assert!(actions.contains(&ClientAction::MacSendData { seq: 0, bytes: 50 }));
+    }
+
+    /// Drives one full unanswered signaling round for a client built with
+    /// `max_packets: 2`: both controls go out, both signal gaps expire,
+    /// and the final timer's actions (the backoff decision) are returned.
+    fn exhaust_round(c: &mut BicordClient, t0: SimTime) -> Vec<ClientAction> {
+        let step = SimDuration::from_millis(6);
+        let _ = c.on_mac_notification(t0, ZigbeeNotification::ControlSent);
+        let _ = c.on_timer(t0 + step, ClientTimer::SignalGap);
+        let _ = c.on_mac_notification(t0 + step * 2, ZigbeeNotification::ControlSent);
+        c.on_timer(t0 + step * 3, ClientTimer::SignalGap)
+    }
+
+    fn small_budget_client(max_signaling_failures: u32) -> BicordClient {
+        BicordClient::new(ClientConfig {
+            policy: SignalingPolicy {
+                max_packets: 2,
+                ..SignalingPolicy::default()
+            },
+            max_signaling_failures,
+            ..ClientConfig::default()
+        })
+    }
+
+    #[test]
+    fn unanswered_round_emits_backoff_transition() {
+        let mut c = small_budget_client(3);
+        let _ = c.on_burst(SimTime::ZERO, 1, 50);
+        let _ = c.on_mac_notification(SimTime::from_millis(20), failed_access(0));
+        let _ = c.on_trace(SimTime::from_millis(21), &wifi_trace());
+        let actions = exhaust_round(&mut c, SimTime::from_millis(26));
+        assert!(actions.contains(&ClientAction::SignalingBackoff { failures: 1 }));
+        assert!(
+            !actions
+                .iter()
+                .any(|a| matches!(a, ClientAction::FallbackToCsma { .. })),
+            "one failure must not trigger the fallback, got {actions:?}"
+        );
+        assert_eq!(c.csma_fallbacks(), 0);
+    }
+
+    #[test]
+    fn k_consecutive_failures_fall_back_to_csma() {
+        let mut c = small_budget_client(2);
+        let _ = c.on_burst(SimTime::ZERO, 1, 50);
+        let _ = c.on_mac_notification(SimTime::from_millis(20), failed_access(0));
+        let _ = c.on_trace(SimTime::from_millis(21), &wifi_trace());
+        // Round 1 unanswered → backoff; Retry → data fails again → round 2.
+        let _ = exhaust_round(&mut c, SimTime::from_millis(26));
+        let _ = c.on_timer(SimTime::from_millis(100), ClientTimer::Retry);
+        let _ = c.on_mac_notification(SimTime::from_millis(120), failed_access(0));
+        let actions = exhaust_round(&mut c, SimTime::from_millis(121));
+        assert!(actions.contains(&ClientAction::SignalingBackoff { failures: 2 }));
+        assert!(actions.contains(&ClientAction::FallbackToCsma { failures: 2 }));
+        assert!(
+            actions.contains(&ClientAction::SetTxPower(Dbm::new(0.0))),
+            "fallback must restore data power, got {actions:?}"
+        );
+        assert_eq!(c.csma_fallbacks(), 1);
+        // From here the burst is CSMA-only: a further failure retries the
+        // data after a backoff instead of signaling or re-classifying.
+        let _ = c.on_timer(SimTime::from_millis(200), ClientTimer::Retry);
+        let actions = c.on_mac_notification(SimTime::from_millis(220), failed_access(0));
+        assert!(
+            actions.iter().all(|a| matches!(
+                a,
+                ClientAction::SetTimer {
+                    timer: ClientTimer::Retry,
+                    ..
+                }
+            )),
+            "CSMA-only burst must not signal, got {actions:?}"
+        );
+        assert_eq!(c.signaling_rounds(), 2);
+    }
+
+    #[test]
+    fn answered_request_resets_the_failure_count() {
+        let mut c = small_budget_client(2);
+        let _ = c.on_burst(SimTime::ZERO, 2, 50);
+        let _ = c.on_mac_notification(SimTime::from_millis(20), failed_access(0));
+        let _ = c.on_trace(SimTime::from_millis(21), &wifi_trace());
+        // Round 1 unanswered.
+        let _ = exhaust_round(&mut c, SimTime::from_millis(26));
+        // Retry → data fails → round 2, but this one is answered.
+        let _ = c.on_timer(SimTime::from_millis(100), ClientTimer::Retry);
+        let _ = c.on_mac_notification(SimTime::from_millis(120), failed_access(0));
+        let _ = c.on_mac_notification(SimTime::from_millis(125), ZigbeeNotification::ControlSent);
+        let _ = c.on_channel_clear(SimTime::from_millis(127));
+        let _ = c.on_mac_notification(SimTime::from_millis(130), delivered(0));
+        // White space over; the next packet fails and round 3 goes
+        // unanswered: the count must restart at 1, not reach k = 2.
+        let _ = c.on_channel_busy(SimTime::from_millis(140));
+        let actions = exhaust_round(&mut c, SimTime::from_millis(141));
+        assert!(actions.contains(&ClientAction::SignalingBackoff { failures: 1 }));
+        assert!(!actions
+            .iter()
+            .any(|a| matches!(a, ClientAction::FallbackToCsma { .. })));
+        assert_eq!(c.csma_fallbacks(), 0);
+    }
+
+    #[test]
+    fn fallback_expires_with_the_burst() {
+        let mut c = small_budget_client(1);
+        let _ = c.on_burst(SimTime::ZERO, 1, 50);
+        let _ = c.on_mac_notification(SimTime::from_millis(20), failed_access(0));
+        let _ = c.on_trace(SimTime::from_millis(21), &wifi_trace());
+        // k = 1: the very first unanswered round falls back.
+        let actions = exhaust_round(&mut c, SimTime::from_millis(26));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, ClientAction::FallbackToCsma { .. })));
+        // The lone packet finally makes it through plain CSMA.
+        let _ = c.on_timer(SimTime::from_millis(100), ClientTimer::Retry);
+        let actions = c.on_mac_notification(SimTime::from_millis(120), delivered(0));
+        assert!(actions.contains(&ClientAction::BurstComplete {
+            delivered: 1,
+            failed: 0
+        }));
+        // The next burst signals again (the diagnosis is still fresh):
+        // degradation is per-burst, not sticky.
+        let actions = c.on_burst(SimTime::from_millis(200), 1, 50);
+        assert!(
+            actions.contains(&ClientAction::MacSendControl { bytes: 120 }),
+            "fallback must not outlive the burst, got {actions:?}"
+        );
     }
 
     #[test]

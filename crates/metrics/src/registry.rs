@@ -259,6 +259,50 @@ mod tests {
     }
 
     #[test]
+    fn counting_sink_counts_fault_and_degradation_kinds() {
+        // The fault/hardening record kinds ride the registry's generic
+        // per-kind counting — no explicit arm needed, but the labels are
+        // part of the schema, so pin them here.
+        let mut s = CountingSink::new();
+        s.emit(&TraceEvent::FaultControlLost { t_us: 1, node: 0 });
+        s.emit(&TraceEvent::FaultCtsLost {
+            t_us: 2,
+            nav_us: 30_000,
+        });
+        s.emit(&TraceEvent::FaultPhantomCsi { t_us: 3 });
+        s.emit(&TraceEvent::FaultChurn {
+            t_us: 4,
+            device: 2,
+            dropped: 5,
+        });
+        s.emit(&TraceEvent::SignalingBackoff {
+            t_us: 5,
+            node: 0,
+            failures: 1,
+        });
+        s.emit(&TraceEvent::CsmaFallback {
+            t_us: 6,
+            node: 0,
+            failures: 3,
+        });
+        s.emit(&TraceEvent::LearningAbort {
+            t_us: 7,
+            rounds: 33,
+        });
+        for kind in [
+            "fault_control_lost",
+            "fault_cts_lost",
+            "fault_phantom_csi",
+            "fault_churn",
+            "signaling_backoff",
+            "csma_fallback",
+            "learning_abort",
+        ] {
+            assert_eq!(s.registry.counter(kind), 1, "{kind}");
+        }
+    }
+
+    #[test]
     fn counting_sink_surfaces_medium_cache_stats() {
         let mut s = CountingSink::new();
         s.emit(&TraceEvent::MediumCacheInvalidated {

@@ -16,7 +16,7 @@ use bicord_phy::airtime::WifiRate;
 use bicord_phy::geometry::Point;
 use bicord_phy::noise::NoiseBurstProcess;
 use bicord_phy::units::Dbm;
-use bicord_sim::{SimDuration, SimTime};
+use bicord_sim::{FaultProfile, SimDuration, SimTime};
 use bicord_workloads::mobility::{DeviceMobility, PersonMobility};
 use bicord_workloads::priority::PrioritySchedule;
 use bicord_workloads::traffic::{ArrivalProcess, BurstSpec};
@@ -216,6 +216,9 @@ pub struct SimConfig {
     pub allocator: AllocatorConfig,
     /// ZigBee client parameters.
     pub client: ClientConfig,
+    /// Fault-injection profile; the default is fully inactive and leaves
+    /// the run bit-identical to one without an injector.
+    pub fault: FaultProfile,
     /// Record a [`ChannelTrace`] of every transmission and white space
     /// (returned in [`RunResults::trace`]).
     pub record_trace: bool,
@@ -252,6 +255,7 @@ impl SimConfig {
             detector: DetectorConfig::default(),
             allocator: AllocatorConfig::default(),
             client,
+            fault: FaultProfile::default(),
             record_trace: false,
             wifi_channel: 11,
             zigbee_channel: 24,
@@ -368,6 +372,9 @@ impl SimConfig {
                 });
             }
         }
+        if let Some(field) = self.fault.invalid_field() {
+            return Err(ConfigError::InvalidFaultProfile { field });
+        }
         match &self.mode {
             Mode::SignalingTrial {
                 control_packets,
@@ -442,6 +449,11 @@ pub enum ConfigError {
         /// Which interval was rejected.
         what: &'static str,
     },
+    /// The fault profile has an out-of-range knob.
+    InvalidFaultProfile {
+        /// Which [`FaultProfile`] field was rejected.
+        field: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -480,6 +492,9 @@ impl fmt::Display for ConfigError {
             ),
             ConfigError::NonPositiveInterval { what } => {
                 write!(f, "{what} must be positive")
+            }
+            ConfigError::InvalidFaultProfile { field } => {
+                write!(f, "fault profile field `{field}` is out of range")
             }
         }
     }
@@ -651,6 +666,12 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Fault-injection profile.
+    pub fn fault(mut self, fault: FaultProfile) -> Self {
+        self.config.fault = fault;
+        self
+    }
+
     /// Record a [`ChannelTrace`] of every transmission and white space.
     pub fn record_trace(mut self, record: bool) -> Self {
         self.config.record_trace = record;
@@ -704,6 +725,9 @@ pub struct ZigbeeResults {
     pub signaling_rounds: u64,
     /// Control packets transmitted.
     pub control_packets: u64,
+    /// Times a node degraded to plain CSMA for the rest of a burst after
+    /// consecutive unanswered signaling rounds.
+    pub csma_fallbacks: u64,
 }
 
 /// Wi-Fi-side outcome counters.
@@ -748,6 +772,9 @@ pub struct AllocationResults {
     pub final_estimate_ms: f64,
     /// Whether the allocator had converged by the end of the run.
     pub converged: bool,
+    /// White-space aborts back into learning after inconsistent `N_round`
+    /// accounting.
+    pub learning_aborts: u64,
 }
 
 /// Per-node outcome (index 0 = the primary node).
@@ -1016,6 +1043,24 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, ConfigError::TrialWithoutTrials { .. }));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_fault_profile() {
+        let err = SimConfig::builder()
+            .fault(FaultProfile {
+                control_loss: 2.0,
+                ..FaultProfile::default()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::InvalidFaultProfile {
+                field: "control_loss"
+            }
+        );
+        assert!(err.to_string().contains("control_loss"));
     }
 
     #[test]

@@ -1,0 +1,378 @@
+//! Deterministic fault injection for coordination-protocol robustness
+//! studies.
+//!
+//! BiCord's coordination loop assumes its one-bit signaling survives the
+//! channel: control packets must disturb the Wi-Fi CSI stream, CTS-to-self
+//! must reach every contender, and the learning phase's `N_round` count must
+//! not be skewed by lost or phantom rounds. [`FaultProfile`] describes how
+//! often each of those assumptions is violated and [`FaultInjector`] turns
+//! the profile into reproducible per-event coin flips.
+//!
+//! # Reproducibility contract
+//!
+//! The injector draws from its **own** RNG stream
+//! ([`SeedDomain::Fault`]), so enabling faults
+//! never perturbs any other component's draw order. Moreover every decision
+//! method is a no-op (no draw at all) when its rate is exactly `0.0`, which
+//! makes a zero-rate profile observably identical to running without the
+//! injector — a property the test suite checks bit-for-bit.
+//!
+//! # Example
+//!
+//! ```
+//! use bicord_sim::fault::{FaultInjector, FaultProfile};
+//!
+//! let profile = FaultProfile {
+//!     control_loss: 1.0,
+//!     ..FaultProfile::default()
+//! };
+//! let mut injector = FaultInjector::from_master_seed(profile, 42);
+//! assert!(injector.drop_control());
+//! assert!(!injector.drop_cts()); // rate 0.0: never fires, never draws
+//! assert_eq!(injector.control_losses(), 1);
+//! ```
+
+use rand::rngs::StdRng;
+
+use crate::dist::bernoulli;
+use crate::rng::{stream_rng, SeedDomain};
+use crate::time::SimDuration;
+
+/// Per-category fault rates for one simulation run.
+///
+/// The default profile is fully inactive: every rate is `0.0` and churn is
+/// disabled, so `FaultProfile::default()` leaves a run bit-identical to one
+/// that never constructed an injector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Probability that a ZigBee control packet's CSI signature is lost or
+    /// truncated, so the classifier misses (or mis-counts) the continuity
+    /// samples it should have produced. Range `[0, 1]`.
+    pub control_loss: f64,
+    /// Probability that a CTS-to-self fails to reach a contending Wi-Fi
+    /// station, which then keeps transmitting inside the "reserved" white
+    /// space. Range `[0, 1]`.
+    pub cts_loss: f64,
+    /// Probability that a quiet CSI sample is classified as a ZigBee
+    /// disturbance anyway (a phantom channel request). Range `[0, 1]`.
+    pub csi_false_positive: f64,
+    /// If set, the ZigBee sender's position is perturbed every period
+    /// (device churn), invalidating cached link budgets and stressing the
+    /// allocator's expiry/re-estimation machinery.
+    pub churn_period: Option<SimDuration>,
+    /// Maximum per-axis position perturbation, in metres, applied at each
+    /// churn step. Only meaningful when [`churn_period`](Self::churn_period)
+    /// is set.
+    pub churn_range_m: f64,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile {
+            control_loss: 0.0,
+            cts_loss: 0.0,
+            csi_false_positive: 0.0,
+            churn_period: None,
+            churn_range_m: 1.0,
+        }
+    }
+}
+
+impl FaultProfile {
+    /// `true` if any fault category can fire.
+    pub fn is_active(&self) -> bool {
+        self.control_loss > 0.0
+            || self.cts_loss > 0.0
+            || self.csi_false_positive > 0.0
+            || self.churn_period.is_some()
+    }
+
+    /// Checks every knob, returning the name of the first invalid field.
+    ///
+    /// Rates must lie in `[0, 1]`; a configured churn period must be
+    /// positive and the churn range finite and non-negative.
+    pub fn invalid_field(&self) -> Option<&'static str> {
+        let rate_ok = |r: f64| (0.0..=1.0).contains(&r);
+        if !rate_ok(self.control_loss) {
+            return Some("control_loss");
+        }
+        if !rate_ok(self.cts_loss) {
+            return Some("cts_loss");
+        }
+        if !rate_ok(self.csi_false_positive) {
+            return Some("csi_false_positive");
+        }
+        if self.churn_period == Some(SimDuration::ZERO) {
+            return Some("churn_period");
+        }
+        if !(self.churn_range_m.is_finite() && self.churn_range_m >= 0.0) {
+            return Some("churn_range_m");
+        }
+        None
+    }
+}
+
+/// Draws reproducible fault decisions according to a [`FaultProfile`].
+///
+/// Each decision method consumes at most one draw from the injector's
+/// dedicated RNG stream, and exactly zero draws when the corresponding rate
+/// is `0.0`. The injector also counts every injected fault so harnesses can
+/// report them without a trace sink.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    profile: FaultProfile,
+    rng: StdRng,
+    control_losses: u64,
+    cts_losses: u64,
+    false_positives: u64,
+    churn_steps: u64,
+}
+
+impl FaultInjector {
+    /// An injector drawing from the given RNG.
+    pub fn new(profile: FaultProfile, rng: StdRng) -> Self {
+        FaultInjector {
+            profile,
+            rng,
+            control_losses: 0,
+            cts_losses: 0,
+            false_positives: 0,
+            churn_steps: 0,
+        }
+    }
+
+    /// An injector seeded from the master seed via the dedicated
+    /// [`SeedDomain::Fault`] stream (instance 0).
+    pub fn from_master_seed(profile: FaultProfile, master: u64) -> Self {
+        FaultInjector::new(profile, stream_rng(master, SeedDomain::Fault, 0))
+    }
+
+    /// The profile this injector was built with.
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+
+    /// Should this control packet's CSI signature be suppressed?
+    pub fn drop_control(&mut self) -> bool {
+        if self.profile.control_loss <= 0.0 {
+            return false;
+        }
+        let hit = bernoulli(&mut self.rng, self.profile.control_loss);
+        if hit {
+            self.control_losses += 1;
+        }
+        hit
+    }
+
+    /// Should this CTS-to-self be lost on the way to contenders?
+    pub fn drop_cts(&mut self) -> bool {
+        if self.profile.cts_loss <= 0.0 {
+            return false;
+        }
+        let hit = bernoulli(&mut self.rng, self.profile.cts_loss);
+        if hit {
+            self.cts_losses += 1;
+        }
+        hit
+    }
+
+    /// Should this quiet CSI sample be turned into a phantom disturbance?
+    pub fn phantom_csi(&mut self) -> bool {
+        if self.profile.csi_false_positive <= 0.0 {
+            return false;
+        }
+        let hit = bernoulli(&mut self.rng, self.profile.csi_false_positive);
+        if hit {
+            self.false_positives += 1;
+        }
+        hit
+    }
+
+    /// A per-axis churn offset in metres, uniform in
+    /// `[-churn_range_m, churn_range_m]`. Also bumps the churn counter, so
+    /// call it exactly once per churn step.
+    pub fn churn_offset(&mut self) -> (f64, f64) {
+        use rand::Rng;
+        self.churn_steps += 1;
+        let r = self.profile.churn_range_m;
+        if r <= 0.0 {
+            return (0.0, 0.0);
+        }
+        let dx = self.rng.gen_range(-r..=r);
+        let dy = self.rng.gen_range(-r..=r);
+        (dx, dy)
+    }
+
+    /// Control packets whose CSI signature was suppressed.
+    pub fn control_losses(&self) -> u64 {
+        self.control_losses
+    }
+
+    /// CTS-to-self frames lost before reaching contenders.
+    pub fn cts_losses(&self) -> u64 {
+        self.cts_losses
+    }
+
+    /// Phantom disturbances injected into the CSI stream.
+    pub fn false_positives(&self) -> u64 {
+        self.false_positives
+    }
+
+    /// Churn steps applied.
+    pub fn churn_steps(&self) -> u64 {
+        self.churn_steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn injector(profile: FaultProfile) -> FaultInjector {
+        FaultInjector::from_master_seed(profile, 7)
+    }
+
+    #[test]
+    fn default_profile_is_inactive_and_valid() {
+        let p = FaultProfile::default();
+        assert!(!p.is_active());
+        assert_eq!(p.invalid_field(), None);
+    }
+
+    #[test]
+    fn any_nonzero_knob_activates() {
+        for p in [
+            FaultProfile {
+                control_loss: 0.1,
+                ..FaultProfile::default()
+            },
+            FaultProfile {
+                cts_loss: 0.1,
+                ..FaultProfile::default()
+            },
+            FaultProfile {
+                csi_false_positive: 0.1,
+                ..FaultProfile::default()
+            },
+            FaultProfile {
+                churn_period: Some(SimDuration::from_millis(500)),
+                ..FaultProfile::default()
+            },
+        ] {
+            assert!(p.is_active(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_field_names_the_offender() {
+        let cases = [
+            (
+                FaultProfile {
+                    control_loss: 1.5,
+                    ..FaultProfile::default()
+                },
+                "control_loss",
+            ),
+            (
+                FaultProfile {
+                    cts_loss: -0.1,
+                    ..FaultProfile::default()
+                },
+                "cts_loss",
+            ),
+            (
+                FaultProfile {
+                    csi_false_positive: f64::NAN,
+                    ..FaultProfile::default()
+                },
+                "csi_false_positive",
+            ),
+            (
+                FaultProfile {
+                    churn_period: Some(SimDuration::ZERO),
+                    ..FaultProfile::default()
+                },
+                "churn_period",
+            ),
+            (
+                FaultProfile {
+                    churn_range_m: -1.0,
+                    ..FaultProfile::default()
+                },
+                "churn_range_m",
+            ),
+        ];
+        for (p, field) in cases {
+            assert_eq!(p.invalid_field(), Some(field));
+        }
+    }
+
+    #[test]
+    fn zero_rates_never_draw() {
+        // At rate 0 no entropy is consumed: after exercising every decision
+        // the RNG must still produce the pristine stream.
+        let mut inj = injector(FaultProfile::default());
+        for _ in 0..100 {
+            assert!(!inj.drop_control());
+            assert!(!inj.drop_cts());
+            assert!(!inj.phantom_csi());
+        }
+        let mut pristine = stream_rng(7, SeedDomain::Fault, 0);
+        assert_eq!(inj.rng.gen::<u64>(), pristine.gen::<u64>());
+    }
+
+    #[test]
+    fn rate_one_always_fires_and_counts() {
+        let mut inj = injector(FaultProfile {
+            control_loss: 1.0,
+            cts_loss: 1.0,
+            csi_false_positive: 1.0,
+            ..FaultProfile::default()
+        });
+        for _ in 0..10 {
+            assert!(inj.drop_control());
+            assert!(inj.drop_cts());
+            assert!(inj.phantom_csi());
+        }
+        assert_eq!(inj.control_losses(), 10);
+        assert_eq!(inj.cts_losses(), 10);
+        assert_eq!(inj.false_positives(), 10);
+    }
+
+    #[test]
+    fn decisions_are_reproducible() {
+        let profile = FaultProfile {
+            control_loss: 0.5,
+            cts_loss: 0.25,
+            ..FaultProfile::default()
+        };
+        let run = || {
+            let mut inj = injector(profile);
+            (0..64)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        inj.drop_control()
+                    } else {
+                        inj.drop_cts()
+                    }
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn churn_offsets_stay_in_range() {
+        let mut inj = injector(FaultProfile {
+            churn_period: Some(SimDuration::from_millis(200)),
+            churn_range_m: 2.0,
+            ..FaultProfile::default()
+        });
+        for _ in 0..32 {
+            let (dx, dy) = inj.churn_offset();
+            assert!(dx.abs() <= 2.0 && dy.abs() <= 2.0);
+        }
+        assert_eq!(inj.churn_steps(), 32);
+    }
+}

@@ -13,7 +13,9 @@
 //! * [`dist`] — the handful of distributions the models need (exponential,
 //!   normal, Poisson) implemented without external dependencies,
 //! * [`obs`] — structured observability: the [`obs::EventSink`] trait,
-//!   the [`obs::TraceEvent`] taxonomy, and the JSONL timeline writer.
+//!   the [`obs::TraceEvent`] taxonomy, and the JSONL timeline writer,
+//! * [`fault`] — deterministic fault injection ([`fault::FaultProfile`] /
+//!   [`fault::FaultInjector`]) for robustness studies.
 //!
 //! # Example
 //!
@@ -37,6 +39,7 @@
 pub mod dist;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod obs;
 pub mod par;
 pub mod rng;
@@ -44,6 +47,7 @@ pub mod time;
 
 pub use engine::Engine;
 pub use event::EventQueue;
+pub use fault::{FaultInjector, FaultProfile};
 pub use obs::{EventSink, JsonlSink, NoopSink, TraceEvent, VecSink};
 pub use rng::{derive_seed, stream_rng, SeedDomain};
 pub use time::{SimDuration, SimTime};

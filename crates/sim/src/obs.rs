@@ -171,6 +171,67 @@ pub enum TraceEvent {
         /// Band-overlap memo misses.
         band_misses: u64,
     },
+    /// Fault injection suppressed a control packet's CSI signature: the
+    /// classifier never sees the continuity samples it should have
+    /// produced (absent in fault-free runs).
+    FaultControlLost {
+        /// Suppression time (the control packet's hand-off to the MAC).
+        t_us: u64,
+        /// Signaling node index.
+        node: u32,
+    },
+    /// Fault injection lost a CTS-to-self before it reached contending
+    /// stations: the "reserved" white space still sees Wi-Fi contention.
+    FaultCtsLost {
+        /// CTS end time (= the unprotected white-space start).
+        t_us: u64,
+        /// NAV duration the contenders failed to honour, in microseconds.
+        nav_us: u64,
+    },
+    /// Fault injection fabricated a ZigBee-like CSI disturbance on a
+    /// quiet sample (a phantom channel request).
+    FaultPhantomCsi {
+        /// Sample time.
+        t_us: u64,
+    },
+    /// Fault-driven device churn moved a device and invalidated its
+    /// cached link budgets.
+    FaultChurn {
+        /// Churn-step time.
+        t_us: u64,
+        /// Raw id of the device that moved.
+        device: u32,
+        /// Shadowing realisations discarded with the cached budgets.
+        dropped: u32,
+    },
+    /// A client exhausted one signaling round's control budget without an
+    /// answer and backed off before re-signaling.
+    SignalingBackoff {
+        /// Back-off decision time.
+        t_us: u64,
+        /// Node index.
+        node: u32,
+        /// Consecutive unanswered rounds so far (including this one).
+        failures: u32,
+    },
+    /// A client gave up on signaling after `k` consecutive unanswered
+    /// rounds and fell back to plain CSMA for the rest of the burst.
+    CsmaFallback {
+        /// Fallback time.
+        t_us: u64,
+        /// Node index.
+        node: u32,
+        /// Consecutive unanswered rounds that triggered the fallback.
+        failures: u32,
+    },
+    /// The allocator detected inconsistent `N_round` accounting, aborted
+    /// the white-space schedule and re-entered the learning phase.
+    LearningAbort {
+        /// Abort time.
+        t_us: u64,
+        /// Rounds the suspicious burst had accumulated.
+        rounds: u32,
+    },
 }
 
 impl TraceEvent {
@@ -192,6 +253,13 @@ impl TraceEvent {
             TraceEvent::TrialResolved { .. } => "trial_resolved",
             TraceEvent::MediumCacheInvalidated { .. } => "medium_cache_invalidated",
             TraceEvent::MediumCacheStats { .. } => "medium_cache_stats",
+            TraceEvent::FaultControlLost { .. } => "fault_control_lost",
+            TraceEvent::FaultCtsLost { .. } => "fault_cts_lost",
+            TraceEvent::FaultPhantomCsi { .. } => "fault_phantom_csi",
+            TraceEvent::FaultChurn { .. } => "fault_churn",
+            TraceEvent::SignalingBackoff { .. } => "signaling_backoff",
+            TraceEvent::CsmaFallback { .. } => "csma_fallback",
+            TraceEvent::LearningAbort { .. } => "learning_abort",
         }
     }
 
@@ -211,7 +279,14 @@ impl TraceEvent {
             | TraceEvent::PacketDelivered { t_us, .. }
             | TraceEvent::TrialResolved { t_us, .. }
             | TraceEvent::MediumCacheInvalidated { t_us, .. }
-            | TraceEvent::MediumCacheStats { t_us, .. } => t_us,
+            | TraceEvent::MediumCacheStats { t_us, .. }
+            | TraceEvent::FaultControlLost { t_us, .. }
+            | TraceEvent::FaultCtsLost { t_us, .. }
+            | TraceEvent::FaultPhantomCsi { t_us }
+            | TraceEvent::FaultChurn { t_us, .. }
+            | TraceEvent::SignalingBackoff { t_us, .. }
+            | TraceEvent::CsmaFallback { t_us, .. }
+            | TraceEvent::LearningAbort { t_us, .. } => t_us,
         }
     }
 
@@ -306,6 +381,25 @@ impl TraceEvent {
                     ",\"link_hits\":{link_hits},\"link_misses\":{link_misses},\
                      \"band_hits\":{band_hits},\"band_misses\":{band_misses}"
                 );
+            }
+            TraceEvent::FaultControlLost { node, .. } => {
+                let _ = write!(out, ",\"node\":{node}");
+            }
+            TraceEvent::FaultCtsLost { nav_us, .. } => {
+                let _ = write!(out, ",\"nav_us\":{nav_us}");
+            }
+            TraceEvent::FaultPhantomCsi { .. } => {}
+            TraceEvent::FaultChurn {
+                device, dropped, ..
+            } => {
+                let _ = write!(out, ",\"device\":{device},\"dropped\":{dropped}");
+            }
+            TraceEvent::SignalingBackoff { node, failures, .. }
+            | TraceEvent::CsmaFallback { node, failures, .. } => {
+                let _ = write!(out, ",\"node\":{node},\"failures\":{failures}");
+            }
+            TraceEvent::LearningAbort { rounds, .. } => {
+                let _ = write!(out, ",\"rounds\":{rounds}");
             }
         }
         out.push('}');
@@ -779,6 +873,28 @@ mod tests {
                 link_misses: 1,
                 band_hits: 9,
                 band_misses: 2,
+            },
+            TraceEvent::FaultControlLost { t_us: 0, node: 1 },
+            TraceEvent::FaultCtsLost { t_us: 0, nav_us: 5 },
+            TraceEvent::FaultPhantomCsi { t_us: 0 },
+            TraceEvent::FaultChurn {
+                t_us: 0,
+                device: 2,
+                dropped: 1,
+            },
+            TraceEvent::SignalingBackoff {
+                t_us: 0,
+                node: 0,
+                failures: 1,
+            },
+            TraceEvent::CsmaFallback {
+                t_us: 0,
+                node: 0,
+                failures: 3,
+            },
+            TraceEvent::LearningAbort {
+                t_us: 0,
+                rounds: 40,
             },
         ];
         for e in &events {

@@ -39,6 +39,8 @@ pub enum SeedDomain {
     Learning,
     /// Free-form auxiliary draws in examples and tests.
     Aux,
+    /// Fault-injection draws (control loss, CTS loss, phantom CSI, churn).
+    Fault,
 }
 
 impl SeedDomain {
@@ -55,6 +57,7 @@ impl SeedDomain {
             SeedDomain::Interferers => 9,
             SeedDomain::Learning => 10,
             SeedDomain::Aux => 11,
+            SeedDomain::Fault => 12,
         }
     }
 }
@@ -138,6 +141,7 @@ mod tests {
             SeedDomain::Interferers,
             SeedDomain::Learning,
             SeedDomain::Aux,
+            SeedDomain::Fault,
         ];
         for d in domains {
             for inst in 0..16 {

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Pre-PR gate: formatting, lints, and the full test suite.
+# Pre-PR gate: formatting, lints, docs, and the full test suite.
 #
-# Run this before every push; CI runs the same three steps. The build is
-# fully offline (vendored deps only), so no network access is needed.
+# Run this before every push; CI's `check` job runs the same four steps.
+# The build is fully offline (vendored deps only), so no network access
+# is needed.
 #
 # Usage: scripts/check.sh
 set -euo pipefail
@@ -14,6 +15,9 @@ cargo fmt --all --check
 
 echo "check: cargo clippy --workspace --all-targets -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "check: cargo doc --workspace --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
 
 echo "check: cargo test -q"
 cargo test -q --offline

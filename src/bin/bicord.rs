@@ -12,6 +12,8 @@
 //!   --bytes <N>                 MPDU bytes per packet                 [50]
 //!   --interval-ms <N>           mean Poisson burst interval           [200]
 //!   --extra-node <LOC:BURST:INTERVAL_MS>   add a ZigBee pair (repeatable)
+//!   --fault-profile <K=V,...>   inject faults: control-loss, cts-loss,
+//!                               csi-fp, churn-ms, churn-m
 //!   --timeline                  print an ASCII channel timeline
 //!   --trace <PATH>              write a JSONL event timeline (docs/OBSERVABILITY.md)
 //!   --help                      this text
@@ -36,6 +38,7 @@ struct CliOptions {
     bytes: usize,
     interval_ms: u64,
     extra_nodes: Vec<(Location, u32, u64)>,
+    fault: Option<FaultProfile>,
     timeline: bool,
     trace: Option<std::path::PathBuf>,
 }
@@ -51,6 +54,7 @@ impl Default for CliOptions {
             bytes: 50,
             interval_ms: 200,
             extra_nodes: Vec::new(),
+            fault: None,
             timeline: false,
             trace: None,
         }
@@ -82,6 +86,37 @@ fn parse_extra_node(s: &str) -> Result<(Location, u32, u64), String> {
         .parse()
         .map_err(|_| format!("bad interval '{}'", parts[2]))?;
     Ok((location, burst, interval))
+}
+
+fn parse_fault_profile(s: &str) -> Result<FaultProfile, String> {
+    let mut profile = FaultProfile::default();
+    for pair in s.split(',').filter(|p| !p.is_empty()) {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("--fault-profile wants KEY=VALUE pairs, got '{pair}'"))?;
+        let number: f64 = value
+            .parse()
+            .map_err(|_| format!("bad value '{value}' for fault knob '{key}'"))?;
+        match key {
+            "control-loss" => profile.control_loss = number,
+            "cts-loss" => profile.cts_loss = number,
+            "csi-fp" => profile.csi_false_positive = number,
+            "churn-ms" => {
+                profile.churn_period = Some(SimDuration::from_millis(number as u64));
+            }
+            "churn-m" => profile.churn_range_m = number,
+            other => {
+                return Err(format!(
+                    "unknown fault knob '{other}' \
+                     (control-loss, cts-loss, csi-fp, churn-ms, churn-m)"
+                ))
+            }
+        }
+    }
+    if let Some(field) = profile.invalid_field() {
+        return Err(format!("fault profile field '{field}' is out of range"));
+    }
+    Ok(profile)
 }
 
 fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<CliOptions, String> {
@@ -122,6 +157,9 @@ fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<CliOptions, Str
             "--extra-node" => options
                 .extra_nodes
                 .push(parse_extra_node(&value("--extra-node")?)?),
+            "--fault-profile" => {
+                options.fault = Some(parse_fault_profile(&value("--fault-profile")?)?)
+            }
             "--timeline" => options.timeline = true,
             "--trace" => options.trace = Some(std::path::PathBuf::from(value("--trace")?)),
             "--help" | "-h" => return Err("help".to_string()),
@@ -159,6 +197,9 @@ fn build_config(options: &CliOptions) -> Result<SimConfig, String> {
         node.arrivals = ArrivalProcess::Poisson(SimDuration::from_millis(interval));
         config.extra_nodes.push(node);
     }
+    if let Some(fault) = options.fault {
+        config.fault = fault;
+    }
     config.record_trace = options.timeline;
     Ok(config)
 }
@@ -178,6 +219,8 @@ OPTIONS:
   --bytes <N>               MPDU bytes per packet               [50]
   --interval-ms <N>         mean Poisson burst interval         [200]
   --extra-node LOC:BURST:INTERVAL_MS  add a ZigBee pair (repeatable)
+  --fault-profile K=V,...   inject faults; knobs: control-loss, cts-loss,
+                            csi-fp (rates in [0,1]), churn-ms, churn-m
   --timeline                print an ASCII channel timeline
   --trace <PATH>            write a JSONL event timeline (docs/OBSERVABILITY.md)
   --help                    this text"
@@ -336,6 +379,35 @@ mod tests {
         assert!(parse_extra_node("X:3:500").is_err());
         assert!(parse_extra_node("D:x:500").is_err());
         assert!(parse_extra_node("D:3:y").is_err());
+    }
+
+    #[test]
+    fn fault_profile_parses_and_validates() {
+        let p = parse_fault_profile("control-loss=0.2,cts-loss=0.1,csi-fp=0.05").unwrap();
+        assert_eq!(p.control_loss, 0.2);
+        assert_eq!(p.cts_loss, 0.1);
+        assert_eq!(p.csi_false_positive, 0.05);
+        assert_eq!(p.churn_period, None);
+
+        let p = parse_fault_profile("churn-ms=500,churn-m=0.5").unwrap();
+        assert_eq!(p.churn_period, Some(SimDuration::from_millis(500)));
+        assert_eq!(p.churn_range_m, 0.5);
+
+        assert!(parse_fault_profile("control-loss=1.5").is_err());
+        assert!(parse_fault_profile("control-loss").is_err());
+        assert!(parse_fault_profile("warp=1").is_err());
+        assert!(parse_fault_profile("control-loss=x").is_err());
+    }
+
+    #[test]
+    fn fault_profile_flag_reaches_the_config() {
+        let o = parse(&["--fault-profile", "control-loss=0.3"]).unwrap();
+        let c = build_config(&o).unwrap();
+        assert_eq!(c.fault.control_loss, 0.3);
+        assert!(c.fault.is_active());
+        // Without the flag the config keeps the inactive default.
+        let c = build_config(&CliOptions::default()).unwrap();
+        assert!(!c.fault.is_active());
     }
 
     #[test]

@@ -91,6 +91,6 @@ pub mod prelude {
     pub use bicord_sim::obs::{
         EventSink, JsonlSink, NoopSink, TraceEvent, TraceHeader, VecSink, TRACE_SCHEMA,
     };
-    pub use bicord_sim::{SimDuration, SimTime};
+    pub use bicord_sim::{FaultInjector, FaultProfile, SimDuration, SimTime};
     pub use bicord_workloads::traffic::{ArrivalProcess, BurstSpec};
 }

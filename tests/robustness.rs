@@ -5,7 +5,8 @@ use bicord::phy::units::Dbm;
 use bicord::scenario::config::{BluetoothConfig, ExtraNodeConfig, Mode, SimConfig};
 use bicord::scenario::geometry::Location;
 use bicord::scenario::sim::CoexistenceSim;
-use bicord::sim::SimDuration;
+use bicord::sim::obs::VecSink;
+use bicord::sim::{FaultProfile, SimDuration};
 use bicord::workloads::traffic::{ArrivalProcess, BurstSpec};
 use proptest::prelude::*;
 
@@ -94,6 +95,39 @@ proptest! {
             }
         }
         check_invariants(config);
+    }
+
+    /// Any fault schedule whose rates are all zero (and with no churn
+    /// period) must be bit-identical to the no-fault path: same results,
+    /// same trace, regardless of the other profile fields, mode, or seed.
+    #[test]
+    fn zero_rate_fault_schedules_are_bit_identical(
+        seed in any::<u64>(),
+        location in location_strategy(),
+        mode in mode_strategy(),
+        churn_range in 0.0f64..10.0,
+    ) {
+        let mut base = match mode {
+            0 => SimConfig::bicord(location, seed),
+            1 => SimConfig::ecc(location, seed, SimDuration::from_millis(30)),
+            2 => SimConfig::unprotected(location, seed),
+            _ => SimConfig::signaling_trial(location, seed, 3, 12, Dbm::new(-1.0)),
+        };
+        base.duration = SimDuration::from_millis(1_200);
+        let mut zero_rate = base.clone();
+        zero_rate.fault = FaultProfile {
+            control_loss: 0.0,
+            cts_loss: 0.0,
+            csi_false_positive: 0.0,
+            churn_period: None,
+            churn_range_m: churn_range,
+        };
+        let mut sink_a = VecSink::new();
+        let a = CoexistenceSim::with_sink(base, &mut sink_a).unwrap().run();
+        let mut sink_b = VecSink::new();
+        let b = CoexistenceSim::with_sink(zero_rate, &mut sink_b).unwrap().run();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(sink_a.events, sink_b.events);
     }
 }
 

@@ -256,7 +256,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Admissible size arguments for [`vec`].
+    /// Admissible size arguments for [`vec()`].
     pub trait SizeRange {
         /// Draws a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
