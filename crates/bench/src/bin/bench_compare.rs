@@ -1,0 +1,313 @@
+//! Compares the freshly-written `BENCH_results.json` against the
+//! committed baseline (`scripts/bench_baseline.json`) and fails on
+//! perf regressions.
+//!
+//! Guarded experiments: `medium_microbench` and `dense_city_scaling` —
+//! the two records that measure the medium query hot path. Within a
+//! guarded record only *absolute lower-is-better latency metrics* are
+//! compared: names containing `_ns` (per-iteration / per-query
+//! latencies). Skipped on purpose: wall-clock (dominated by world
+//! construction), the deliberately-unculled `*_nocull_*` contrast
+//! columns (*supposed* to be slow), and the `*_flatness` ratios — a
+//! ratio of two small latencies doubles their jitter and a real culling
+//! regression already blows up the absolute per-size metrics by orders
+//! of magnitude.
+//!
+//! A metric regresses when `current > baseline × (1 + threshold/100)`;
+//! the default threshold is 25%, loose enough to absorb normal runner
+//! jitter while catching a culling or cache bug that reverts the query
+//! path to linear scanning. Improvements are reported but never fail.
+//!
+//! ```text
+//! bench_compare [--bless] [--baseline PATH] [--current PATH] [--threshold PCT]
+//! ```
+//!
+//! `--bless` rewrites the baseline from the current results (run it on
+//! the reference machine after an intentional perf change). The
+//! baseline is machine-relative: absolute nanoseconds move with
+//! hardware, so re-bless when the CI runner generation changes.
+
+use std::process::ExitCode;
+
+use bicord_metrics::table::{fmt1, TextTable};
+
+/// Experiments whose latency metrics are regression-gated.
+const GUARDED: [&str; 2] = ["medium_microbench", "dense_city_scaling"];
+
+/// Default regression threshold, percent.
+const DEFAULT_THRESHOLD_PCT: f64 = 25.0;
+
+/// One parsed `BENCH_results.json` entry.
+#[derive(Debug, Clone)]
+struct Entry {
+    experiment: String,
+    quick: bool,
+    /// The raw single-line record, for `--bless` passthrough.
+    line: String,
+    metrics: Vec<(String, f64)>,
+}
+
+/// Extracts the string value of `"key": "…"` from a record line.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\": \"");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extracts the boolean value of `"key": true|false` from a record line.
+fn field_bool(line: &str, key: &str) -> Option<bool> {
+    let marker = format!("\"{key}\": ");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Parses the flat `"metrics": {…}` map at the end of a record line.
+/// Entries with non-finite (`null`) values are skipped.
+fn parse_metrics(line: &str) -> Vec<(String, f64)> {
+    let Some(start) = line.find("\"metrics\": {") else {
+        return Vec::new();
+    };
+    let body = &line[start + "\"metrics\": {".len()..];
+    // First `}` closes the metrics map (values are plain numbers or
+    // `null`); the record's own closing brace follows it.
+    let Some(end) = body.find('}') else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for pair in body[..end].split(", \"") {
+        let pair = pair.trim_start_matches('"');
+        let Some((name, value)) = pair.split_once("\": ") else {
+            continue;
+        };
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.push((name.to_string(), v));
+        }
+    }
+    out
+}
+
+/// Parses every record line of a results file (the format
+/// `PerfRecorder::merge_record` writes: one JSON object per line inside
+/// a `[` … `]` array).
+fn parse_file(text: &str) -> Vec<Entry> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') {
+            continue;
+        }
+        let Some(experiment) = field_str(line, "experiment") else {
+            continue;
+        };
+        let quick = field_bool(line, "quick").unwrap_or(false);
+        out.push(Entry {
+            experiment,
+            quick,
+            line: line.to_string(),
+            metrics: parse_metrics(line),
+        });
+    }
+    out
+}
+
+/// Whether a metric is regression-gated (absolute lower-is-better
+/// latency).
+fn gated_metric(name: &str) -> bool {
+    !name.contains("nocull") && name.contains("_ns")
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_compare [--bless] [--baseline PATH] [--current PATH] [--threshold PCT]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut bless = false;
+    let mut baseline_path = "scripts/bench_baseline.json".to_string();
+    let mut current_path = "BENCH_results.json".to_string();
+    let mut threshold_pct = DEFAULT_THRESHOLD_PCT;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bless" => bless = true,
+            "--baseline" => baseline_path = args.next().unwrap_or_else(|| usage()),
+            "--current" => current_path = args.next().unwrap_or_else(|| usage()),
+            "--threshold" => {
+                threshold_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+
+    let current_text = match std::fs::read_to_string(&current_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_compare: cannot read {current_path}: {e}");
+            eprintln!("bench_compare: run the bench binaries first (see scripts/perf_smoke.sh)");
+            return ExitCode::from(2);
+        }
+    };
+    let current: Vec<Entry> = parse_file(&current_text)
+        .into_iter()
+        .filter(|e| GUARDED.contains(&e.experiment.as_str()))
+        .collect();
+    if current.is_empty() {
+        eprintln!(
+            "bench_compare: {current_path} holds no record for any of {GUARDED:?} — \
+             nothing to compare"
+        );
+        return ExitCode::from(2);
+    }
+
+    if bless {
+        let lines: Vec<&str> = current.iter().map(|e| e.line.as_str()).collect();
+        let body = format!("[\n{}\n]\n", lines.join(",\n"));
+        if let Err(e) = std::fs::write(&baseline_path, body) {
+            eprintln!("bench_compare: cannot write {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "bench_compare: blessed {} record(s) into {baseline_path}",
+            lines.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_compare: cannot read baseline {baseline_path}: {e}");
+            eprintln!("bench_compare: create one with `bench_compare --bless`");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = parse_file(&baseline_text);
+
+    let mut table = TextTable::new(vec![
+        "experiment",
+        "metric",
+        "baseline",
+        "current",
+        "delta %",
+        "verdict",
+    ]);
+    table.title(format!(
+        "bench_compare — regression gate at +{threshold_pct:.0}%"
+    ));
+    let mut compared = 0usize;
+    let mut regressions: Vec<String> = Vec::new();
+    for cur in &current {
+        let Some(base) = baseline
+            .iter()
+            .find(|b| b.experiment == cur.experiment && b.quick == cur.quick)
+        else {
+            eprintln!(
+                "bench_compare: note — no baseline entry for ({}, quick={}), skipping",
+                cur.experiment, cur.quick
+            );
+            continue;
+        };
+        for (name, cur_v) in cur.metrics.iter().filter(|(n, _)| gated_metric(n)) {
+            let Some((_, base_v)) = base.metrics.iter().find(|(n, _)| n == name) else {
+                continue;
+            };
+            compared += 1;
+            let delta_pct = if *base_v != 0.0 {
+                100.0 * (cur_v - base_v) / base_v
+            } else {
+                0.0
+            };
+            let regressed = *cur_v > base_v * (1.0 + threshold_pct / 100.0);
+            table.row(vec![
+                cur.experiment.clone(),
+                name.clone(),
+                fmt1(*base_v),
+                fmt1(*cur_v),
+                format!("{delta_pct:+.1}"),
+                if regressed { "REGRESSED" } else { "ok" }.to_string(),
+            ]);
+            if regressed {
+                regressions.push(format!(
+                    "{}/{name}: {} -> {} ({delta_pct:+.1}%)",
+                    cur.experiment,
+                    fmt1(*base_v),
+                    fmt1(*cur_v)
+                ));
+            }
+        }
+    }
+    println!("{table}");
+
+    if compared == 0 {
+        eprintln!(
+            "bench_compare: no overlapping gated metrics between {current_path} and \
+             {baseline_path} — refusing to pass an empty comparison"
+        );
+        return ExitCode::from(2);
+    }
+    if regressions.is_empty() {
+        println!("bench_compare: PASS — {compared} metric(s) within +{threshold_pct:.0}%");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "bench_compare: FAIL — {} of {compared} metric(s) regressed past +{threshold_pct:.0}%:",
+            regressions.len()
+        );
+        for r in &regressions {
+            println!("  {r}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINE: &str = "{\"experiment\": \"dense_city_scaling\", \"quick\": true, \
+         \"threads\": 8, \"cells\": 3, \"wall_ms\": 42.5, \"metrics\": \
+         {\"sensed_ns_100\": 236.2, \"sensed_nocull_ns_100\": 485.8, \
+         \"broken\": null, \"sensed_flatness\": 1.74}}";
+
+    #[test]
+    fn parses_recorder_lines() {
+        let entries = parse_file(&format!("[\n{LINE},\n{LINE}\n]\n"));
+        assert_eq!(entries.len(), 2);
+        let e = &entries[0];
+        assert_eq!(e.experiment, "dense_city_scaling");
+        assert!(e.quick);
+        // `null` metrics are dropped; finite ones keep their values —
+        // including the final metric, right against the closing braces.
+        assert_eq!(
+            e.metrics,
+            vec![
+                ("sensed_ns_100".to_string(), 236.2),
+                ("sensed_nocull_ns_100".to_string(), 485.8),
+                ("sensed_flatness".to_string(), 1.74),
+            ]
+        );
+    }
+
+    #[test]
+    fn gate_targets_latency_metrics_only() {
+        assert!(gated_metric("sensed_ns_100"));
+        assert!(gated_metric("medium_sensed_power_ns_per_iter"));
+        assert!(!gated_metric("sensed_flatness"));
+        assert!(!gated_metric("sensed_nocull_ns_100"));
+        assert!(!gated_metric("run_ms_100"));
+        assert!(!gated_metric("bicord_mean_utilization"));
+    }
+}

@@ -23,6 +23,24 @@
 //! `DESIGN.md` §6 "Medium caching & invalidation" for the cache keys,
 //! the invalidation rules, and the bit-for-bit determinism argument.
 //! [`Medium::cache_stats`] exposes hit/miss counters for observability.
+//!
+//! # Spatial interference culling
+//!
+//! Path loss makes distant transmitters physically irrelevant, so the
+//! medium additionally maintains a uniform grid over device positions
+//! and gives every transmission a deterministic **hearing radius**: the
+//! distance at which its TX power plus a worst-case shadowing/fading
+//! margin falls below the configured floor (see [`CullingConfig`]).
+//! Queries visit only the 3×3 cell neighbourhood of the observer (plus
+//! an overflow list of transmissions louder than one cell), which keeps
+//! per-query cost near-constant as the world grows. The cutoff is part
+//! of the channel-model *semantics* — a link beyond the radius couples
+//! [`Dbm::FLOOR`] / zero power and draws **no** shadowing or fading
+//! realisation — so grid-accelerated and brute-force evaluation agree
+//! bit-for-bit, RNG stream included. The default configuration is
+//! conservative (kilometre-scale radii): room-scale scenarios are
+//! byte-identical with culling on. See `DESIGN.md` §10 "Spatial culling
+//! & hearing radius"; [`Medium::grid_stats`] exposes cull counters.
 
 use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
@@ -83,6 +101,61 @@ impl Transmission {
     }
 }
 
+/// Spatial-culling parameters: when is a transmitter too far to matter?
+///
+/// A transmission at `p` dBm is audible out to the distance where
+/// `p + margin_db − PL(d)` reaches `floor`; beyond that the medium
+/// couples zero power and skips the link's lazy shadowing/fading draws
+/// entirely. The cutoff is deterministic (positions and powers only), so
+/// it is part of the channel model's semantics, not a lossy
+/// approximation layered on top — a brute-force evaluation with the
+/// same config produces bit-identical results.
+///
+/// The default is deliberately conservative: a −120 dBm floor with a
+/// 36 dB margin (6σ of the office 3 dB shadowing + 3 dB fading) puts
+/// radii at tens of kilometres, so room-scale scenarios never cull.
+/// Dense large-world scenarios override the floor/margin to get real
+/// culling (see `bicord-scenario`'s `dense_city`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CullingConfig {
+    /// Largest TX power the scenario will place on the medium; sizes the
+    /// grid cells so any compliant transmission fits one 3×3 query
+    /// window. Louder transmissions still work — they go on a small
+    /// always-visited overflow list.
+    pub max_tx_power: Dbm,
+    /// In-band power below this level (after the margin) is defined as
+    /// inaudible.
+    pub floor: Dbm,
+    /// Headroom added on top of the mean link budget before comparing
+    /// against `floor`, covering worst-case positive shadowing + fading
+    /// excursions, dB.
+    pub margin_db: f64,
+}
+
+impl CullingConfig {
+    /// The hearing radius (metres) of a transmission at `tx_power` under
+    /// `model`: the distance at which `tx_power + margin − PL(d)` drops
+    /// to `floor`. Zero when the power is below the floor outright;
+    /// infinite when the budget never runs out (e.g. an infinite floor).
+    pub fn hearing_radius_m(&self, model: &PathLossModel, tx_power: Dbm) -> f64 {
+        let budget_db = (tx_power.value() + self.margin_db) - self.floor.value();
+        if budget_db <= 0.0 {
+            return 0.0;
+        }
+        model.distance_for_path_loss_db(budget_db)
+    }
+}
+
+impl Default for CullingConfig {
+    fn default() -> Self {
+        CullingConfig {
+            max_tx_power: Dbm::new(30.0),
+            floor: Dbm::new(-120.0),
+            margin_db: 36.0,
+        }
+    }
+}
+
 /// Configuration of the medium's stochastic channel components.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChannelConfig {
@@ -92,6 +165,9 @@ pub struct ChannelConfig {
     /// fast-fading component that makes individual packets more or less
     /// visible to a given observer.
     pub fading_sigma_db: f64,
+    /// Spatial interference culling (on by default with conservative
+    /// radii; see [`CullingConfig`]).
+    pub culling: CullingConfig,
 }
 
 impl Default for ChannelConfig {
@@ -99,6 +175,7 @@ impl Default for ChannelConfig {
         ChannelConfig {
             path_loss: PathLossModel::office(),
             fading_sigma_db: 3.0,
+            culling: CullingConfig::default(),
         }
     }
 }
@@ -132,11 +209,36 @@ impl Default for ChannelConfig {
 /// ```
 pub struct Medium {
     config: ChannelConfig,
-    devices: HashMap<DeviceId, Point>,
-    /// Active transmissions, ascending by [`TxId`]. Ids are allocated
-    /// monotonically, so pushing at the tail keeps the slab sorted and
-    /// every query iterates in deterministic id order without collecting.
+    /// Device id → slot into the position SoA below.
+    devices: FastMap<DeviceId, u32>,
+    /// Live position per device slot (struct-of-arrays: the only
+    /// per-device field the query hot loop touches).
+    positions: Vec<Point>,
+    /// Active transmissions, in slab order (**not** id order: removal is
+    /// `swap_remove`). Queries never iterate this directly — they sort
+    /// gathered candidate ids, so evaluation order stays deterministic
+    /// regardless of slab layout.
     active: Vec<Transmission>,
+    /// Transmission id → slab index. O(1) candidate→slab resolution with
+    /// a bounded working set per lookup, where a binary search over a
+    /// sorted id array costs `log n` scattered probes per candidate at
+    /// 10k-device scale.
+    slab: FastMap<TxId, u32>,
+    /// Hot per-transmission fields, parallel to `active`: the cull loop
+    /// reads these (time window, source slot, hearing radius, grid cell)
+    /// without pulling the full `Transmission` into cache.
+    hot: Vec<TxHot>,
+    /// Uniform grid over device positions: cell key → member
+    /// transmissions (those whose hearing radius fits one cell).
+    grid: FastMap<u64, Vec<TxId>>,
+    /// Transmissions louder than one grid cell — always visited.
+    loud: Vec<TxId>,
+    /// Grid cell edge length, metres (infinite when the configured radii
+    /// are unbounded, which degenerates to a single cell = no culling).
+    cell_size_m: f64,
+    /// Reusable query scratch for gathered candidate ids.
+    candidates: Vec<TxId>,
+    grid_stats: MediumGridStats,
     next_tx: u64,
     /// Static shadowing per unordered device pair, dB. The source of
     /// truth for realisations; `link_cache` only mirrors it.
@@ -171,14 +273,90 @@ pub struct MediumCacheStats {
     pub band_misses: u64,
 }
 
+/// Cumulative spatial-culling counters — surfaced as `medium_grid_stats`
+/// trace records and `medium_culled_*` metrics in instrumented runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MediumGridStats {
+    /// Grid-accelerated queries served (`sensed_power` +
+    /// `interference_against`; `overlapping_into` takes `&self` and is
+    /// not counted).
+    pub queries: u64,
+    /// Non-empty grid cells visited across those queries (≤ 9 each).
+    pub cells_visited: u64,
+    /// Candidate transmissions gathered and evaluated.
+    pub tx_visited: u64,
+    /// Active transmissions skipped without even a look because their
+    /// cell was outside the observer's 3×3 window.
+    pub tx_culled: u64,
+    /// Gathered candidates rejected by the exact per-link hearing-radius
+    /// check (cell-adjacent but still out of range).
+    pub tx_out_of_range: u64,
+}
+
+/// Hot per-transmission fields, parallel to `Medium::active`.
+///
+/// Queries (`sensed_power`, `interference_against`) read *only* this
+/// array plus `ids` per candidate — duplicating `id`/`power`/`band`
+/// here keeps the fat `Transmission` slab (with its payload) out of the
+/// query working set, which is what keeps per-query cost flat at 10k+
+/// devices.
+#[derive(Debug, Clone, Copy)]
+struct TxHot {
+    id: TxId,
+    start: SimTime,
+    end: SimTime,
+    source: DeviceId,
+    power: Dbm,
+    band: Band,
+    /// Slot of `source` in the position SoA.
+    source_slot: u32,
+    /// Squared hearing radius, m²; links farther than this couple zero.
+    radius_sq_m2: f64,
+    /// Grid cell the transmission is registered in (meaningless when
+    /// `loud`). Stored so moves and removal rebucket the *registered*
+    /// cell even if the source has since crossed a boundary.
+    cell: u64,
+    /// On the always-visited overflow list instead of the grid.
+    loud: bool,
+}
+
+/// Grid coordinate of `v` under `cell_size` (saturating one step inside
+/// `i32` so the ±1 neighbour offsets in queries cannot overflow). An
+/// infinite cell size maps everything to coordinate 0.
+fn cell_coord(v: f64, cell_size: f64) -> i32 {
+    let q = (v / cell_size).floor();
+    q.clamp(f64::from(i32::MIN + 1), f64::from(i32::MAX - 1)) as i32
+}
+
+/// Packs two grid coordinates into one hashable key.
+fn cell_key(cx: i32, cy: i32) -> u64 {
+    (u64::from(cx as u32) << 32) | u64::from(cy as u32)
+}
+
 impl Medium {
     /// Creates an empty medium with the given channel configuration and
     /// master seed.
     pub fn new(config: ChannelConfig, master_seed: u64) -> Self {
+        // One cell = the worst-case hearing radius, so a compliant
+        // transmission audible at the observer is always within the 3×3
+        // neighbourhood. Clamped away from degenerate tiny cells; an
+        // unbounded radius collapses the grid to a single cell.
+        let cell_size_m = config
+            .culling
+            .hearing_radius_m(&config.path_loss, config.culling.max_tx_power)
+            .max(1.0);
         Medium {
             config,
-            devices: HashMap::new(),
+            devices: FastMap::with_capacity_and_hasher(64, BuildHasherDefault::default()),
+            positions: Vec::with_capacity(64),
             active: Vec::with_capacity(16),
+            slab: FastMap::with_capacity_and_hasher(16, BuildHasherDefault::default()),
+            hot: Vec::with_capacity(16),
+            grid: FastMap::with_capacity_and_hasher(64, BuildHasherDefault::default()),
+            loud: Vec::new(),
+            cell_size_m,
+            candidates: Vec::with_capacity(16),
+            grid_stats: MediumGridStats::default(),
             next_tx: 0,
             shadowing: HashMap::new(),
             fading: FastMap::with_capacity_and_hasher(64, BuildHasherDefault::default()),
@@ -190,34 +368,75 @@ impl Medium {
         }
     }
 
+    /// Slot of a registered device in the position SoA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is unknown.
+    fn slot_of(&self, id: DeviceId) -> u32 {
+        *self
+            .devices
+            .get(&id)
+            .unwrap_or_else(|| panic!("unknown device {id}"))
+    }
+
     /// Registers a device at `position`.
     ///
     /// Re-registering an existing device moves it (used by mobility).
     pub fn add_device(&mut self, id: DeviceId, position: Point) {
-        if self.devices.insert(id, position).is_some() {
+        if let Some(&slot) = self.devices.get(&id) {
             // A re-registration is a move: cached path losses involving
             // this device are stale (shadowing realisations persist until
-            // `invalidate_shadowing`, exactly as before the cache).
+            // `invalidate_shadowing`, exactly as before the cache), and
+            // the device's live transmissions rebucket in the same step.
+            self.move_device(slot, position);
             self.drop_link_cache(id);
+        } else {
+            let slot = u32::try_from(self.positions.len()).expect("device slots exhausted");
+            self.devices.insert(id, slot);
+            self.positions.push(position);
         }
     }
 
     /// Moves a device.
     ///
     /// Cached link budgets touching the device are dropped (path loss is
-    /// position-dependent); its shadowing realisations persist until
-    /// [`Medium::invalidate_shadowing`].
+    /// position-dependent) and the device's live transmissions rebucket
+    /// into their new grid cell in the same atomic step; its shadowing
+    /// realisations persist until [`Medium::invalidate_shadowing`].
     ///
     /// # Panics
     ///
     /// Panics if the device is unknown.
     pub fn set_position(&mut self, id: DeviceId, position: Point) {
-        let slot = self
-            .devices
-            .get_mut(&id)
-            .unwrap_or_else(|| panic!("unknown device {id}"));
-        *slot = position;
+        let slot = self.slot_of(id);
+        self.move_device(slot, position);
         self.drop_link_cache(id);
+    }
+
+    /// Updates a device slot's position and rebuckets its live
+    /// transmissions whose registered grid cell no longer matches.
+    fn move_device(&mut self, slot: u32, position: Point) {
+        self.positions[slot as usize] = position;
+        let new_cell = cell_key(
+            cell_coord(position.x, self.cell_size_m),
+            cell_coord(position.y, self.cell_size_m),
+        );
+        for idx in 0..self.hot.len() {
+            let h = self.hot[idx];
+            if h.source_slot != slot || h.loud || h.cell == new_cell {
+                continue;
+            }
+            let id = self.active[idx].id;
+            let members = self.grid.get_mut(&h.cell).expect("grid cell desync");
+            let at = members
+                .iter()
+                .position(|&t| t == id)
+                .expect("grid member desync");
+            members.swap_remove(at);
+            self.grid.entry(new_cell).or_default().push(id);
+            self.hot[idx].cell = new_cell;
+        }
     }
 
     /// Drops memoized link budgets for every pair touching `device`.
@@ -232,10 +451,7 @@ impl Medium {
     ///
     /// Panics if the device is unknown.
     pub fn position(&self, id: DeviceId) -> Point {
-        *self
-            .devices
-            .get(&id)
-            .unwrap_or_else(|| panic!("unknown device {id}"))
+        self.positions[self.slot_of(id) as usize]
     }
 
     /// Places a transmission on the medium and returns its id.
@@ -253,12 +469,13 @@ impl Medium {
         payload: Payload,
     ) -> TxId {
         assert!(end > start, "transmission must have positive duration");
-        assert!(
-            self.devices.contains_key(&source),
-            "unknown source device {source}"
-        );
+        let slot = *self
+            .devices
+            .get(&source)
+            .unwrap_or_else(|| panic!("unknown source device {source}"));
         let id = TxId(self.next_tx);
         self.next_tx += 1;
+        self.slab.insert(id, self.active.len() as u32);
         self.active.push(Transmission {
             id,
             source,
@@ -268,12 +485,43 @@ impl Medium {
             end,
             payload,
         });
+        let radius = self
+            .config
+            .culling
+            .hearing_radius_m(&self.config.path_loss, power);
+        let pos = self.positions[slot as usize];
+        let cell = cell_key(
+            cell_coord(pos.x, self.cell_size_m),
+            cell_coord(pos.y, self.cell_size_m),
+        );
+        // Radius ≤ one cell ⇒ the 3×3 window around any in-range observer
+        // covers this cell; louder transmissions go on the overflow list.
+        // (Neither side is ever NaN: radii and cell sizes are `max`-ed
+        // non-negative, possibly infinite.)
+        let loud = radius > self.cell_size_m;
+        if loud {
+            self.loud.push(id);
+        } else {
+            self.grid.entry(cell).or_default().push(id);
+        }
+        self.hot.push(TxHot {
+            id,
+            start,
+            end,
+            source,
+            power,
+            band,
+            source_slot: slot,
+            radius_sq_m2: radius * radius,
+            cell,
+            loud,
+        });
         id
     }
 
-    /// Position of `id` in the sorted slab, if active.
+    /// Position of `id` in the slab, if active.
     fn slab_index(&self, id: TxId) -> Option<usize> {
-        self.active.binary_search_by_key(&id, |t| t.id).ok()
+        self.slab.get(&id).map(|&i| i as usize)
     }
 
     /// Removes a finished transmission and returns it.
@@ -286,7 +534,30 @@ impl Medium {
         let idx = self
             .slab_index(id)
             .unwrap_or_else(|| panic!("transmission {id:?} not active"));
-        let tx = self.active.remove(idx);
+        self.slab.remove(&id);
+        let tx = self.active.swap_remove(idx);
+        let h = self.hot.swap_remove(idx);
+        // The former tail now lives at `idx`; repoint its index entry.
+        if let Some(moved) = self.active.get(idx) {
+            self.slab.insert(moved.id, idx as u32);
+        }
+        // Unbucket (order within a cell is irrelevant — queries sort the
+        // gathered candidates by id).
+        if h.loud {
+            let at = self
+                .loud
+                .iter()
+                .position(|&t| t == id)
+                .expect("loud list desync");
+            self.loud.swap_remove(at);
+        } else {
+            let members = self.grid.get_mut(&h.cell).expect("grid cell desync");
+            let at = members
+                .iter()
+                .position(|&t| t == id)
+                .expect("grid member desync");
+            members.swap_remove(at);
+        }
         // Drop the fading cache entries for this transmission.
         self.fading.retain(|(t, _), _| *t != id);
         tx
@@ -297,8 +568,10 @@ impl Medium {
         self.slab_index(id).map(|i| &self.active[i])
     }
 
-    /// Iterates over all active transmissions in ascending [`TxId`]
-    /// order (the begin order — the order every query evaluates in).
+    /// Iterates over all active transmissions in **arbitrary** slab
+    /// order. Callers whose downstream work is order-sensitive (lazy RNG
+    /// draws, f64 summation) must sort the snapshot by [`Transmission::id`]
+    /// themselves.
     pub fn active_transmissions(&self) -> impl Iterator<Item = &Transmission> {
         self.active.iter()
     }
@@ -379,18 +652,86 @@ impl Medium {
         self.stats
     }
 
-    /// [`Medium::received_power`] for an already-fetched transmission.
+    /// Cumulative spatial-culling counters since construction.
+    pub fn grid_stats(&self) -> MediumGridStats {
+        self.grid_stats
+    }
+
+    /// The grid cell edge length, metres (the worst-case hearing radius
+    /// under the configured culling parameters).
+    pub fn cell_size_m(&self) -> f64 {
+        self.cell_size_m
+    }
+
+    /// Whether the transmitter in slot `a` is within `radius_sq` of the
+    /// observer in slot `b` — the exact per-link audibility cutoff.
+    fn within_hearing(&self, a: u32, b: u32, radius_sq: f64) -> bool {
+        let pa = self.positions[a as usize];
+        let pb = self.positions[b as usize];
+        let dx = pa.x - pb.x;
+        let dy = pa.y - pb.y;
+        dx * dx + dy * dy <= radius_sq
+    }
+
+    /// Gathers the candidate transmissions for an observer in `obs_slot`
+    /// into the reusable scratch: the 3×3 cell neighbourhood plus the
+    /// loud overflow list, sorted ascending by [`TxId`] so evaluation
+    /// (and therefore every lazy RNG draw) happens in exactly the order
+    /// a full-slab scan would use.
+    fn gather_candidates(&mut self, obs_slot: u32) {
+        let mut cands = std::mem::take(&mut self.candidates);
+        cands.clear();
+        let pos = self.positions[obs_slot as usize];
+        let cx = cell_coord(pos.x, self.cell_size_m);
+        let cy = cell_coord(pos.y, self.cell_size_m);
+        let mut cells = 0u64;
+        for dy in -1i32..=1 {
+            for dx in -1i32..=1 {
+                if let Some(members) = self.grid.get(&cell_key(cx + dx, cy + dy)) {
+                    if !members.is_empty() {
+                        cells += 1;
+                        cands.extend_from_slice(members);
+                    }
+                }
+            }
+        }
+        cands.extend_from_slice(&self.loud);
+        cands.sort_unstable();
+        self.grid_stats.queries += 1;
+        self.grid_stats.cells_visited += cells;
+        self.grid_stats.tx_visited += cands.len() as u64;
+        self.grid_stats.tx_culled += (self.active.len() - cands.len()) as u64;
+        self.candidates = cands;
+    }
+
+    /// [`Medium::received_power`] for a transmission at slab index `idx`
+    /// observed from `obs_slot`.
     ///
     /// The arithmetic is kept in exactly the uncached form — `(power -
     /// path_loss) + shadow + fading`, in that association — so memoized
-    /// and fresh budgets produce bit-identical `Dbm` values.
-    fn received_power_of(&mut self, t: Transmission, observer: DeviceId) -> Dbm {
-        if t.source == observer {
+    /// and fresh budgets produce bit-identical `Dbm` values. A link past
+    /// its hearing radius returns [`Dbm::FLOOR`] **before** touching the
+    /// shadowing/fading streams: culling never shifts RNG draw order,
+    /// it only removes draws both evaluation orders would skip.
+    fn received_power_at(&mut self, idx: usize, observer: DeviceId, obs_slot: u32) -> Dbm {
+        let h = self.hot[idx];
+        if h.source == observer {
             return Dbm::FLOOR;
         }
-        let (pl_db, shadow) = self.link_budget(t.source, observer);
-        let fading = self.tx_fading(t.id, observer);
-        (t.power - pl_db) + shadow + fading
+        if !self.within_hearing(h.source_slot, obs_slot, h.radius_sq_m2) {
+            self.grid_stats.tx_out_of_range += 1;
+            return Dbm::FLOOR;
+        }
+        self.budget_power(idx, observer)
+    }
+
+    /// The full stochastic link budget of an in-range, non-self link
+    /// (callers perform both checks first).
+    fn budget_power(&mut self, idx: usize, observer: DeviceId) -> Dbm {
+        let h = self.hot[idx];
+        let (pl_db, shadow) = self.link_budget(h.source, observer);
+        let fading = self.tx_fading(h.id, observer);
+        (h.power - pl_db) + shadow + fading
     }
 
     /// Power of transmission `tx` received by `observer`, before any
@@ -398,16 +739,18 @@ impl Medium {
     ///
     /// Includes path loss, static link shadowing, and the cached
     /// per-transmission fading draw. A device does not receive its own
-    /// transmission ([`Dbm::FLOOR`] is returned).
+    /// transmission, and a transmitter beyond its hearing radius is
+    /// inaudible by definition ([`Dbm::FLOOR`] is returned either way).
     ///
     /// # Panics
     ///
     /// Panics if the transmission or observer is unknown.
     pub fn received_power(&mut self, tx: TxId, observer: DeviceId) -> Dbm {
-        let t = *self
-            .transmission(tx)
+        let idx = self
+            .slab_index(tx)
             .unwrap_or_else(|| panic!("transmission {tx:?} not active"));
-        self.received_power_of(t, observer)
+        let obs_slot = self.slot_of(observer);
+        self.received_power_at(idx, observer, obs_slot)
     }
 
     /// Power of transmission `tx` coupled into `observer`'s `listening`
@@ -425,25 +768,40 @@ impl Medium {
         observer: DeviceId,
         listening: &Band,
     ) -> MilliWatt {
-        let t = *self
-            .transmission(tx)
+        let idx = self
+            .slab_index(tx)
             .unwrap_or_else(|| panic!("transmission {tx:?} not active"));
-        self.in_band_power(t, observer, listening)
+        let obs_slot = self.slot_of(observer);
+        self.in_band_power_at(idx, observer, obs_slot, listening)
     }
 
-    /// [`Medium::received_power_in_band`] for an already-fetched
-    /// transmission.
-    fn in_band_power(
+    /// [`Medium::received_power_in_band`] for a transmission at slab
+    /// index `idx`. Zero band overlap (checked first, as always) and
+    /// out-of-range links both couple exactly [`MilliWatt::ZERO`]
+    /// without consuming RNG — skipping such a term leaves a linear
+    /// power sum bit-identical, which is what lets the grid drop
+    /// out-of-window transmissions entirely. A device's own
+    /// transmission keeps the historical floor conversion.
+    fn in_band_power_at(
         &mut self,
-        t: Transmission,
+        idx: usize,
         observer: DeviceId,
+        obs_slot: u32,
         listening: &Band,
     ) -> MilliWatt {
-        let overlap = self.band_overlap_fraction(&t.band, listening);
+        let h = self.hot[idx];
+        let overlap = self.band_overlap_fraction(&h.band, listening);
         if overlap <= 0.0 {
             return MilliWatt::ZERO;
         }
-        self.received_power_of(t, observer)
+        if h.source == observer {
+            return Dbm::FLOOR.to_milliwatt().scale(overlap);
+        }
+        if !self.within_hearing(h.source_slot, obs_slot, h.radius_sq_m2) {
+            self.grid_stats.tx_out_of_range += 1;
+            return MilliWatt::ZERO;
+        }
+        self.budget_power(idx, observer)
             .to_milliwatt()
             .scale(overlap)
     }
@@ -452,9 +810,12 @@ impl Medium {
     /// transmissions from `exclude_source` (a device never senses itself,
     /// and a receiver evaluating a frame excludes that frame's source).
     ///
-    /// Allocation-free: iterates the id-ordered slab directly, so lazy
-    /// fading draws and the linear f64 summation happen in the same
-    /// ascending-`TxId` order the sorted collect always produced.
+    /// Allocation-free in steady state: candidates from the observer's
+    /// 3×3 grid neighbourhood are gathered into a reusable scratch and
+    /// sorted by id, so lazy fading draws and the linear f64 summation
+    /// happen in the same ascending-`TxId` order a full-slab scan
+    /// produces (skipped out-of-range contributions are exactly the
+    /// zero terms of that sum).
     pub fn sensed_power(
         &mut self,
         observer: DeviceId,
@@ -462,18 +823,23 @@ impl Medium {
         now: SimTime,
         exclude_source: Option<DeviceId>,
     ) -> MilliWatt {
+        let obs_slot = self.slot_of(observer);
+        self.gather_candidates(obs_slot);
+        let cands = std::mem::take(&mut self.candidates);
         let mut total = MilliWatt::ZERO;
-        for i in 0..self.active.len() {
-            let t = self.active[i];
-            if t.start > now
-                || t.end <= now
-                || t.source == observer
-                || Some(t.source) == exclude_source
+        for &id in &cands {
+            let idx = self.slab_index(id).expect("grid candidate not in slab");
+            let h = self.hot[idx];
+            if h.start > now
+                || h.end <= now
+                || h.source == observer
+                || Some(h.source) == exclude_source
             {
                 continue;
             }
-            total += self.in_band_power(t, observer, listening);
+            total += self.in_band_power_at(idx, observer, obs_slot, listening);
         }
+        self.candidates = cands;
         total
     }
 
@@ -482,7 +848,7 @@ impl Medium {
     /// airtime, evaluated over the whole frame (worst case: any overlap
     /// counts for its full coupled power).
     ///
-    /// Allocation-free; same id-ordered evaluation as
+    /// Allocation-free; same gathered id-ordered evaluation as
     /// [`Medium::sensed_power`].
     pub fn interference_against(
         &mut self,
@@ -490,17 +856,23 @@ impl Medium {
         observer: DeviceId,
         listening: &Band,
     ) -> MilliWatt {
-        let s = *self
-            .transmission(signal)
+        let sidx = self
+            .slab_index(signal)
             .unwrap_or_else(|| panic!("transmission {signal:?} not active"));
+        let (s_start, s_end) = (self.hot[sidx].start, self.hot[sidx].end);
+        let obs_slot = self.slot_of(observer);
+        self.gather_candidates(obs_slot);
+        let cands = std::mem::take(&mut self.candidates);
         let mut total = MilliWatt::ZERO;
-        for i in 0..self.active.len() {
-            let t = self.active[i];
-            if t.id == signal || t.source == observer || !t.overlaps(s.start, s.end) {
+        for &id in &cands {
+            let idx = self.slab_index(id).expect("grid candidate not in slab");
+            let h = self.hot[idx];
+            if id == signal || h.source == observer || !(h.start < s_end && h.end > s_start) {
                 continue;
             }
-            total += self.in_band_power(t, observer, listening);
+            total += self.in_band_power_at(idx, observer, obs_slot, listening);
         }
+        self.candidates = cands;
         total
     }
 
@@ -534,6 +906,11 @@ impl Medium {
 
     /// [`Medium::overlapping`] into a caller-owned buffer (cleared
     /// first), so repeated queries reuse one allocation.
+    ///
+    /// Visits only the observer's 3×3 grid neighbourhood plus the loud
+    /// overflow list; out-of-range transmissions are inaudible by the
+    /// culling definition and excluded like band-disjoint ones. The
+    /// final `(start, id)` sort makes gathering order irrelevant.
     pub fn overlapping_into(
         &self,
         observer: DeviceId,
@@ -543,15 +920,51 @@ impl Medium {
         out: &mut Vec<Transmission>,
     ) {
         out.clear();
-        out.extend(
-            self.active
-                .iter()
-                .filter(|t| t.source != observer)
-                .filter(|t| t.overlaps(from, to))
-                .filter(|t| listening.overlap_fraction(&t.band) > 0.0)
-                .copied(),
-        );
+        let obs_slot = self.slot_of(observer);
+        let pos = self.positions[obs_slot as usize];
+        let cx = cell_coord(pos.x, self.cell_size_m);
+        let cy = cell_coord(pos.y, self.cell_size_m);
+        for dy in -1i32..=1 {
+            for dx in -1i32..=1 {
+                if let Some(members) = self.grid.get(&cell_key(cx + dx, cy + dy)) {
+                    for &id in members {
+                        self.push_if_overlapping(id, observer, obs_slot, listening, from, to, out);
+                    }
+                }
+            }
+        }
+        for &id in &self.loud {
+            self.push_if_overlapping(id, observer, obs_slot, listening, from, to, out);
+        }
         out.sort_by_key(|t| (t.start, t.id));
+    }
+
+    /// Appends transmission `id` to `out` if it passes the overlap
+    /// filters of [`Medium::overlapping_into`].
+    #[allow(clippy::too_many_arguments)]
+    fn push_if_overlapping(
+        &self,
+        id: TxId,
+        observer: DeviceId,
+        obs_slot: u32,
+        listening: &Band,
+        from: SimTime,
+        to: SimTime,
+        out: &mut Vec<Transmission>,
+    ) {
+        let idx = self.slab_index(id).expect("grid candidate not in slab");
+        let t = self.active[idx];
+        if t.source == observer
+            || !t.overlaps(from, to)
+            || listening.overlap_fraction(&t.band) <= 0.0
+        {
+            return;
+        }
+        let h = self.hot[idx];
+        if !self.within_hearing(h.source_slot, obs_slot, h.radius_sq_m2) {
+            return;
+        }
+        out.push(t);
     }
 
     /// Draws a fresh random value from the medium's fading stream —
@@ -1147,6 +1560,167 @@ mod tests {
         assert_eq!(warm.band_hits, cold.band_hits + 1);
         assert_eq!(warm.link_misses, cold.link_misses);
         assert_eq!(warm.band_misses, cold.band_misses);
+    }
+
+    /// An aggressive culling config with ~29 m hearing radius at 0 dBm
+    /// under the office model (budget 0 + 10 + 80 = 90 dB).
+    fn aggressive() -> ChannelConfig {
+        ChannelConfig {
+            culling: CullingConfig {
+                max_tx_power: Dbm::new(0.0),
+                floor: Dbm::new(-80.0),
+                margin_db: 10.0,
+            },
+            ..ChannelConfig::default()
+        }
+    }
+
+    #[test]
+    fn default_culling_is_conservative() {
+        let m = Medium::new(ChannelConfig::default(), 1);
+        // 30 dBm + 36 dB margin against a -120 dBm floor: tens of km.
+        assert!(m.cell_size_m() > 10_000.0, "cell {} m", m.cell_size_m());
+    }
+
+    #[test]
+    fn culled_links_couple_nothing_and_draw_no_rng() {
+        let mut m = Medium::new(aggressive(), 3);
+        let tx = DeviceId::new(0);
+        let far = DeviceId::new(1);
+        let near = DeviceId::new(2);
+        m.add_device(tx, Point::ORIGIN);
+        m.add_device(far, Point::new(200.0, 0.0)); // ~7 cells away
+        m.add_device(near, Point::new(5.0, 0.0));
+        let id = m.begin_transmission(
+            tx,
+            Dbm::new(0.0),
+            wifi_band(),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            wifi_data(),
+        );
+        let now = SimTime::from_micros(500);
+        assert_eq!(
+            m.sensed_power(far, &wifi_band(), now, None),
+            MilliWatt::ZERO
+        );
+        assert_eq!(m.received_power(id, far), Dbm::FLOOR);
+        assert!(
+            m.fading.is_empty() && m.shadowing.is_empty(),
+            "culled links must not consume the lazy RNG streams"
+        );
+        let stats = m.grid_stats();
+        assert!(stats.tx_culled > 0, "far observer must cull at grid level");
+        // The near observer hears the transmission normally.
+        assert!(m.sensed_power(near, &wifi_band(), now, None).value() > 0.0);
+        assert!(!m.fading.is_empty());
+    }
+
+    #[test]
+    fn adjacent_cell_but_out_of_range_is_rejected_by_radius() {
+        let mut m = Medium::new(aggressive(), 4);
+        let cell = m.cell_size_m();
+        assert!((25.0..35.0).contains(&cell), "cell {cell} m");
+        m.add_device(DeviceId::new(0), Point::ORIGIN);
+        // Inside the neighbouring cell, but beyond the ~29 m radius.
+        m.add_device(DeviceId::new(1), Point::new(cell * 1.5, 0.0));
+        m.begin_transmission(
+            DeviceId::new(0),
+            Dbm::new(0.0),
+            wifi_band(),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            wifi_data(),
+        );
+        let sensed = m.sensed_power(
+            DeviceId::new(1),
+            &wifi_band(),
+            SimTime::from_micros(500),
+            None,
+        );
+        assert_eq!(sensed, MilliWatt::ZERO);
+        let stats = m.grid_stats();
+        assert_eq!(stats.tx_out_of_range, 1);
+        assert_eq!(stats.tx_visited, 1);
+    }
+
+    #[test]
+    fn loud_transmission_is_heard_beyond_one_cell() {
+        let mut m = Medium::new(aggressive(), 5);
+        m.add_device(DeviceId::new(0), Point::ORIGIN);
+        // 20 dBm exceeds the configured 0 dBm max: radius ~135 m > cell.
+        m.add_device(DeviceId::new(1), Point::new(100.0, 0.0));
+        m.begin_transmission(
+            DeviceId::new(0),
+            Dbm::new(20.0),
+            wifi_band(),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            wifi_data(),
+        );
+        let sensed = m.sensed_power(
+            DeviceId::new(1),
+            &wifi_band(),
+            SimTime::from_micros(500),
+            None,
+        );
+        assert!(
+            sensed.value() > 0.0,
+            "over-budget transmitter must ride the loud overflow list"
+        );
+    }
+
+    #[test]
+    fn moving_a_source_rebuckets_its_live_transmissions() {
+        let mut m = Medium::new(aggressive(), 6);
+        let src = DeviceId::new(0);
+        let obs = DeviceId::new(1);
+        m.add_device(src, Point::ORIGIN);
+        m.add_device(obs, Point::new(5.0, 0.0));
+        let id = m.begin_transmission(
+            src,
+            Dbm::new(0.0),
+            wifi_band(),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            wifi_data(),
+        );
+        let now = SimTime::from_micros(500);
+        let here = m.sensed_power(obs, &wifi_band(), now, None);
+        assert!(here.value() > 0.0);
+        // Far away (several cells): the live transmission must follow.
+        m.set_position(src, Point::new(300.0, 300.0));
+        assert_eq!(
+            m.sensed_power(obs, &wifi_band(), now, None),
+            MilliWatt::ZERO
+        );
+        // And back: same position + persisted shadowing + cached fading
+        // reproduce the original reading bit-for-bit.
+        m.set_position(src, Point::ORIGIN);
+        let back = m.sensed_power(obs, &wifi_band(), now, None);
+        assert_eq!(back.value().to_bits(), here.value().to_bits());
+        let _ = id;
+    }
+
+    #[test]
+    fn grid_stats_count_queries_and_cells() {
+        let mut m = setup();
+        assert_eq!(m.grid_stats(), MediumGridStats::default());
+        m.begin_transmission(
+            DeviceId::new(0),
+            Dbm::new(20.0),
+            wifi_band(),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            wifi_data(),
+        );
+        let now = SimTime::from_micros(500);
+        m.sensed_power(DeviceId::new(1), &wifi_band(), now, None);
+        let s = m.grid_stats();
+        assert_eq!(s.queries, 1);
+        assert_eq!(s.tx_visited, 1);
+        assert_eq!(s.tx_culled, 0);
+        assert_eq!(s.cells_visited, 1, "one occupied cell under huge cells");
     }
 
     #[test]

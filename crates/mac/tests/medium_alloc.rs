@@ -5,14 +5,16 @@
 //! warm-up pass has populated the link-budget cache, the fading map, and
 //! the band-overlap memo, repeated `sensed_power` /
 //! `interference_against` / `overlapping_into` calls must perform zero
-//! heap allocations. One `#[test]` only: the counter is process-global,
-//! and a sibling test allocating concurrently would poison the reading.
+//! heap allocations. The counter is thread-local (const-initialised, so
+//! reading it never allocates): the libtest harness thread occasionally
+//! allocates while a test runs, and a process-global counter would pick
+//! that noise up as a spurious failure.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 use bicord_mac::frames::{DeviceId, Payload};
-use bicord_mac::medium::{ChannelConfig, Medium, Transmission, TxId};
+use bicord_mac::medium::{ChannelConfig, CullingConfig, Medium, Transmission, TxId};
 use bicord_phy::geometry::Point;
 use bicord_phy::spectrum::Band;
 use bicord_phy::units::Dbm;
@@ -20,21 +22,29 @@ use bicord_sim::SimTime;
 
 struct CountingAlloc;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn count_one() {
+    // `try_with` because the allocator can be entered during thread
+    // teardown, after the TLS slot has been destroyed.
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.realloc(ptr, layout, new_size)
     }
 
@@ -47,7 +57,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocations() -> u64 {
-    ALLOCATIONS.load(Ordering::Relaxed)
+    ALLOCATIONS.with(Cell::get)
 }
 
 #[test]
@@ -118,5 +128,86 @@ fn steady_state_queries_do_not_allocate() {
         0,
         "hot medium queries allocated {} times in steady state",
         after - before
+    );
+
+    // Second phase: same proof with *active* spatial culling — the
+    // gather-sort-evaluate grid path (candidate scratch, 3×3 cell walk,
+    // loud overflow list) must be as allocation-free as the linear scan.
+    let mut medium = Medium::new(
+        ChannelConfig {
+            culling: CullingConfig {
+                max_tx_power: Dbm::new(5.0),
+                floor: Dbm::new(-75.0),
+                margin_db: 8.0,
+            },
+            ..ChannelConfig::default()
+        },
+        41,
+    );
+    let observer = DeviceId::new(0);
+    medium.add_device(observer, Point::new(0.0, 0.0));
+    // A mix of near transmitters (audible), far ones (grid-culled), and
+    // one over-budget loud transmitter.
+    for i in 1..=12u32 {
+        let spread = if i % 3 == 0 { 120.0 } else { 3.0 };
+        medium.add_device(
+            DeviceId::new(i),
+            Point::new(f64::from(i) * spread, f64::from(i % 4)),
+        );
+    }
+    let mut ids: Vec<TxId> = Vec::new();
+    for i in 1..=12u32 {
+        let band = if i % 2 == 0 { wifi } else { zigbee };
+        let power = if i == 4 {
+            Dbm::new(20.0)
+        } else {
+            Dbm::new(0.0)
+        };
+        ids.push(medium.begin_transmission(
+            DeviceId::new(i),
+            power,
+            band,
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            Payload::Noise,
+        ));
+    }
+    for band in [&wifi, &zigbee] {
+        medium.sensed_power(observer, band, now, None);
+        medium.interference_against(ids[0], observer, band);
+        medium.overlapping_into(
+            observer,
+            band,
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            &mut scratch,
+        );
+    }
+
+    let culled_before = allocations();
+    for _ in 0..100 {
+        for band in [&wifi, &zigbee] {
+            let sensed = medium.sensed_power(observer, band, now, None);
+            assert!(sensed.value() > 0.0);
+            medium.interference_against(ids[0], observer, band);
+            medium.overlapping_into(
+                observer,
+                band,
+                SimTime::ZERO,
+                SimTime::from_millis(1),
+                &mut scratch,
+            );
+            assert!(!scratch.is_empty());
+        }
+    }
+    let culled_after = allocations();
+    let grid = medium.grid_stats();
+    assert!(grid.tx_culled > 0, "fixture must exercise real culling");
+
+    assert_eq!(
+        culled_after - culled_before,
+        0,
+        "culled medium queries allocated {} times in steady state",
+        culled_after - culled_before
     );
 }

@@ -16,7 +16,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 
 use bicord_mac::frames::{DeviceId, Payload};
-use bicord_mac::medium::{ChannelConfig, Medium, Transmission, TxId};
+use bicord_mac::medium::{ChannelConfig, CullingConfig, Medium, Transmission, TxId};
 use bicord_phy::geometry::Point;
 use bicord_phy::spectrum::Band;
 use bicord_phy::units::{Dbm, MilliWatt};
@@ -138,8 +138,31 @@ impl ReferenceMedium {
             .or_insert_with(|| normal(rng, 0.0, sigma))
     }
 
+    /// The cull cutoff, recomputed from scratch on every query (the real
+    /// medium precomputes it at begin time; both must agree bit-for-bit
+    /// because the radius is a pure function of power and config).
+    fn hearing_radius_sq(&self, power: Dbm) -> f64 {
+        let r = self
+            .config
+            .culling
+            .hearing_radius_m(&self.config.path_loss, power);
+        r * r
+    }
+
+    /// Same audibility expression as the real medium's grid layer.
+    fn within_hearing(&self, a: DeviceId, b: DeviceId, radius_sq: f64) -> bool {
+        let pa = self.devices[&a];
+        let pb = self.devices[&b];
+        let dx = pa.x - pb.x;
+        let dy = pa.y - pb.y;
+        dx * dx + dy * dy <= radius_sq
+    }
+
     fn received_power_of(&mut self, t: RefTx, observer: DeviceId) -> Dbm {
         if t.source == observer {
+            return Dbm::FLOOR;
+        }
+        if !self.within_hearing(t.source, observer, self.hearing_radius_sq(t.power)) {
             return Dbm::FLOOR;
         }
         let src = self.devices[&t.source];
@@ -155,7 +178,20 @@ impl ReferenceMedium {
         if overlap <= 0.0 {
             return MilliWatt::ZERO;
         }
-        self.received_power_of(t, observer)
+        if t.source == observer {
+            return Dbm::FLOOR.to_milliwatt().scale(overlap);
+        }
+        if !self.within_hearing(t.source, observer, self.hearing_radius_sq(t.power)) {
+            // Out-of-range links couple exactly zero (and draw nothing):
+            // this is the term the grid path drops from the sum.
+            return MilliWatt::ZERO;
+        }
+        let src = self.devices[&t.source];
+        let obs = self.devices[&observer];
+        let pl_db = self.config.path_loss.path_loss_db(src.distance_to(obs));
+        let shadow = self.link_shadowing(t.source, observer);
+        let fading = self.tx_fading(t.id, observer);
+        ((t.power - pl_db) + shadow + fading)
             .to_milliwatt()
             .scale(overlap)
     }
@@ -226,6 +262,7 @@ impl ReferenceMedium {
             .filter(|t| t.source != observer)
             .filter(|t| t.start < to && t.end > from)
             .filter(|t| listening.overlap_fraction(&t.band) > 0.0)
+            .filter(|t| self.within_hearing(t.source, observer, self.hearing_radius_sq(t.power)))
             .copied()
             .collect();
         txs.sort_by_key(|t| (t.start, t.id));
@@ -293,8 +330,49 @@ enum Op {
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
+    op_strategy_with(-20.0f64..20.0)
+}
+
+/// The aggressive culling configuration the grid proptest runs under:
+/// ~17 m hearing radius at 0 dBm and a ~25 m grid cell under the office
+/// model, so ±60 m topologies genuinely cull — while powers above the
+/// configured 5 dBm maximum exercise the loud overflow list.
+fn aggressive_config() -> ChannelConfig {
+    ChannelConfig {
+        culling: CullingConfig {
+            max_tx_power: Dbm::new(5.0),
+            floor: Dbm::new(-75.0),
+            margin_db: 8.0,
+        },
+        ..ChannelConfig::default()
+    }
+}
+
+/// Grid cell size under [`aggressive_config`]: the hearing radius at the
+/// 5 dBm maximum, `10^((5 + 8 + 75 − 46) / 30)` ≈ 25.1 m.
+fn aggressive_cell_m() -> f64 {
+    aggressive_config()
+        .culling
+        .hearing_radius_m(&aggressive_config().path_loss, Dbm::new(5.0))
+}
+
+/// Coordinates for the grid proptest: wide uniform draws mixed with
+/// exact cell-boundary multiples (devices precisely on a grid line are
+/// the classic off-by-one bucket bug).
+fn grid_coord() -> impl Strategy<Value = f64> + Clone {
+    (0u8..5, -2i32..=2, -60.0f64..60.0).prop_map(|(pick, k, v)| {
+        if pick == 0 {
+            f64::from(k) * aggressive_cell_m()
+        } else {
+            v
+        }
+    })
+}
+
+fn op_strategy_with(
+    coord: impl Strategy<Value = f64> + Clone + 'static,
+) -> impl Strategy<Value = Op> {
     let slot = 0usize..SLOTS as usize;
-    let coord = -20.0f64..20.0;
     prop_oneof![
         (slot.clone(), coord.clone(), coord.clone()).prop_map(|(slot, x, y)| Op::MoveDevice {
             slot,
@@ -358,10 +436,15 @@ fn assert_mw_eq(real: MilliWatt, reference: MilliWatt, context: &str) {
     );
 }
 
+/// [`run_sequence_with`] under the default (conservative-culling)
+/// channel configuration.
+fn run_sequence(seed: u64, ops: &[Op]) -> (Medium, ReferenceMedium) {
+    run_sequence_with(ChannelConfig::default(), seed, ops)
+}
+
 /// Runs one op sequence through both mediums, comparing every
 /// observable bit-for-bit. Returns the pair for post-run probes.
-fn run_sequence(seed: u64, ops: &[Op]) -> (Medium, ReferenceMedium) {
-    let config = ChannelConfig::default();
+fn run_sequence_with(config: ChannelConfig, seed: u64, ops: &[Op]) -> (Medium, ReferenceMedium) {
     let mut real = Medium::new(config, seed);
     let mut reference = ReferenceMedium::new(config, seed);
     for slot in 0..SLOTS {
@@ -507,6 +590,29 @@ proptest! {
             ref_probe
         );
     }
+
+    /// The same harness under aggressive culling radii and a wider
+    /// topology (including devices exactly on grid-cell boundaries):
+    /// the grid-accelerated queries must match the linear-scan
+    /// reference bit-for-bit — results and RNG stream — even when real
+    /// culling, the loud overflow list, and cross-cell moves are all in
+    /// play.
+    #[test]
+    fn grid_equivalence(
+        seed in 0u64..1_000,
+        ops in proptest::collection::vec(op_strategy_with(grid_coord()), 1..80),
+    ) {
+        let (mut real, mut reference) = run_sequence_with(aggressive_config(), seed, &ops);
+        let probe = real.fading_draw(3.0);
+        let ref_probe = reference.fading_draw(3.0);
+        prop_assert_eq!(
+            probe.to_bits(),
+            ref_probe.to_bits(),
+            "fading RNG streams diverged under culling: {} vs {}",
+            probe,
+            ref_probe
+        );
+    }
 }
 
 /// Deterministic smoke case touching every op kind, so a cache regression
@@ -579,6 +685,89 @@ fn deterministic_mixed_sequence_matches_reference() {
         },
     ];
     let (mut real, mut reference) = run_sequence(7, &ops);
+    assert_eq!(
+        real.fading_draw(2.0).to_bits(),
+        reference.fading_draw(2.0).to_bits()
+    );
+}
+
+/// Churn regression for the grid layer: the fault-churn path
+/// (re-register/move + `invalidate_shadowing`) must rebucket a source's
+/// *live* transmissions atomically with the budget-cache drop. A stale
+/// bucket would silently cull the moved transmitter out of (or into)
+/// range; the reference has no grid, so any desync fails the
+/// bit-compare or the RNG probe.
+#[test]
+fn churn_rebucket_composes_with_grid_culling() {
+    let cell = aggressive_cell_m();
+    let ops = vec![
+        Op::BeginTx {
+            slot: 1,
+            power: 0.0,
+            band: 0,
+            start: 0,
+            dur: 2_000,
+        },
+        Op::SensedPower {
+            slot: 0,
+            band: 0,
+            now: 100,
+            exclude: None,
+        },
+        // Churn step: jump the live transmitter several cells away
+        // (exactly onto a cell boundary) and drop its realisations.
+        Op::ReRegister {
+            slot: 1,
+            x: 3.0 * cell,
+            y: 3.0 * cell,
+        },
+        Op::InvalidateShadowing { slot: 1 },
+        Op::SensedPower {
+            slot: 0,
+            band: 0,
+            now: 200,
+            exclude: None,
+        },
+        // Move the *observer* next to the new location: audible again
+        // only if the transmission really rebucketed.
+        Op::MoveDevice {
+            slot: 0,
+            x: 3.0 * cell + 4.0,
+            y: 3.0 * cell,
+        },
+        Op::SensedPower {
+            slot: 0,
+            band: 0,
+            now: 300,
+            exclude: None,
+        },
+        Op::Interference {
+            pick: 0,
+            slot: 0,
+            band: 0,
+        },
+        Op::Overlapping {
+            slot: 0,
+            band: 0,
+            from: 0,
+            dur: 1_000,
+        },
+        // And churn back home.
+        Op::ReRegister {
+            slot: 1,
+            x: 3.0,
+            y: -2.0,
+        },
+        Op::InvalidateShadowing { slot: 1 },
+        Op::SensedPower {
+            slot: 0,
+            band: 0,
+            now: 400,
+            exclude: None,
+        },
+        Op::EndTx { pick: 0 },
+    ];
+    let (mut real, mut reference) = run_sequence_with(aggressive_config(), 11, &ops);
     assert_eq!(
         real.fading_draw(2.0).to_bits(),
         reference.fading_draw(2.0).to_bits()

@@ -205,6 +205,20 @@ impl EventSink for CountingSink {
                 self.registry.add("medium_band_hits", band_hits);
                 self.registry.add("medium_band_misses", band_misses);
             }
+            TraceEvent::MediumGridStats {
+                queries,
+                cells,
+                visited,
+                culled,
+                out_of_range,
+                ..
+            } => {
+                self.registry.add("medium_grid_queries", queries);
+                self.registry.add("medium_grid_cells", cells);
+                self.registry.add("medium_visited_tx", visited);
+                self.registry.add("medium_culled_grid", culled);
+                self.registry.add("medium_culled_range", out_of_range);
+            }
             _ => {}
         }
     }
@@ -323,6 +337,25 @@ mod tests {
         assert_eq!(s.registry.counter("medium_link_misses"), 7);
         assert_eq!(s.registry.counter("medium_band_hits"), 50);
         assert_eq!(s.registry.counter("medium_band_misses"), 3);
+    }
+
+    #[test]
+    fn counting_sink_surfaces_medium_grid_stats() {
+        let mut s = CountingSink::new();
+        s.emit(&TraceEvent::MediumGridStats {
+            t_us: 9,
+            queries: 40,
+            cells: 120,
+            visited: 55,
+            culled: 300,
+            out_of_range: 6,
+        });
+        assert_eq!(s.registry.counter("medium_grid_stats"), 1);
+        assert_eq!(s.registry.counter("medium_grid_queries"), 40);
+        assert_eq!(s.registry.counter("medium_grid_cells"), 120);
+        assert_eq!(s.registry.counter("medium_visited_tx"), 55);
+        assert_eq!(s.registry.counter("medium_culled_grid"), 300);
+        assert_eq!(s.registry.counter("medium_culled_range"), 6);
     }
 
     #[test]

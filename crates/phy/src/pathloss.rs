@@ -107,6 +107,23 @@ impl PathLossModel {
         tx_power - self.path_loss_db(tx.distance_to(rx))
     }
 
+    /// The distance (metres) at which the mean path loss reaches
+    /// `loss_db` — the inverse of [`PathLossModel::path_loss_db`]:
+    /// `d = d₀ · 10^((loss − PL(d₀)) / (10·n))`.
+    ///
+    /// Budgets at or below the loss at `min_distance_m` return the
+    /// minimum distance (the model never produces less loss than that),
+    /// and an infinite budget returns `f64::INFINITY`. Used to derive
+    /// hearing radii for spatial interference culling: the distance at
+    /// which a transmitter's power, minus this loss, falls below a floor.
+    pub fn distance_for_path_loss_db(&self, loss_db: f64) -> f64 {
+        if loss_db == f64::INFINITY {
+            return f64::INFINITY;
+        }
+        let d = self.d0_m * 10f64.powf((loss_db - self.pl0_db) / (10.0 * self.exponent));
+        d.max(self.min_distance_m)
+    }
+
     /// Received power including a shadowing draw from `rng`.
     ///
     /// Shadowing is sampled per call; callers that want a static shadowing
@@ -211,6 +228,18 @@ mod tests {
         let _ = PathLossModel::new(40.0, 0.0, 1.0, 0.0, 0.1);
     }
 
+    #[test]
+    fn inverse_path_loss_round_trips() {
+        let m = PathLossModel::office();
+        // 46 + 30·log₁₀(10) = 76 dB at 10 m.
+        assert!((m.distance_for_path_loss_db(76.0) - 10.0).abs() < 1e-9);
+        // Below the loss at the minimum distance, clamp to it.
+        let at_min = m.path_loss_db(0.0);
+        assert_eq!(m.distance_for_path_loss_db(at_min - 20.0), 0.1);
+        // An unbounded budget hears everything.
+        assert_eq!(m.distance_for_path_loss_db(f64::INFINITY), f64::INFINITY);
+    }
+
     proptest! {
         #[test]
         fn received_power_monotone_in_distance(d1 in 0.2f64..50.0, d2 in 0.2f64..50.0) {
@@ -228,6 +257,14 @@ mod tests {
             let base = m.received_power(Dbm::new(0.0), Point::ORIGIN, Point::new(d, 0.0));
             let shifted = m.received_power(Dbm::new(p), Point::ORIGIN, Point::new(d, 0.0));
             prop_assert!((shifted.value() - base.value() - p).abs() < 1e-9);
+        }
+
+        #[test]
+        fn inverse_is_consistent_with_forward(d in 0.2f64..5_000.0) {
+            let m = PathLossModel::office();
+            let loss = m.path_loss_db(d);
+            let back = m.distance_for_path_loss_db(loss);
+            prop_assert!((back - d).abs() / d < 1e-9, "d {d} -> loss {loss} -> {back}");
         }
     }
 }

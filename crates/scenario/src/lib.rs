@@ -36,6 +36,7 @@
 #![deny(deprecated)]
 
 pub mod config;
+pub mod dense_city;
 pub mod experiments;
 pub mod geometry;
 pub mod sim;

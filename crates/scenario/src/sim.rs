@@ -731,11 +731,11 @@ impl<S: EventSink> CoexistenceSim<S> {
             _ => None,
         };
         if let Some((observer, listening)) = watch_wanted {
-            // The medium's slab iterates in ascending TxId order already,
-            // so both the lazy fading draws and the f64 sum below evaluate
-            // in the same order a sorted id list did. Snapshot into the
-            // reusable scratch (Transmission is Copy) so the queries can
-            // borrow the medium mutably.
+            // Snapshot into the reusable scratch (Transmission is Copy)
+            // so the queries can borrow the medium mutably, then sort by
+            // id: the slab iterates in arbitrary order, and both the lazy
+            // fading draws and the f64 sum below must evaluate in
+            // ascending-TxId order to stay bit-identical run to run.
             let mut others = std::mem::take(&mut self.tx_scratch);
             others.clear();
             others.extend(
@@ -744,6 +744,7 @@ impl<S: EventSink> CoexistenceSim<S> {
                     .filter(|t| t.id != tx && t.source != observer)
                     .copied(),
             );
+            others.sort_unstable_by_key(|t| t.id);
             let mut interference = MilliWatt::ZERO;
             let mut max_zigbee: Option<MilliWatt> = None;
             let mut max_zigbee_src: Option<(DeviceId, bool)> = None;
@@ -1867,6 +1868,15 @@ impl<S: EventSink> CoexistenceSim<S> {
                 link_misses: stats.link_misses,
                 band_hits: stats.band_hits,
                 band_misses: stats.band_misses,
+            });
+            let grid = self.medium.grid_stats();
+            self.sink.emit(&TraceEvent::MediumGridStats {
+                t_us: end.as_micros(),
+                queries: grid.queries,
+                cells: grid.cells_visited,
+                visited: grid.tx_visited,
+                culled: grid.tx_culled,
+                out_of_range: grid.tx_out_of_range,
             });
         }
         if let Some((s, e)) = self.zb_span.take() {

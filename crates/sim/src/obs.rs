@@ -171,6 +171,25 @@ pub enum TraceEvent {
         /// Band-overlap memo misses.
         band_misses: u64,
     },
+    /// End-of-run snapshot of the spatial culling grid's effectiveness
+    /// (emitted alongside [`TraceEvent::MediumCacheStats`] by mobility
+    /// runs; absent in static scenarios).
+    MediumGridStats {
+        /// Snapshot time (the end of the run).
+        t_us: u64,
+        /// Grid-accelerated medium queries answered.
+        queries: u64,
+        /// Non-empty grid cells visited across all queries.
+        cells: u64,
+        /// Transmissions gathered as candidates and evaluated.
+        visited: u64,
+        /// Transmissions skipped without evaluation (outside the 3×3
+        /// cell window around the observer).
+        culled: u64,
+        /// Candidates gathered but rejected by the exact hearing-radius
+        /// check (cell-resolution false positives).
+        out_of_range: u64,
+    },
     /// Fault injection suppressed a control packet's CSI signature: the
     /// classifier never sees the continuity samples it should have
     /// produced (absent in fault-free runs).
@@ -253,6 +272,7 @@ impl TraceEvent {
             TraceEvent::TrialResolved { .. } => "trial_resolved",
             TraceEvent::MediumCacheInvalidated { .. } => "medium_cache_invalidated",
             TraceEvent::MediumCacheStats { .. } => "medium_cache_stats",
+            TraceEvent::MediumGridStats { .. } => "medium_grid_stats",
             TraceEvent::FaultControlLost { .. } => "fault_control_lost",
             TraceEvent::FaultCtsLost { .. } => "fault_cts_lost",
             TraceEvent::FaultPhantomCsi { .. } => "fault_phantom_csi",
@@ -280,6 +300,7 @@ impl TraceEvent {
             | TraceEvent::TrialResolved { t_us, .. }
             | TraceEvent::MediumCacheInvalidated { t_us, .. }
             | TraceEvent::MediumCacheStats { t_us, .. }
+            | TraceEvent::MediumGridStats { t_us, .. }
             | TraceEvent::FaultControlLost { t_us, .. }
             | TraceEvent::FaultCtsLost { t_us, .. }
             | TraceEvent::FaultPhantomCsi { t_us }
@@ -380,6 +401,20 @@ impl TraceEvent {
                     out,
                     ",\"link_hits\":{link_hits},\"link_misses\":{link_misses},\
                      \"band_hits\":{band_hits},\"band_misses\":{band_misses}"
+                );
+            }
+            TraceEvent::MediumGridStats {
+                queries,
+                cells,
+                visited,
+                culled,
+                out_of_range,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"queries\":{queries},\"cells\":{cells},\"visited\":{visited},\
+                     \"culled\":{culled},\"out_of_range\":{out_of_range}"
                 );
             }
             TraceEvent::FaultControlLost { node, .. } => {
@@ -873,6 +908,14 @@ mod tests {
                 link_misses: 1,
                 band_hits: 9,
                 band_misses: 2,
+            },
+            TraceEvent::MediumGridStats {
+                t_us: 0,
+                queries: 7,
+                cells: 21,
+                visited: 12,
+                culled: 30,
+                out_of_range: 2,
             },
             TraceEvent::FaultControlLost { t_us: 0, node: 1 },
             TraceEvent::FaultCtsLost { t_us: 0, nav_us: 5 },

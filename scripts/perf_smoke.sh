@@ -5,9 +5,11 @@
 # fails on any divergence. Also reports the wall-clock ratio.
 #
 # Unless PERF_SMOKE_SKIP_BENCH=1 is set, it then runs the medium-query
-# microbenches in quick mode (short BICORD_BENCH_SECS budget) and the
-# `multi_node --quick` end-to-end bench, appending both as
-# machine-readable records to BENCH_results.json via PerfRecorder.
+# microbenches in quick mode (short BICORD_BENCH_SECS budget), the
+# `multi_node --quick` end-to-end bench, and the `dense_city_scaling
+# --quick` spatial-culling sweep, appending each as a machine-readable
+# record to BENCH_results.json via PerfRecorder (the records
+# scripts/bench_compare.sh gates against the committed baseline).
 #
 # Usage: scripts/perf_smoke.sh [path-to-fig10_replicated-binary]
 # With no argument, builds and runs via `cargo run --release`.
@@ -65,6 +67,10 @@ BICORD_BENCH_SECS=0.2 \
 
 echo "perf_smoke: multi_node --quick -> BENCH_results.json..."
 cargo run -q --offline --release -p bicord-bench --bin multi_node -- --quick \
+    >/dev/null
+
+echo "perf_smoke: dense_city_scaling --quick -> BENCH_results.json..."
+cargo run -q --offline --release -p bicord-bench --bin dense_city_scaling -- --quick \
     >/dev/null
 
 echo "perf_smoke: bench records updated"

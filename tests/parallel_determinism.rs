@@ -68,6 +68,22 @@ fn aggregated_replicates_match_serial_bitwise() {
 }
 
 #[test]
+fn dense_city_runs_are_byte_identical_across_thread_counts() {
+    use bicord::scenario::dense_city::DenseCityConfig;
+
+    // The dense-city loop exercises the medium's spatial culling grid at
+    // a scale the protocol runtime never reaches; its Debug rendering is
+    // the determinism fingerprint (integers plus exact f64 formatting).
+    let city = |seed: u64| format!("{:?}", DenseCityConfig::residential(4, 4, 3, seed).run());
+    let seeds: Vec<u64> = (0..4).map(|k| MASTER_SEED + k).collect();
+    let serial: Vec<String> = seeds.iter().map(|&s| city(s)).collect();
+    for threads in THREAD_COUNTS {
+        let parallel = parallel_map_threads(threads, seeds.clone(), city);
+        assert_eq!(parallel, serial, "threads={threads}");
+    }
+}
+
+#[test]
 fn replicate_seeds_matches_explicit_seed_list() {
     // `replicate_seeds` is sugar for mapping over master+0..master+runs;
     // its output must equal the hand-rolled serial loop.

@@ -114,6 +114,13 @@ fn noop_sink_is_not_slower_than_a_counting_sink() {
         assert!(
             sink.registry.counter("medium_link_hits") > sink.registry.counter("medium_link_misses")
         );
+        // The spatial grid snapshot rides the same mobility gate; the
+        // default conservative hearing radius visits everything (nothing
+        // culled), which is exactly the golden-preserving contract.
+        assert_eq!(sink.registry.counter("medium_grid_stats"), 1);
+        assert!(sink.registry.counter("medium_grid_queries") > 0);
+        assert_eq!(sink.registry.counter("medium_culled_grid"), 0);
+        assert_eq!(sink.registry.counter("medium_culled_range"), 0);
     }));
     assert!(
         noop.as_secs_f64() <= counting.as_secs_f64() * 1.25,
