@@ -19,6 +19,13 @@
 //! (the acceptance bound is ~2×), against a no-cull baseline that grows
 //! with devices. All metrics land in `BENCH_results.json` for
 //! `scripts/bench_compare.sh` to diff against the committed baseline.
+//!
+//! Pass `--spec FILE [--shard K/N]` to instead run the registry's
+//! "dense_city" scenario (deterministic outcome counters, shardable and
+//! mergeable); per-query latency timing is inherently wall-clock and
+//! stays on this binary's default path.
+
+#![deny(deprecated)]
 
 use std::time::Instant;
 
@@ -125,8 +132,11 @@ fn measure(config: &DenseCityConfig, queries: usize, passes: usize) -> QueryCost
 }
 
 fn main() {
-    let cli = bicord_bench::BenchCli::parse_or_exit("dense_city_scaling");
+    let cli = bicord_bench::BenchCli::parse_or_exit_sweepable("dense_city_scaling");
     cli.apply();
+    if bicord_bench::run_spec_mode(&cli, "dense_city") {
+        return;
+    }
     let sizes: &[u32] = if cli.quick {
         &[100, 400, 1_600]
     } else {

@@ -5,34 +5,68 @@
 //! different traffic pattern coexisting in the surroundings, the generated
 //! white space length needs to be re-adjusted") but does not evaluate it;
 //! this bench does, against ECC-30 as the baseline.
+//!
+//! The grid is driven through the `bicord-sweep` scenario registry
+//! ("multi_node" entry); pass `--spec FILE [--shard K/N]` to run an
+//! arbitrary spec of the same scenario instead of the built-in grid.
+
+#![deny(deprecated)]
 
 use bicord_bench::{run_duration, PerfRecorder, BENCH_SEED};
 use bicord_metrics::table::{fmt1, pct, TextTable};
 use bicord_scenario::config::{ExtraNodeConfig, SimConfig};
-use bicord_scenario::experiments::multi_node;
-use bicord_scenario::geometry::Location;
 use bicord_sim::SimDuration;
+use bicord_sweep::{ParamValue, ScenarioRegistry, SweepSpec};
 
 fn main() {
-    let cli = bicord_bench::BenchCli::parse_or_exit("multi_node");
+    let cli = bicord_bench::BenchCli::parse_or_exit_sweepable("multi_node");
     cli.apply();
+    if bicord_bench::run_spec_mode(&cli, "multi_node") {
+        return;
+    }
     cli.maybe_trace(
         "multi_node",
         SimConfig::builder()
             .seed(BENCH_SEED)
             .duration(SimDuration::from_secs(5))
-            .extra_node(ExtraNodeConfig::at(Location::C))
+            .extra_node(ExtraNodeConfig::at(bicord_scenario::geometry::Location::C))
             .build()
             .expect("trace config is valid"),
     );
     let duration = run_duration(30, 5);
     eprintln!("Multi-node: 1-3 heterogeneous ZigBee pairs x 2 schemes, {duration} each...");
     let mut perf = PerfRecorder::start("multi_node");
-    let rows = multi_node(BENCH_SEED, duration);
+
+    let registry = ScenarioRegistry::builtin();
+    let spec = registry
+        .resolve(
+            &SweepSpec::new("multi_node", BENCH_SEED, 1)
+                .axis(
+                    "scheme",
+                    vec![
+                        ParamValue::Str("bicord".to_string()),
+                        ParamValue::Str("ecc-30".to_string()),
+                    ],
+                )
+                .axis(
+                    "n_nodes",
+                    vec![ParamValue::Int(1), ParamValue::Int(2), ParamValue::Int(3)],
+                )
+                .axis(
+                    "duration_secs",
+                    vec![ParamValue::Int(duration.as_secs_f64() as i64)],
+                ),
+        )
+        .expect("built-in grid resolves");
+    let rows =
+        bicord_sweep::run_cells(&registry, &spec, spec.expand()).expect("built-in grid runs");
     perf.cells(rows.len());
     perf.metric(
         "mean_aggregate_pdr",
-        rows.iter().map(|r| r.aggregate_pdr).sum::<f64>() / rows.len() as f64,
+        rows.iter()
+            .filter_map(|r| r.metric("aggregate_pdr"))
+            .sum::<f64>()
+            / rows.len() as f64,
     );
     perf.finish();
 
@@ -46,17 +80,30 @@ fn main() {
     ]);
     table.title("Multiple ZigBee nodes (A: 5-pkt, C: 10-pkt, D: 3-pkt bursts)");
     for row in &rows {
+        let per_node: Vec<String> = row
+            .metrics
+            .iter()
+            .filter(|(name, _)| name.starts_with("pdr_node_"))
+            .map(|(_, pdr)| format!("{:.0}%", pdr * 100.0))
+            .collect();
         table.row(vec![
-            row.scheme.label(),
-            row.n_nodes.to_string(),
-            pct(row.utilization),
-            pct(row.aggregate_pdr),
-            row.mean_delay_ms.map(fmt1).unwrap_or_else(|| "-".into()),
-            row.per_node_pdr
+            row.params
                 .iter()
-                .map(|p| format!("{:.0}%", p * 100.0))
-                .collect::<Vec<_>>()
-                .join(" / "),
+                .find(|(n, _)| n == "scheme")
+                .map(|(_, v)| v.to_string())
+                .unwrap_or_default(),
+            row.params
+                .iter()
+                .find(|(n, _)| n == "n_nodes")
+                .map(|(_, v)| v.to_string())
+                .unwrap_or_default(),
+            pct(row.metric("utilization").unwrap_or(f64::NAN)),
+            pct(row.metric("aggregate_pdr").unwrap_or(f64::NAN)),
+            row.metric("mean_delay_ms")
+                .filter(|d| d.is_finite())
+                .map(fmt1)
+                .unwrap_or_else(|| "-".into()),
+            per_node.join(" / "),
         ]);
     }
     println!("{table}");

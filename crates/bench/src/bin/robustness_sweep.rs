@@ -6,45 +6,37 @@
 //! bit-identically (checked here, the binary fails otherwise), and at
 //! high rates the coordinator must degrade gracefully (bounded retries,
 //! CSMA fallback) instead of deadlocking.
+//!
+//! The rate grid runs through the `bicord-sweep` scenario registry
+//! ("robustness" entry); pass `--spec FILE [--shard K/N]` to run an
+//! arbitrary spec of the same scenario instead of the built-in grid.
+
+#![deny(deprecated)]
 
 use bicord_bench::{run_duration, PerfRecorder, BENCH_SEED};
-use bicord_metrics::registry::CountingSink;
 use bicord_metrics::table::{fmt1, pct, TextTable};
-use bicord_scenario::config::{ExtraWifiConfig, RunResults, SimConfig};
-use bicord_scenario::geometry::Location;
 use bicord_scenario::sim::CoexistenceSim;
-use bicord_sim::{FaultProfile, SimDuration};
+use bicord_sim::FaultProfile;
+use bicord_sweep::registry::robustness_config;
+use bicord_sweep::{ParamValue, ResultRow, ScenarioRegistry, SweepSpec};
 
 /// Control-loss rates swept; CTS loss and phantom-CSI rates scale along.
 const RATES: [f64; 5] = [0.0, 0.1, 0.25, 0.5, 0.9];
 
-fn config(rate: f64, duration: SimDuration) -> SimConfig {
-    let mut config = SimConfig::bicord(Location::A, BENCH_SEED);
-    config.duration = duration;
-    // A contending station makes CTS loss observable: without the NAV the
-    // "reserved" white space still sees Wi-Fi contention.
-    config.extra_wifi = Some(ExtraWifiConfig::default());
-    config.fault = FaultProfile {
-        control_loss: rate,
-        cts_loss: rate * 0.5,
-        csi_false_positive: rate * 0.1,
-        ..FaultProfile::default()
-    };
-    config
+fn metric(row: &ResultRow, name: &str) -> f64 {
+    row.metric(name).unwrap_or(f64::NAN)
 }
 
-struct Cell {
-    rate: f64,
-    results: RunResults,
-    control_lost: u64,
-    cts_lost: u64,
-    phantoms: u64,
-    backoffs: u64,
+fn count(row: &ResultRow, name: &str) -> u64 {
+    metric(row, name) as u64
 }
 
 fn main() {
-    let cli = bicord_bench::BenchCli::parse_or_exit("robustness_sweep");
+    let cli = bicord_bench::BenchCli::parse_or_exit_sweepable("robustness_sweep");
     cli.apply();
+    if bicord_bench::run_spec_mode(&cli, "robustness") {
+        return;
+    }
     let duration = run_duration(20, 3);
     eprintln!(
         "robustness sweep: {} fault rates x {duration}...",
@@ -54,33 +46,36 @@ fn main() {
 
     // Rate 0 must be bit-identical to a run without any fault profile.
     let baseline = CoexistenceSim::new({
-        let mut c = config(0.0, duration);
+        let mut c = robustness_config(0.0, BENCH_SEED, duration);
         c.fault = FaultProfile::default();
         c
     })
     .expect("valid baseline config")
     .run();
-
-    let mut cells = Vec::with_capacity(RATES.len());
-    for &rate in &RATES {
-        let mut sink = CountingSink::new();
-        let results = CoexistenceSim::with_sink(config(rate, duration), &mut sink)
-            .expect("valid sweep config")
-            .run();
-        cells.push(Cell {
-            rate,
-            results,
-            control_lost: sink.registry.counter("fault_control_lost"),
-            cts_lost: sink.registry.counter("fault_cts_lost"),
-            phantoms: sink.registry.counter("fault_phantom_csi"),
-            backoffs: sink.registry.counter("signaling_backoff"),
-        });
-    }
-
-    let rate0_identical = cells[0].results == baseline;
+    let rate0 = CoexistenceSim::new(robustness_config(0.0, BENCH_SEED, duration))
+        .expect("valid rate-0 config")
+        .run();
+    let rate0_identical = rate0 == baseline;
     if !rate0_identical {
         eprintln!("error: rate-0 sweep diverged from the no-fault baseline");
     }
+
+    let registry = ScenarioRegistry::builtin();
+    let spec = registry
+        .resolve(
+            &SweepSpec::new("robustness", BENCH_SEED, 1)
+                .axis(
+                    "fault_rate",
+                    RATES.iter().map(|&r| ParamValue::Float(r)).collect(),
+                )
+                .axis(
+                    "duration_secs",
+                    vec![ParamValue::Int(duration.as_secs_f64() as i64)],
+                ),
+        )
+        .expect("built-in grid resolves");
+    let rows =
+        bicord_sweep::run_cells(&registry, &spec, spec.expand()).expect("built-in grid runs");
 
     let mut table = TextTable::new(vec![
         "fault rate",
@@ -95,22 +90,37 @@ fn main() {
         "faults (ctl/cts/fp)",
     ]);
     table.title("Robustness sweep — BiCord under injected faults");
-    for cell in &cells {
-        let r = &cell.results;
+    for row in &rows {
+        let rate = row
+            .params
+            .iter()
+            .find(|(n, _)| n == "fault_rate")
+            .and_then(|(_, v)| match v {
+                ParamValue::Float(f) => Some(*f),
+                _ => None,
+            })
+            .unwrap_or(f64::NAN);
+        let delay = metric(row, "mean_delay_ms");
         table.row(vec![
-            format!("{:.0}%", cell.rate * 100.0),
-            pct(r.zigbee_pdr()),
-            r.zigbee
-                .mean_delay_ms
-                .map(fmt1)
-                .unwrap_or_else(|| "-".to_string()),
-            pct(r.utilization),
-            pct(r.zigbee_utilization),
-            r.zigbee.signaling_rounds.to_string(),
-            r.wifi.reservations.to_string(),
-            cell.backoffs.to_string(),
-            r.zigbee.csma_fallbacks.to_string(),
-            format!("{}/{}/{}", cell.control_lost, cell.cts_lost, cell.phantoms),
+            format!("{:.0}%", rate * 100.0),
+            pct(metric(row, "pdr")),
+            if delay.is_finite() {
+                fmt1(delay)
+            } else {
+                "-".to_string()
+            },
+            pct(metric(row, "utilization")),
+            pct(metric(row, "zigbee_utilization")),
+            count(row, "signaling_rounds").to_string(),
+            count(row, "reservations").to_string(),
+            count(row, "backoffs").to_string(),
+            count(row, "csma_fallbacks").to_string(),
+            format!(
+                "{}/{}/{}",
+                count(row, "control_lost"),
+                count(row, "cts_lost"),
+                count(row, "phantom_csi")
+            ),
         ]);
     }
     bicord_bench::maybe_write_csv("robustness_sweep", &table);
@@ -120,23 +130,17 @@ fn main() {
         if rate0_identical { "yes" } else { "NO" }
     );
 
-    let worst = cells.last().expect("non-empty sweep");
-    perf.cells(RATES.len() + 1);
+    let worst = rows.last().expect("non-empty sweep");
+    perf.cells(rows.len() + 2);
     perf.metric(
         "rate0_bit_identical",
         if rate0_identical { 1.0 } else { 0.0 },
     );
     perf.metric("baseline_pdr", baseline.zigbee_pdr());
-    perf.metric("worst_rate_pdr", worst.results.zigbee_pdr());
-    perf.metric(
-        "worst_rate_mean_delay_ms",
-        worst.results.zigbee.mean_delay_ms.unwrap_or(f64::NAN),
-    );
-    perf.metric("worst_rate_utilization", worst.results.utilization);
-    perf.metric(
-        "worst_rate_csma_fallbacks",
-        worst.results.zigbee.csma_fallbacks as f64,
-    );
+    perf.metric("worst_rate_pdr", metric(worst, "pdr"));
+    perf.metric("worst_rate_mean_delay_ms", metric(worst, "mean_delay_ms"));
+    perf.metric("worst_rate_utilization", metric(worst, "utilization"));
+    perf.metric("worst_rate_csma_fallbacks", metric(worst, "csma_fallbacks"));
     perf.finish();
 
     if !rate0_identical {

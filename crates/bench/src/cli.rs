@@ -16,19 +16,38 @@
 //!                  `0`/`off` disables)
 //! ```
 //!
-//! Call [`BenchCli::parse_or_exit`] first thing in `main`, then
-//! [`BenchCli::apply`] before the first simulation, and — for binaries
-//! that support timelines — [`BenchCli::maybe_trace`] with a
-//! representative config of the sweep.
+//! Binaries migrated onto the `bicord-sweep` scenario registry
+//! (`multi_node`, `robustness_sweep`, `dense_city_scaling`) additionally
+//! accept the sweep-contract flags and parse via
+//! [`BenchCli::parse_or_exit_sweepable`]:
+//!
+//! ```text
+//!   --spec PATH    drive the sweep from a JSON spec file instead of the
+//!                  built-in grid (scale comes from the spec, so --quick
+//!                  and --full are rejected alongside it)
+//!   --shard K/N    run only shard K of N of the spec's cells (requires
+//!                  --spec); artifacts land under sweep_out/
+//! ```
+//!
+//! Flag conflicts are **errors**, never silently resolved: `--quick`
+//! with `--full`, `--spec` with either, `--shard` without `--spec`, and
+//! any flag given twice all fail parsing with a message naming the
+//! conflict.
+//!
+//! Call [`BenchCli::parse_or_exit`] (or the sweepable variant) first
+//! thing in `main`, then [`BenchCli::apply`] before the first
+//! simulation, and — for binaries that support timelines —
+//! [`BenchCli::maybe_trace`] with a representative config of the sweep.
 
 use std::path::PathBuf;
 
 use bicord_scenario::config::{Mode, SimConfig};
 use bicord_scenario::sim::CoexistenceSim;
 use bicord_sim::obs::{JsonlSink, TraceHeader};
+use bicord_sweep::Shard;
 
 /// Parsed common bench flags.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct BenchCli {
     /// Run the shortened sweep.
     pub quick: bool,
@@ -38,6 +57,10 @@ pub struct BenchCli {
     pub trace: Option<PathBuf>,
     /// Where to append the machine-readable performance record.
     pub out: Option<PathBuf>,
+    /// Sweep spec file to drive instead of the built-in grid.
+    pub spec: Option<PathBuf>,
+    /// The shard of the spec's cells to run (`None` = all of them).
+    pub shard: Option<Shard>,
 }
 
 /// The mode label used in trace headers (`"bicord"`, `"ecc"`, ...).
@@ -52,25 +75,46 @@ pub fn mode_label(mode: &Mode) -> &'static str {
 
 impl BenchCli {
     /// Parses `std::env::args()`; prints usage and exits on `--help` or
-    /// any error.
+    /// any error. `--spec`/`--shard` are rejected — most binaries have
+    /// no registry entry to drive; see
+    /// [`BenchCli::parse_or_exit_sweepable`].
     pub fn parse_or_exit(binary: &str) -> BenchCli {
-        match BenchCli::parse(std::env::args().skip(1)) {
+        Self::finish(binary, false)
+    }
+
+    /// [`BenchCli::parse_or_exit`] for binaries with a scenario in the
+    /// `bicord-sweep` registry: `--spec` and `--shard` are accepted.
+    pub fn parse_or_exit_sweepable(binary: &str) -> BenchCli {
+        Self::finish(binary, true)
+    }
+
+    fn finish(binary: &str, sweepable: bool) -> BenchCli {
+        match BenchCli::parse(std::env::args().skip(1), sweepable) {
             Ok(cli) => cli,
             Err(e) if e == "help" => {
-                println!("{}", usage(binary));
+                println!("{}", usage(binary, sweepable));
                 std::process::exit(0);
             }
             Err(e) => {
-                eprintln!("error: {e}\n\n{}", usage(binary));
+                eprintln!("error: {e}\n\n{}", usage(binary, sweepable));
                 std::process::exit(2);
             }
         }
     }
 
-    fn parse<I: Iterator<Item = String>>(mut args: I) -> Result<BenchCli, String> {
+    fn parse<I: Iterator<Item = String>>(mut args: I, sweepable: bool) -> Result<BenchCli, String> {
         let mut cli = BenchCli::default();
         let mut full = false;
+        let mut seen: Vec<String> = Vec::new();
         while let Some(arg) = args.next() {
+            // Every flag is single-occurrence; a repeat is a conflict the
+            // user should resolve, not a silent last-one-wins.
+            if arg.starts_with("--") && arg != "--help" {
+                if seen.contains(&arg) {
+                    return Err(format!("{arg} given more than once"));
+                }
+                seen.push(arg.clone());
+            }
             let mut value = |name: &str| {
                 args.next()
                     .ok_or_else(|| format!("{name} requires a value"))
@@ -89,12 +133,33 @@ impl BenchCli {
                 }
                 "--trace" => cli.trace = Some(PathBuf::from(value("--trace")?)),
                 "--out" => cli.out = Some(PathBuf::from(value("--out")?)),
+                "--spec" | "--shard" if !sweepable => {
+                    return Err(format!(
+                        "{arg} is only supported by registry-driven binaries \
+                         (multi_node, robustness_sweep, dense_city_scaling) \
+                         and `bicord sweep`"
+                    ));
+                }
+                "--spec" => cli.spec = Some(PathBuf::from(value("--spec")?)),
+                "--shard" => {
+                    cli.shard = Some(
+                        Shard::parse(&value("--shard")?).map_err(|e| format!("--shard: {e}"))?,
+                    );
+                }
                 "--help" | "-h" => return Err("help".to_string()),
                 other => return Err(format!("unknown option '{other}' (try --help)")),
             }
         }
         if cli.quick && full {
             return Err("--quick and --full are mutually exclusive".to_string());
+        }
+        if cli.spec.is_some() && (cli.quick || full) {
+            return Err(
+                "--spec sets the sweep scale itself; drop --quick/--full or the spec".to_string(),
+            );
+        }
+        if cli.shard.is_some() && cli.spec.is_none() {
+            return Err("--shard needs --spec (the spec defines the cells to shard)".to_string());
         }
         Ok(cli)
     }
@@ -109,6 +174,12 @@ impl BenchCli {
         if let Some(out) = &self.out {
             std::env::set_var("BICORD_BENCH_JSON", out.as_os_str());
         }
+    }
+
+    /// The shard to run when `--spec` is active (defaults to the whole
+    /// sweep).
+    pub fn sweep_shard(&self) -> Shard {
+        self.shard.unwrap_or(Shard::SINGLE)
     }
 
     /// If `--trace` was given, runs `config` once with a [`JsonlSink`]
@@ -150,7 +221,13 @@ impl BenchCli {
     }
 }
 
-fn usage(binary: &str) -> String {
+fn usage(binary: &str, sweepable: bool) -> String {
+    let sweep_flags = if sweepable {
+        "\n  --spec PATH    drive the sweep from a JSON spec (see specs/)\n  \
+         --shard K/N    run shard K of N of the spec's cells (needs --spec)"
+    } else {
+        ""
+    };
     format!(
         "{binary} — regenerate one table/figure of the BiCord paper
 
@@ -162,7 +239,7 @@ OPTIONS:
   --full         paper-scale sweep (the default)
   --threads N    worker threads (sets BICORD_THREADS)
   --trace PATH   JSONL event timeline of one representative run
-  --out PATH     performance-record file (sets BICORD_BENCH_JSON)
+  --out PATH     performance-record file (sets BICORD_BENCH_JSON){sweep_flags}
   --help         this text"
     )
 }
@@ -172,7 +249,11 @@ mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> Result<BenchCli, String> {
-        BenchCli::parse(args.iter().map(|s| s.to_string()))
+        BenchCli::parse(args.iter().map(|s| s.to_string()), false)
+    }
+
+    fn parse_sweepable(args: &[&str]) -> Result<BenchCli, String> {
+        BenchCli::parse(args.iter().map(|s| s.to_string()), true)
     }
 
     #[test]
@@ -207,12 +288,65 @@ mod tests {
     }
 
     #[test]
+    fn repeated_flags_are_conflicts_not_last_one_wins() {
+        let err = parse(&["--out", "a.json", "--out", "b.json"]).unwrap_err();
+        assert!(err.contains("--out"), "{err}");
+        assert!(err.contains("more than once"), "{err}");
+        assert!(parse(&["--threads", "2", "--threads", "4"]).is_err());
+        assert!(parse(&["--quick", "--quick"]).is_err());
+        assert!(parse_sweepable(&["--spec", "a", "--spec", "b"]).is_err());
+    }
+
+    #[test]
+    fn spec_and_shard_parse_for_sweepable_binaries() {
+        let cli = parse_sweepable(&["--spec", "s.json", "--shard", "2/4"]).unwrap();
+        assert_eq!(cli.spec.as_deref(), Some(std::path::Path::new("s.json")));
+        assert_eq!(cli.shard, Some(Shard::parse("2/4").unwrap()));
+        assert_eq!(cli.sweep_shard().to_string(), "2/4");
+        let cli = parse_sweepable(&["--spec", "s.json"]).unwrap();
+        assert_eq!(cli.sweep_shard(), Shard::SINGLE);
+    }
+
+    #[test]
+    fn spec_conflicts_with_quick_and_full() {
+        let err = parse_sweepable(&["--spec", "s.json", "--quick"]).unwrap_err();
+        assert!(err.contains("--spec"), "{err}");
+        assert!(parse_sweepable(&["--spec", "s.json", "--full"]).is_err());
+    }
+
+    #[test]
+    fn shard_requires_spec() {
+        let err = parse_sweepable(&["--shard", "1/2"]).unwrap_err();
+        assert!(err.contains("--shard needs --spec"), "{err}");
+    }
+
+    #[test]
+    fn shard_syntax_is_validated() {
+        assert!(parse_sweepable(&["--spec", "s", "--shard", "0/2"]).is_err());
+        assert!(parse_sweepable(&["--spec", "s", "--shard", "3/2"]).is_err());
+        assert!(parse_sweepable(&["--spec", "s", "--shard", "x"]).is_err());
+    }
+
+    #[test]
+    fn non_sweepable_binaries_reject_spec_flags_loudly() {
+        let err = parse(&["--spec", "s.json"]).unwrap_err();
+        assert!(err.contains("bicord sweep"), "{err}");
+        assert!(parse(&["--shard", "1/2"]).is_err());
+    }
+
+    #[test]
     fn bad_inputs_are_errors() {
         assert!(parse(&["--threads"]).is_err());
         assert!(parse(&["--threads", "0"]).is_err());
         assert!(parse(&["--threads", "x"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
         assert_eq!(parse(&["--help"]).unwrap_err(), "help");
+    }
+
+    #[test]
+    fn usage_mentions_sweep_flags_only_when_supported() {
+        assert!(usage("multi_node", true).contains("--shard"));
+        assert!(!usage("fig3_csi", false).contains("--shard"));
     }
 
     #[test]

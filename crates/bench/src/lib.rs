@@ -72,6 +72,73 @@ pub fn run_count(full: u32, quick: u32) -> u32 {
 /// The master seed shared by the regeneration binaries.
 pub const BENCH_SEED: u64 = 20_210_705;
 
+/// The `--spec` path of a sweepable binary: drives the scenario
+/// registry for the given spec file, prints the generic rows table,
+/// records a (shard-tagged) perf entry, and returns `true` when it
+/// handled the invocation. Binaries call this first and fall through to
+/// their built-in grid when no `--spec` was given.
+///
+/// The spec must name `expected_scenario` — each binary owns exactly one
+/// registry entry; `bicord sweep` is the driver for arbitrary specs.
+pub fn run_spec_mode(cli: &BenchCli, expected_scenario: &str) -> bool {
+    use bicord_sweep::{rows_table, run_shard, ScenarioRegistry};
+    let Some(spec_path) = &cli.spec else {
+        return false;
+    };
+    let shard = cli.sweep_shard();
+    let run = || -> Result<(), bicord_sweep::SweepError> {
+        let registry = ScenarioRegistry::builtin();
+        let spec = bicord_sweep::load_spec(spec_path)?;
+        if spec.scenario != expected_scenario {
+            return Err(bicord_sweep::SweepError::Param(format!(
+                "this binary runs the \"{expected_scenario}\" scenario, but the spec \
+                 names \"{}\"; use `bicord sweep` for arbitrary specs",
+                spec.scenario
+            )));
+        }
+        let spec = registry.resolve(&spec)?;
+        let mut perf = PerfRecorder::start(expected_scenario);
+        if cli.shard.is_some() {
+            perf.shard(shard);
+        }
+        eprintln!(
+            "{expected_scenario}: spec {} shard {shard} ({} of {} cells)...",
+            spec.content_hash(),
+            shard.contains_count(spec.cell_count()),
+            spec.cell_count(),
+        );
+        let outcome = run_shard(
+            &registry,
+            &spec,
+            shard,
+            std::path::Path::new("sweep_out"),
+            false,
+        )?;
+        perf.cells(outcome.cells_run + outcome.cells_skipped);
+        perf.finish();
+        println!(
+            "{}",
+            rows_table(
+                &format!(
+                    "{expected_scenario} — spec {} shard {shard}",
+                    spec.content_hash()
+                ),
+                &outcome.rows,
+            )
+        );
+        eprintln!("shard artifact: {}", outcome.artifact.display());
+        if let Some(merged) = &outcome.merged {
+            eprintln!("merged results: {}", merged.display());
+        }
+        Ok(())
+    };
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+    true
+}
+
 /// If the `BICORD_CSV_DIR` environment variable is set, writes `table` as
 /// `<dir>/<name>.csv` (for plotting); errors are reported on stderr but
 /// never fail the bench.
@@ -91,10 +158,12 @@ pub fn maybe_write_csv(name: &str, table: &TextTable) {
 /// `BENCH_results.json` on [`PerfRecorder::finish`].
 ///
 /// The file is a JSON array with one single-line object per experiment:
-/// `experiment`, `quick`, `threads`, `cells`, `wall_ms`, and a `metrics`
-/// map of key result values. Re-running an experiment replaces its entry
-/// (matched by name + quick flag), so the file accumulates the latest
-/// record per experiment across bench invocations.
+/// `experiment`, `quick`, optionally `shard` (for `--spec --shard K/N`
+/// runs; see [`PerfRecorder::shard`]), `threads`, `cells`, `wall_ms`,
+/// and a `metrics` map of key result values. Re-running an experiment
+/// replaces its entry (matched by name + quick flag + shard), so the
+/// file accumulates the latest record per experiment — and per shard —
+/// across bench invocations.
 ///
 /// # Example
 ///
@@ -110,6 +179,7 @@ pub struct PerfRecorder {
     experiment: String,
     started: Instant,
     cells: usize,
+    shard: Option<bicord_sweep::Shard>,
     metrics: Vec<(String, f64)>,
 }
 
@@ -120,8 +190,16 @@ impl PerfRecorder {
             experiment: experiment.to_string(),
             started: Instant::now(),
             cells: 0,
+            shard: None,
             metrics: Vec::new(),
         }
+    }
+
+    /// Tags the record with the sweep shard this invocation ran, so the
+    /// records of `--shard 1/2` and `--shard 2/2` coexist in the results
+    /// file instead of replacing each other.
+    pub fn shard(&mut self, shard: bicord_sweep::Shard) {
+        self.shard = Some(shard);
     }
 
     /// Records how many independent `(seed, config)` cells the experiment
@@ -147,7 +225,7 @@ impl PerfRecorder {
         };
         let wall_ms = self.started.elapsed().as_secs_f64() * 1e3;
         let record = self.to_json_line(wall_ms, quick_mode(), bicord_sim::par::num_threads());
-        if let Err(e) = merge_record(&path, &self.experiment, quick_mode(), &record) {
+        if let Err(e) = merge_record(&path, &self.experiment, quick_mode(), self.shard, &record) {
             eprintln!("warning: could not write {}: {e}", path.display());
         } else {
             eprintln!("recorded perf entry in {}", path.display());
@@ -157,9 +235,10 @@ impl PerfRecorder {
     fn to_json_line(&self, wall_ms: f64, quick: bool, threads: usize) -> String {
         let mut s = String::new();
         s.push_str(&format!(
-            "{{\"experiment\": {}, \"quick\": {}, \"threads\": {}, \"cells\": {}, \"wall_ms\": {}, \"metrics\": {{",
+            "{{\"experiment\": {}, \"quick\": {}, {}\"threads\": {}, \"cells\": {}, \"wall_ms\": {}, \"metrics\": {{",
             json_string(&self.experiment),
             quick,
+            shard_field(self.shard),
             threads,
             self.cells,
             json_number(wall_ms),
@@ -201,19 +280,33 @@ fn json_number(v: f64) -> String {
     }
 }
 
+/// The optional `"shard": "K/N", ` segment emitted right after `quick`.
+fn shard_field(shard: Option<bicord_sweep::Shard>) -> String {
+    match shard {
+        Some(s) => format!("\"shard\": {}, ", json_string(&s.to_string())),
+        None => String::new(),
+    }
+}
+
 /// Rewrites the results array, replacing any existing entry for
-/// `(experiment, quick)` with `record`. Relies on every element being on
-/// its own line, which is how this module always writes the file.
+/// `(experiment, quick, shard)` with `record`. Relies on every element
+/// being on its own line, which is how this module always writes the
+/// file. The marker includes the key that follows the optional `shard`
+/// field (`"threads"` for unsharded records), so an unsharded record
+/// never matches — and never overwrites — a sharded one for the same
+/// experiment, and vice versa.
 fn merge_record(
     path: &std::path::Path,
     experiment: &str,
     quick: bool,
+    shard: Option<bicord_sweep::Shard>,
     record: &str,
 ) -> std::io::Result<()> {
     let marker = format!(
-        "{{\"experiment\": {}, \"quick\": {},",
+        "{{\"experiment\": {}, \"quick\": {}, {}\"threads\":",
         json_string(experiment),
-        quick
+        quick,
+        shard_field(shard),
     );
     let mut entries: Vec<String> = Vec::new();
     if let Ok(existing) = std::fs::read_to_string(path) {
@@ -272,6 +365,19 @@ mod tests {
     }
 
     #[test]
+    fn sharded_record_carries_the_shard_tag() {
+        let mut p = PerfRecorder::start("demo");
+        p.cells(6);
+        p.shard(bicord_sweep::Shard::parse("2/4").unwrap());
+        let line = p.to_json_line(1.5, false, 2);
+        assert_eq!(
+            line,
+            "{\"experiment\": \"demo\", \"quick\": false, \"shard\": \"2/4\", \
+             \"threads\": 2, \"cells\": 6, \"wall_ms\": 1.5, \"metrics\": {}}"
+        );
+    }
+
+    #[test]
     fn merge_replaces_same_experiment_and_keeps_others() {
         let dir = std::env::temp_dir().join(format!("bicord-bench-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -281,15 +387,67 @@ mod tests {
             p.cells(1);
             p.to_json_line(wall, false, 1)
         };
-        merge_record(&path, "a", false, &rec("a", 1.0)).unwrap();
-        merge_record(&path, "b", false, &rec("b", 2.0)).unwrap();
-        merge_record(&path, "a", false, &rec("a", 9.0)).unwrap();
+        merge_record(&path, "a", false, None, &rec("a", 1.0)).unwrap();
+        merge_record(&path, "b", false, None, &rec("b", 2.0)).unwrap();
+        merge_record(&path, "a", false, None, &rec("a", 9.0)).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("[\n") && text.ends_with("\n]\n"), "{text}");
         assert_eq!(text.matches("\"experiment\": \"a\"").count(), 1);
         assert_eq!(text.matches("\"experiment\": \"b\"").count(), 1);
         assert!(text.contains("\"wall_ms\": 9"), "{text}");
         assert!(!text.contains("\"wall_ms\": 1,"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_and_unsharded_records_never_replace_each_other() {
+        let dir =
+            std::env::temp_dir().join(format!("bicord-bench-shard-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_results.json");
+        let shard = |s: &str| bicord_sweep::Shard::parse(s).unwrap();
+        let rec = |sh: Option<&str>, wall: f64| {
+            let mut p = PerfRecorder::start("a");
+            p.cells(1);
+            if let Some(s) = sh {
+                p.shard(shard(s));
+            }
+            p.to_json_line(wall, false, 1)
+        };
+        merge_record(&path, "a", false, None, &rec(None, 1.0)).unwrap();
+        merge_record(
+            &path,
+            "a",
+            false,
+            Some(shard("1/2")),
+            &rec(Some("1/2"), 2.0),
+        )
+        .unwrap();
+        merge_record(
+            &path,
+            "a",
+            false,
+            Some(shard("2/2")),
+            &rec(Some("2/2"), 3.0),
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.matches("\"experiment\": \"a\"").count(), 3, "{text}");
+        // Re-running shard 1/2 replaces only that entry.
+        merge_record(
+            &path,
+            "a",
+            false,
+            Some(shard("1/2")),
+            &rec(Some("1/2"), 8.0),
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.matches("\"experiment\": \"a\"").count(), 3, "{text}");
+        assert!(text.contains("\"wall_ms\": 8"), "{text}");
+        assert!(!text.contains("\"wall_ms\": 2,"), "{text}");
+        assert!(text.contains("\"wall_ms\": 1,"), "{text}");
+        assert!(text.contains("\"wall_ms\": 3,"), "{text}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -894,12 +894,64 @@ pub struct MultiNodeRow {
     pub per_node_delay_ms: Vec<Option<f64>>,
 }
 
-/// Sec. VI's "multiple ZigBee nodes with different traffic pattern": one
-/// to three heterogeneous pairs (A: 5-packet bursts, C: 10-packet, D:
-/// 3-packet) under BiCord and ECC-30. The single Wi-Fi-side estimate must
-/// serve the union of the requests.
-pub fn multi_node(seed: u64, duration: SimDuration) -> Vec<MultiNodeRow> {
+/// One cell of the Sec. VI multi-node grid: `n_nodes` heterogeneous
+/// ZigBee pairs (A: 5-packet bursts, C: 10-packet, D: 3-packet) under
+/// `scheme`. The single Wi-Fi-side estimate must serve the union of the
+/// requests. This is the per-cell entry point the `bicord-sweep`
+/// scenario registry drives; [`multi_node`] is its deprecated grid shim.
+pub fn multi_node_cell(
+    scheme: Scheme,
+    n_nodes: usize,
+    seed: u64,
+    duration: SimDuration,
+) -> MultiNodeRow {
     use crate::config::ExtraNodeConfig;
+    let mut config = scheme.config(Location::A, seed);
+    config.duration = duration;
+    config.zigbee.arrivals = ArrivalProcess::Poisson(SimDuration::from_millis(300));
+    if n_nodes >= 2 {
+        let mut c = ExtraNodeConfig::at(Location::C);
+        c.burst = BurstSpec {
+            n_packets: 10,
+            mpdu_bytes: 50,
+        };
+        c.arrivals = ArrivalProcess::Poisson(SimDuration::from_millis(500));
+        config.extra_nodes.push(c);
+    }
+    if n_nodes >= 3 {
+        let mut d = ExtraNodeConfig::at(Location::D);
+        d.burst = BurstSpec {
+            n_packets: 3,
+            mpdu_bytes: 50,
+        };
+        d.arrivals = ArrivalProcess::Poisson(SimDuration::from_millis(400));
+        config.extra_nodes.push(d);
+    }
+    let r = CoexistenceSim::new(config)
+        .expect("experiment presets build valid configs")
+        .run();
+    MultiNodeRow {
+        scheme,
+        n_nodes,
+        utilization: r.utilization,
+        aggregate_pdr: r.zigbee_pdr(),
+        mean_delay_ms: r.zigbee.mean_delay_ms,
+        per_node_pdr: r
+            .per_node
+            .iter()
+            .map(|n| n.delivered as f64 / n.generated.max(1) as f64)
+            .collect(),
+        per_node_delay_ms: r.per_node.iter().map(|n| n.mean_delay_ms).collect(),
+    }
+}
+
+/// Sec. VI's "multiple ZigBee nodes with different traffic pattern" as a
+/// hard-wired 2 × 3 grid.
+#[deprecated(
+    since = "0.1.0",
+    note = "drive the \"multi_node\" entry of the bicord-sweep ScenarioRegistry instead"
+)]
+pub fn multi_node(seed: u64, duration: SimDuration) -> Vec<MultiNodeRow> {
     let mut jobs = Vec::new();
     for scheme in [Scheme::Bicord, Scheme::Ecc(30)] {
         for n_nodes in 1..=3usize {
@@ -907,43 +959,7 @@ pub fn multi_node(seed: u64, duration: SimDuration) -> Vec<MultiNodeRow> {
         }
     }
     parallel_map(jobs, move |(scheme, n_nodes)| {
-        let mut config = scheme.config(Location::A, seed);
-        config.duration = duration;
-        config.zigbee.arrivals = ArrivalProcess::Poisson(SimDuration::from_millis(300));
-        if n_nodes >= 2 {
-            let mut c = ExtraNodeConfig::at(Location::C);
-            c.burst = BurstSpec {
-                n_packets: 10,
-                mpdu_bytes: 50,
-            };
-            c.arrivals = ArrivalProcess::Poisson(SimDuration::from_millis(500));
-            config.extra_nodes.push(c);
-        }
-        if n_nodes >= 3 {
-            let mut d = ExtraNodeConfig::at(Location::D);
-            d.burst = BurstSpec {
-                n_packets: 3,
-                mpdu_bytes: 50,
-            };
-            d.arrivals = ArrivalProcess::Poisson(SimDuration::from_millis(400));
-            config.extra_nodes.push(d);
-        }
-        let r = CoexistenceSim::new(config)
-            .expect("experiment presets build valid configs")
-            .run();
-        MultiNodeRow {
-            scheme,
-            n_nodes,
-            utilization: r.utilization,
-            aggregate_pdr: r.zigbee_pdr(),
-            mean_delay_ms: r.zigbee.mean_delay_ms,
-            per_node_pdr: r
-                .per_node
-                .iter()
-                .map(|n| n.delivered as f64 / n.generated.max(1) as f64)
-                .collect(),
-            per_node_delay_ms: r.per_node.iter().map(|n| n.mean_delay_ms).collect(),
-        }
+        multi_node_cell(scheme, n_nodes, seed, duration)
     })
 }
 

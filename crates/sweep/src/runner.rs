@@ -1,0 +1,363 @@
+//! Sweep execution: run a shard, resume, merge, and the single-process
+//! path — all producing byte-identical merged results.
+//!
+//! The execution contract, end to end:
+//!
+//! 1. [`ScenarioRegistry::resolve`] normalizes the spec (sorted axes,
+//!    defaults filled) — hashing and expansion only ever see resolved
+//!    specs.
+//! 2. [`run_shard`] expands the spec, keeps the cells its [`Shard`]
+//!    owns, runs them over `bicord_sim::par::parallel_map` (order
+//!    preserved), and writes the shard artifact atomically. With
+//!    `resume`, a present-and-valid artifact is left untouched and
+//!    nothing re-runs; an invalid one is reported and re-run.
+//! 3. [`merge`] reads all `N` shard artifacts back (fully validated),
+//!    interleaves their rows into cell order, and writes `merged.json`.
+//!    A single-process run ([`run_shard`] with [`Shard::SINGLE`])
+//!    writes the identical bytes directly — the property the
+//!    `sweep-shard` CI job and `tests/sweep_contract.rs` enforce.
+
+use std::path::{Path, PathBuf};
+
+use bicord_sim::par::parallel_map;
+
+use crate::artifact::{
+    merged_path, read_shard, render_merged, render_shard, shard_path, write_atomic, ArtifactIssue,
+};
+use crate::contract::{Cell, ResultRow, SweepSpec};
+use crate::registry::ScenarioRegistry;
+use crate::shard::Shard;
+use crate::SweepError;
+
+/// What [`run_shard`] did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardOutcome {
+    /// The artifact written (or found valid, when resumed).
+    pub artifact: PathBuf,
+    /// Cells executed in this invocation.
+    pub cells_run: usize,
+    /// Cells skipped because a valid artifact already covered them.
+    pub cells_skipped: usize,
+    /// The merged results file, written only by single-shard runs.
+    pub merged: Option<PathBuf>,
+    /// This shard's result rows, in cell order (run or resumed).
+    pub rows: Vec<ResultRow>,
+}
+
+/// Runs `cells` of `spec`'s scenario in parallel, preserving cell order.
+pub fn run_cells(
+    registry: &ScenarioRegistry,
+    spec: &SweepSpec,
+    cells: Vec<Cell>,
+) -> Result<Vec<ResultRow>, SweepError> {
+    let results = parallel_map(cells, |cell| registry.run_cell(&spec.scenario, &cell));
+    results.into_iter().collect()
+}
+
+/// Runs one shard of a **resolved** spec and writes its artifact under
+/// `out_dir`. For [`Shard::SINGLE`] the merged results file is written
+/// too, so an unsharded run needs no separate merge step.
+///
+/// With `resume`, an existing artifact that validates against the spec
+/// is kept (no cells run); a missing or invalid one is re-run and
+/// rewritten.
+pub fn run_shard(
+    registry: &ScenarioRegistry,
+    spec: &SweepSpec,
+    shard: Shard,
+    out_dir: &Path,
+    resume: bool,
+) -> Result<ShardOutcome, SweepError> {
+    let cells: Vec<Cell> = spec
+        .expand()
+        .into_iter()
+        .filter(|c| shard.contains(c.id))
+        .collect();
+    let expected: Vec<u64> = cells.iter().map(|c| c.id).collect();
+    let path = shard_path(out_dir, spec, shard);
+
+    if resume {
+        match read_shard(&path, spec, shard, &expected) {
+            Ok(rows) => {
+                let merged = if shard.count == 1 {
+                    Some(write_merged(out_dir, spec, &rows)?)
+                } else {
+                    None
+                };
+                return Ok(ShardOutcome {
+                    artifact: path,
+                    cells_run: 0,
+                    cells_skipped: rows.len(),
+                    merged,
+                    rows,
+                });
+            }
+            Err(ArtifactIssue::Missing) => {}
+            Err(issue) => {
+                eprintln!(
+                    "sweep: shard {shard} artifact invalid ({issue}); re-running {} cells",
+                    cells.len()
+                );
+            }
+        }
+    }
+
+    let cells_run = cells.len();
+    let rows = run_cells(registry, spec, cells)?;
+    write_atomic(&path, &render_shard(spec, shard, &rows))
+        .map_err(|e| SweepError::Io(format!("writing {}: {e}", path.display())))?;
+    let merged = if shard.count == 1 {
+        Some(write_merged(out_dir, spec, &rows)?)
+    } else {
+        None
+    };
+    Ok(ShardOutcome {
+        artifact: path,
+        cells_run,
+        cells_skipped: 0,
+        merged,
+        rows,
+    })
+}
+
+/// One-call driver for `--spec`-mode binaries: loads `spec_path`,
+/// resolves it against `registry`, runs `shard` of it under `out_dir`,
+/// and returns the resolved spec plus the outcome (whose
+/// [`ShardOutcome::rows`] are ready for display).
+pub fn run_spec_file(
+    registry: &ScenarioRegistry,
+    spec_path: &Path,
+    shard: Shard,
+    out_dir: &Path,
+    resume: bool,
+) -> Result<(SweepSpec, ShardOutcome), SweepError> {
+    let spec = registry.resolve(&crate::load_spec(spec_path)?)?;
+    let outcome = run_shard(registry, &spec, shard, out_dir, resume)?;
+    Ok((spec, outcome))
+}
+
+fn write_merged(
+    out_dir: &Path,
+    spec: &SweepSpec,
+    rows: &[ResultRow],
+) -> Result<PathBuf, SweepError> {
+    let path = merged_path(out_dir, spec);
+    write_atomic(&path, &render_merged(spec, rows))
+        .map_err(|e| SweepError::Io(format!("writing {}: {e}", path.display())))?;
+    Ok(path)
+}
+
+/// Reduces the shard artifacts of a **resolved** spec into
+/// `merged.json`, returning its path and the merged rows in cell order.
+///
+/// The shard count is discovered from the artifacts on disk (they are
+/// content-addressed, so only artifacts of exactly this spec are ever
+/// considered); every one of the `N` shards must be present and valid,
+/// and together they must cover every cell exactly once. Missing or
+/// invalid shards are reported per shard so the caller can re-run just
+/// those (`--shard K/N --resume`).
+pub fn merge(spec: &SweepSpec, out_dir: &Path) -> Result<(PathBuf, Vec<ResultRow>), SweepError> {
+    let count = discover_shard_count(spec, out_dir)?;
+    let all_cells = spec.expand();
+    let mut slots: Vec<Option<ResultRow>> = vec![None; all_cells.len()];
+    let mut problems = Vec::new();
+    for shard in Shard::all(count) {
+        let expected: Vec<u64> = all_cells
+            .iter()
+            .map(|c| c.id)
+            .filter(|&id| shard.contains(id))
+            .collect();
+        let path = shard_path(out_dir, spec, shard);
+        match read_shard(&path, spec, shard, &expected) {
+            Ok(rows) => {
+                for row in rows {
+                    let slot = row.cell as usize;
+                    slots[slot] = Some(row);
+                }
+            }
+            Err(issue) => problems.push(format!("shard {shard}: {issue}")),
+        }
+    }
+    if !problems.is_empty() {
+        return Err(SweepError::IncompleteSweep { problems });
+    }
+    let rows: Vec<ResultRow> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every cell is in exactly one validated shard"))
+        .collect();
+    let path = write_merged(out_dir, spec, &rows)?;
+    Ok((path, rows))
+}
+
+/// Finds the shard count `N` from the artifacts present for this spec.
+/// Artifacts carry `N` in their (content-addressed) names; mixed counts
+/// in one sweep directory are ambiguous and rejected.
+fn discover_shard_count(spec: &SweepSpec, out_dir: &Path) -> Result<u32, SweepError> {
+    let dir = crate::artifact::sweep_dir(out_dir, spec);
+    let entries = std::fs::read_dir(&dir).map_err(|e| {
+        SweepError::Io(format!(
+            "no artifacts for this spec under {} ({e}); run shards first",
+            dir.display()
+        ))
+    })?;
+    let mut counts: Vec<u32> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| SweepError::Io(e.to_string()))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        // shard-K-of-N-<key>.json
+        let Some(rest) = name.strip_prefix("shard-") else {
+            continue;
+        };
+        let mut pieces = rest.splitn(4, '-');
+        let (_k, of, n) = (pieces.next(), pieces.next(), pieces.next());
+        if of != Some("of") {
+            continue;
+        }
+        if let Some(n) = n.and_then(|s| s.parse::<u32>().ok()) {
+            if !counts.contains(&n) {
+                counts.push(n);
+            }
+        }
+    }
+    match counts.as_slice() {
+        [] => Err(SweepError::Io(format!(
+            "no shard artifacts for this spec under {}",
+            dir.display()
+        ))),
+        [n] => Ok(*n),
+        many => {
+            let mut many = many.to_vec();
+            many.sort_unstable();
+            Err(SweepError::Artifact(format!(
+                "mixed shard counts {many:?} under {}; remove stale artifacts and re-merge",
+                dir.display()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::{ParamKind, ParamValue};
+    use crate::registry::{ParamSpec, Scenario};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// A synthetic deterministic scenario: metrics are pure functions of
+    /// the cell, and an external counter observes how many cells ran.
+    fn counting_registry(counter: Arc<AtomicUsize>) -> ScenarioRegistry {
+        let mut registry = ScenarioRegistry::new();
+        registry.register(Scenario::new(
+            "synthetic",
+            "pure function of (n, seed)",
+            vec![ParamSpec {
+                name: "n",
+                kind: ParamKind::Int,
+                default: Some(ParamValue::Int(0)),
+                help: "any integer",
+            }],
+            move |cell| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                let n = cell.int("n")?;
+                Ok(vec![
+                    ("n_squared".to_string(), (n * n) as f64),
+                    ("seeded".to_string(), (n as u64 ^ cell.seed) as f64),
+                ])
+            },
+        ));
+        registry
+    }
+
+    fn spec(values: &[i64], replicates: u32) -> SweepSpec {
+        let mut s = SweepSpec::new("synthetic", 40, replicates)
+            .axis("n", values.iter().map(|&n| ParamValue::Int(n)).collect());
+        s.normalize_axes();
+        s
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bicord-sweep-runner-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn sharded_merge_is_byte_identical_to_single_process() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let registry = counting_registry(counter.clone());
+        let spec = spec(&[1, 2, 3, 4, 5], 2);
+
+        let single_dir = tmpdir("single");
+        let outcome = run_shard(&registry, &spec, Shard::SINGLE, &single_dir, false).unwrap();
+        assert_eq!(outcome.cells_run, 10);
+        let single = std::fs::read(outcome.merged.unwrap()).unwrap();
+
+        let sharded_dir = tmpdir("sharded");
+        for shard in Shard::all(3) {
+            run_shard(&registry, &spec, shard, &sharded_dir, false).unwrap();
+        }
+        let (merged, rows) = merge(&spec, &sharded_dir).unwrap();
+        assert_eq!(rows.len(), 10);
+        let sharded = std::fs::read(merged).unwrap();
+        assert_eq!(single, sharded);
+
+        std::fs::remove_dir_all(&single_dir).ok();
+        std::fs::remove_dir_all(&sharded_dir).ok();
+    }
+
+    #[test]
+    fn resume_skips_valid_and_reruns_invalid_shards() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let registry = counting_registry(counter.clone());
+        let spec = spec(&[1, 2, 3, 4], 1);
+        let dir = tmpdir("resume");
+
+        for shard in Shard::all(2) {
+            run_shard(&registry, &spec, shard, &dir, false).unwrap();
+        }
+        assert_eq!(counter.swap(0, Ordering::Relaxed), 4);
+
+        // Resume with both artifacts valid: nothing runs.
+        for shard in Shard::all(2) {
+            let outcome = run_shard(&registry, &spec, shard, &dir, true).unwrap();
+            assert_eq!(outcome.cells_run, 0);
+            assert_eq!(outcome.cells_skipped, 2);
+        }
+        assert_eq!(counter.swap(0, Ordering::Relaxed), 0);
+
+        // Kill one artifact; resume re-runs exactly its cells.
+        let lost = shard_path(&dir, &spec, Shard::all(2).nth(1).unwrap());
+        std::fs::remove_file(&lost).unwrap();
+        for shard in Shard::all(2) {
+            run_shard(&registry, &spec, shard, &dir, true).unwrap();
+        }
+        assert_eq!(counter.swap(0, Ordering::Relaxed), 2);
+        assert!(merge(&spec, &dir).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_reports_missing_shards_by_name() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let registry = counting_registry(counter);
+        let spec = spec(&[1, 2, 3], 1);
+        let dir = tmpdir("missing");
+        run_shard(&registry, &spec, Shard::all(2).next().unwrap(), &dir, false).unwrap();
+        let err = merge(&spec, &dir).unwrap_err();
+        assert!(err.to_string().contains("shard 2/2"), "{err}");
+        assert!(err.to_string().contains("missing"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_without_artifacts_is_a_clear_error() {
+        let _registry = counting_registry(Arc::new(AtomicUsize::new(0)));
+        let spec = spec(&[1], 1);
+        let dir = tmpdir("empty");
+        let err = merge(&spec, &dir).unwrap_err();
+        assert!(err.to_string().contains("no artifacts"), "{err}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Deterministic assignment of cells to independent shards.
+//!
+//! A sweep of `M` cells splits into `N` shards by round-robin on the
+//! cell id: [`shard_index`]`(cell_id, N) == cell_id % N`. Round-robin
+//! (rather than contiguous ranges) balances shards even when cost
+//! correlates with grid position — e.g. a `devices` axis where later
+//! cells are strictly more expensive.
+//!
+//! Shards are written `K/N` with `K` 1-based (`--shard 2/4` is the
+//! second of four); [`Shard::contains`] is the only membership test in
+//! the crate, so every worker and the merge step agree on the partition
+//! by construction.
+
+use std::fmt;
+
+/// Which shard a cell belongs to: the 0-based round-robin slot.
+pub fn shard_index(cell_id: u64, n_shards: u32) -> u32 {
+    debug_assert!(n_shards >= 1);
+    (cell_id % n_shards.max(1) as u64) as u32
+}
+
+/// One shard of a sweep: `index` of `count`, 1-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// 1-based shard number (`1 ..= count`).
+    pub index: u32,
+    /// Total number of shards.
+    pub count: u32,
+}
+
+impl Shard {
+    /// The whole sweep as a single shard (`1/1`).
+    pub const SINGLE: Shard = Shard { index: 1, count: 1 };
+
+    /// Builds a shard, validating `1 <= index <= count`.
+    pub fn new(index: u32, count: u32) -> Result<Shard, String> {
+        if count == 0 {
+            return Err("shard count must be at least 1".to_string());
+        }
+        if index == 0 || index > count {
+            return Err(format!("shard index must be in 1..={count}, got {index}"));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Parses the `K/N` CLI syntax (`"2/4"`).
+    pub fn parse(text: &str) -> Result<Shard, String> {
+        let (k, n) = text
+            .split_once('/')
+            .ok_or_else(|| format!("shard wants K/N (e.g. 2/4), got '{text}'"))?;
+        let index: u32 = k
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard index '{k}'"))?;
+        let count: u32 = n
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard count '{n}'"))?;
+        Shard::new(index, count)
+    }
+
+    /// Whether `cell_id` belongs to this shard.
+    pub fn contains(&self, cell_id: u64) -> bool {
+        shard_index(cell_id, self.count) == self.index - 1
+    }
+
+    /// How many of a sweep's `total_cells` (ids `0..total_cells`) this
+    /// shard owns.
+    pub fn contains_count(&self, total_cells: u64) -> u64 {
+        let count = self.count as u64;
+        let extra = u64::from((self.index as u64 - 1) < total_cells % count);
+        total_cells / count + extra
+    }
+
+    /// All shards of the same sweep, `1/N ..= N/N`.
+    pub fn all(count: u32) -> impl Iterator<Item = Shard> {
+        (1..=count).map(move |index| Shard { index, count })
+    }
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cell_lands_in_exactly_one_shard() {
+        for n in [1u32, 2, 3, 5, 8] {
+            for cell in 0..100u64 {
+                let owners: Vec<Shard> = Shard::all(n).filter(|s| s.contains(cell)).collect();
+                assert_eq!(owners.len(), 1, "cell {cell} with {n} shards");
+                assert_eq!(owners[0].index - 1, shard_index(cell, n));
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_balances_within_one() {
+        let n = 4u32;
+        let counts: Vec<usize> = Shard::all(n)
+            .map(|s| (0..10u64).filter(|&c| s.contains(c)).count())
+            .collect();
+        assert_eq!(counts, vec![3, 3, 2, 2]);
+        for s in Shard::all(n) {
+            let by_filter = (0..10u64).filter(|&c| s.contains(c)).count() as u64;
+            assert_eq!(s.contains_count(10), by_filter, "{s}");
+        }
+        assert_eq!(Shard::SINGLE.contains_count(7), 7);
+        assert_eq!(Shard::new(3, 4).unwrap().contains_count(0), 0);
+    }
+
+    #[test]
+    fn parse_accepts_k_of_n_and_rejects_garbage() {
+        assert_eq!(Shard::parse("2/4").unwrap(), Shard { index: 2, count: 4 });
+        assert_eq!(Shard::parse("1/1").unwrap(), Shard::SINGLE);
+        assert!(Shard::parse("0/4").is_err());
+        assert!(Shard::parse("5/4").is_err());
+        assert!(Shard::parse("x/4").is_err());
+        assert!(Shard::parse("2").is_err());
+        assert!(Shard::parse("2/0").is_err());
+        assert_eq!(Shard::parse("2/4").unwrap().to_string(), "2/4");
+    }
+}

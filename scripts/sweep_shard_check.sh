@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Sweep-contract gate: running a quick spec as two shards in separate
+# processes and merging the artifacts must produce a merged.json
+# byte-identical to a single-process run of the same spec.
+#
+# This is the distributed-execution guarantee DESIGN.md § "The sweep
+# contract" promises: shard workers can run anywhere, in any order, and
+# the reduce step loses nothing. The same property is enforced in-process
+# by tests/sweep_contract.rs; this script checks it across real `bicord
+# sweep` process boundaries, artifacts and all.
+#
+# Usage: scripts/sweep_shard_check.sh [spec-file]
+# Default spec: specs/robustness_quick.json
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SPEC="${1:-specs/robustness_quick.json}"
+
+echo "sweep_shard_check: building bicord (release)..."
+cargo build -q --offline --release --bin bicord
+
+BICORD=target/release/bicord
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+echo "sweep_shard_check: spec $SPEC as 2 shards + merge..."
+"$BICORD" sweep --spec "$SPEC" --shard 1/2 --out-dir "$tmpdir/sharded" >/dev/null
+"$BICORD" sweep --spec "$SPEC" --shard 2/2 --out-dir "$tmpdir/sharded" >/dev/null
+"$BICORD" sweep --spec "$SPEC" --merge --out-dir "$tmpdir/sharded" >"$tmpdir/merged_table.txt"
+
+echo "sweep_shard_check: same spec in one process..."
+"$BICORD" sweep --spec "$SPEC" --out-dir "$tmpdir/single" >"$tmpdir/single_table.txt"
+
+sharded_merged=$(find "$tmpdir/sharded" -name merged.json)
+single_merged=$(find "$tmpdir/single" -name merged.json)
+[[ -n "$sharded_merged" && -n "$single_merged" ]] || {
+    echo "sweep_shard_check: FAIL — merged.json missing" >&2
+    exit 1
+}
+
+if ! cmp "$sharded_merged" "$single_merged"; then
+    echo "sweep_shard_check: FAIL — sharded merge diverges from single-process run" >&2
+    diff -u "$single_merged" "$sharded_merged" | head -20 >&2 || true
+    exit 1
+fi
+
+echo "sweep_shard_check: resume after losing shard 2/2 (only it may re-run)..."
+rm "$tmpdir"/sharded/*/shard-2-of-2-*.json
+resume1=$("$BICORD" sweep --spec "$SPEC" --shard 1/2 --resume --out-dir "$tmpdir/sharded" 2>&1 >/dev/null)
+grep -q "0 cells run" <<<"$resume1" || {
+    echo "sweep_shard_check: FAIL — surviving shard re-ran: $resume1" >&2
+    exit 1
+}
+"$BICORD" sweep --spec "$SPEC" --shard 2/2 --resume --merge --out-dir "$tmpdir/sharded" >/dev/null
+
+if ! cmp "$sharded_merged" "$single_merged"; then
+    echo "sweep_shard_check: FAIL — post-resume merge diverges" >&2
+    exit 1
+fi
+
+# Keep the merged artifact for CI upload.
+cp "$sharded_merged" sweep_merged.json
+echo "sweep_shard_check: PASS — sharded merge byte-identical to single-process run"

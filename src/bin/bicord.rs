@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bicord [OPTIONS]
+//! bicord sweep --spec FILE [--shard K/N] [--merge] [--resume] ...
 //!
 //! OPTIONS:
 //!   --mode <bicord|ecc-20|ecc-30|ecc-40|unprotected>   coordination scheme [bicord]
@@ -23,6 +24,17 @@
 //!
 //! ```text
 //! bicord --mode ecc-30 --location C --seconds 20 --extra-node D:3:400
+//! ```
+//!
+//! The `sweep` subcommand drives the `bicord::sweep` scenario registry
+//! from a JSON spec file, optionally as one shard of a distributed run
+//! (see README.md § Distributed sweeps and DESIGN.md § The sweep
+//! contract):
+//!
+//! ```text
+//! bicord sweep --spec specs/robustness_quick.json --shard 1/2
+//! bicord sweep --spec specs/robustness_quick.json --shard 2/2
+//! bicord sweep --spec specs/robustness_quick.json --merge
 //! ```
 
 use bicord::prelude::*;
@@ -204,11 +216,182 @@ fn build_config(options: &CliOptions) -> Result<SimConfig, String> {
     Ok(config)
 }
 
+/// Options of the `bicord sweep` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+struct SweepOptions {
+    spec: Option<std::path::PathBuf>,
+    shard: Option<bicord::sweep::Shard>,
+    merge: bool,
+    resume: bool,
+    out_dir: std::path::PathBuf,
+    threads: Option<usize>,
+    list_scenarios: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            spec: None,
+            shard: None,
+            merge: false,
+            resume: false,
+            out_dir: std::path::PathBuf::from("sweep_out"),
+            threads: None,
+            list_scenarios: false,
+        }
+    }
+}
+
+fn parse_sweep_args<I: Iterator<Item = String>>(mut args: I) -> Result<SweepOptions, String> {
+    let mut options = SweepOptions::default();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--spec" => options.spec = Some(std::path::PathBuf::from(value("--spec")?)),
+            "--shard" => {
+                options.shard = Some(
+                    bicord::sweep::Shard::parse(&value("--shard")?)
+                        .map_err(|e| format!("--shard: {e}"))?,
+                )
+            }
+            "--merge" => options.merge = true,
+            "--resume" => options.resume = true,
+            "--out-dir" => options.out_dir = std::path::PathBuf::from(value("--out-dir")?),
+            "--threads" => {
+                let n: usize = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads wants at least 1".to_string());
+                }
+                options.threads = Some(n);
+            }
+            "--list-scenarios" => options.list_scenarios = true,
+            "--help" | "-h" => return Err("help".to_string()),
+            other => return Err(format!("unknown option '{other}' (try --help)")),
+        }
+    }
+    if !options.list_scenarios && options.spec.is_none() {
+        return Err("sweep needs --spec FILE (or --list-scenarios)".to_string());
+    }
+    if options.resume && options.spec.is_none() {
+        return Err("--resume needs --spec".to_string());
+    }
+    Ok(options)
+}
+
+fn sweep_usage() -> &'static str {
+    "bicord sweep — run/merge a sweep of a registered scenario
+
+USAGE:
+  bicord sweep --spec FILE [OPTIONS]
+  bicord sweep --list-scenarios
+
+OPTIONS:
+  --spec FILE        JSON sweep spec (scenario, seed, replicates, axes)
+  --shard K/N        run only shard K of N (1-based); omit for the whole
+                     sweep in one process
+  --merge            reduce the shard artifacts into merged.json; alone
+                     it only merges, after --shard it runs then merges
+  --resume           keep valid existing artifacts, re-run missing or
+                     corrupt shards only
+  --out-dir DIR      artifact directory                        [sweep_out]
+  --threads N        worker threads (sets BICORD_THREADS)
+  --list-scenarios   print the scenario registry and exit
+  --help             this text"
+}
+
+/// Runs the `sweep` subcommand; returns the process exit code.
+fn run_sweep(options: &SweepOptions) -> i32 {
+    use bicord::sweep::{merge, rows_table, run_shard, ScenarioRegistry, Shard};
+
+    if let Some(n) = options.threads {
+        std::env::set_var("BICORD_THREADS", n.to_string());
+    }
+    let registry = ScenarioRegistry::builtin();
+    if options.list_scenarios {
+        for scenario in registry.iter() {
+            println!("{} — {}", scenario.name, scenario.description);
+            for p in &scenario.params {
+                let default = p
+                    .default
+                    .as_ref()
+                    .map(|d| format!(" [{d}]"))
+                    .unwrap_or_else(|| " (required)".to_string());
+                println!("  {} <{}>{default}  {}", p.name, p.kind, p.help);
+            }
+        }
+        return 0;
+    }
+
+    let spec_path = options.spec.as_deref().expect("checked by the parser");
+    let run = || -> Result<(), bicord::sweep::SweepError> {
+        let spec = registry.resolve(&bicord::sweep::load_spec(spec_path)?)?;
+        let hash = spec.content_hash();
+        let mut rows = None;
+
+        if options.shard.is_some() || !options.merge {
+            let shard = options.shard.unwrap_or(Shard::SINGLE);
+            eprintln!(
+                "sweep: {} spec {hash}, shard {shard} ({} of {} cells), out {}",
+                spec.scenario,
+                shard.contains_count(spec.cell_count()),
+                spec.cell_count(),
+                options.out_dir.display(),
+            );
+            let outcome = run_shard(&registry, &spec, shard, &options.out_dir, options.resume)?;
+            eprintln!(
+                "sweep: shard {shard}: {} cells run, {} resumed -> {}",
+                outcome.cells_run,
+                outcome.cells_skipped,
+                outcome.artifact.display()
+            );
+            if let Some(merged) = &outcome.merged {
+                eprintln!("sweep: merged results: {}", merged.display());
+            }
+            rows = Some((
+                format!("{} — spec {hash} shard {shard}", spec.scenario),
+                outcome.rows,
+            ));
+        }
+
+        if options.merge {
+            let (path, merged_rows) = merge(&spec, &options.out_dir)?;
+            eprintln!(
+                "sweep: merged {} cells -> {}",
+                merged_rows.len(),
+                path.display()
+            );
+            rows = Some((
+                format!("{} — spec {hash} merged", spec.scenario),
+                merged_rows,
+            ));
+        }
+
+        if let Some((title, rows)) = rows {
+            println!("{}", rows_table(&title, &rows));
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
 fn usage() -> &'static str {
     "bicord — run a Wi-Fi/ZigBee coexistence scenario
 
 USAGE:
   bicord [OPTIONS]
+  bicord sweep --spec FILE [--shard K/N] [--merge] [--resume]
+               (see `bicord sweep --help`)
 
 OPTIONS:
   --mode <bicord|ecc-20|ecc-30|ecc-40|unprotected>  scheme      [bicord]
@@ -227,7 +410,23 @@ OPTIONS:
 }
 
 fn main() {
-    let options = match parse_args(std::env::args().skip(1)) {
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("sweep") {
+        args.next();
+        let options = match parse_sweep_args(args) {
+            Ok(o) => o,
+            Err(e) if e == "help" => {
+                println!("{}", sweep_usage());
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {e}\n\n{}", sweep_usage());
+                std::process::exit(2);
+            }
+        };
+        std::process::exit(run_sweep(&options));
+    }
+    let options = match parse_args(args) {
         Ok(o) => o,
         Err(e) if e == "help" => {
             println!("{}", usage());
@@ -408,6 +607,52 @@ mod tests {
         // Without the flag the config keeps the inactive default.
         let c = build_config(&CliOptions::default()).unwrap();
         assert!(!c.fault.is_active());
+    }
+
+    fn parse_sweep(args: &[&str]) -> Result<SweepOptions, String> {
+        parse_sweep_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn sweep_args_parse() {
+        let o = parse_sweep(&[
+            "--spec",
+            "s.json",
+            "--shard",
+            "2/4",
+            "--merge",
+            "--resume",
+            "--out-dir",
+            "artifacts",
+            "--threads",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(o.spec.as_deref(), Some(std::path::Path::new("s.json")));
+        assert_eq!(o.shard, Some(bicord::sweep::Shard::parse("2/4").unwrap()));
+        assert!(o.merge && o.resume);
+        assert_eq!(o.out_dir, std::path::PathBuf::from("artifacts"));
+        assert_eq!(o.threads, Some(3));
+    }
+
+    #[test]
+    fn sweep_requires_a_spec_or_listing() {
+        assert!(parse_sweep(&[]).is_err());
+        assert!(parse_sweep(&["--merge"]).is_err());
+        let o = parse_sweep(&["--list-scenarios"]).unwrap();
+        assert!(o.list_scenarios);
+        // Merge-only: spec given, no shard.
+        let o = parse_sweep(&["--spec", "s.json", "--merge"]).unwrap();
+        assert!(o.merge);
+        assert_eq!(o.shard, None);
+    }
+
+    #[test]
+    fn sweep_rejects_bad_inputs() {
+        assert!(parse_sweep(&["--spec", "s.json", "--shard", "0/4"]).is_err());
+        assert!(parse_sweep(&["--spec", "s.json", "--threads", "0"]).is_err());
+        assert!(parse_sweep(&["--spec", "s.json", "--warp"]).is_err());
+        assert_eq!(parse_sweep(&["--help"]).unwrap_err(), "help");
     }
 
     #[test]

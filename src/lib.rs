@@ -21,6 +21,7 @@
 //! | [`workloads`] | burst traffic, Wi-Fi priority schedules, mobility |
 //! | [`metrics`] | utilization/delay/throughput/precision-recall and text tables |
 //! | [`scenario`] | the Fig. 6 office wiring and one runner per table/figure |
+//! | [`sweep`] | the sharded, resumable sweep contract and scenario registry (`bicord sweep`) |
 //!
 //! # Quickstart
 //!
@@ -75,6 +76,7 @@ pub use bicord_metrics as metrics;
 pub use bicord_phy as phy;
 pub use bicord_scenario as scenario;
 pub use bicord_sim as sim;
+pub use bicord_sweep as sweep;
 pub use bicord_workloads as workloads;
 
 /// One-line import of everything a typical simulation script needs:

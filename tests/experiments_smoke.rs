@@ -5,7 +5,7 @@
 use bicord::scenario::experiments::{
     ablation_allocator, ablation_detector, cti_accuracy, energy_cost, energy_cost_measured,
     fig10_comparison, fig10_replicated, fig11_parameters, fig12_mobility_replicated,
-    fig13_priority, fig7_learning, fig8_fig9, multi_node, table1_2, MobilityScenario, Scheme,
+    fig13_priority, fig7_learning, fig8_fig9, multi_node_cell, table1_2, MobilityScenario, Scheme,
 };
 use bicord::sim::SimDuration;
 
@@ -115,7 +115,13 @@ fn energy_runners_smoke() {
 
 #[test]
 fn multi_node_grid_shape() {
-    let rows = multi_node(909, SimDuration::from_secs(2));
+    // The grid the registry's "multi_node" scenario spans, cell by cell.
+    let rows: Vec<_> = [Scheme::Bicord, Scheme::Ecc(30)]
+        .into_iter()
+        .flat_map(|scheme| {
+            (1..=3).map(move |n| multi_node_cell(scheme, n, 909, SimDuration::from_secs(2)))
+        })
+        .collect();
     assert_eq!(rows.len(), 2 * 3);
     for row in &rows {
         assert_eq!(row.per_node_pdr.len(), row.n_nodes);

@@ -1,0 +1,210 @@
+//! The sweep contract, end to end: expanding a spec, running it as `N`
+//! independent shards, and merging the shard artifacts must produce a
+//! results file **byte-identical** to running the whole sweep in one
+//! process — for arbitrary specs and shard counts — and a killed shard
+//! must be recoverable by re-running only that shard (`--resume`).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use bicord::sweep::{
+    merge, run_shard, ParamKind, ParamSpec, ParamValue, Scenario, ScenarioRegistry, Shard,
+    SweepSpec,
+};
+use proptest::prelude::*;
+
+/// A cheap, fully deterministic scenario: metrics are pure functions of
+/// the cell. `counter` observes how many cells actually execute.
+fn synthetic_registry(counter: Arc<AtomicUsize>) -> ScenarioRegistry {
+    let mut registry = ScenarioRegistry::new();
+    registry.register(Scenario::new(
+        "synthetic",
+        "pure function of (n, m, seed)",
+        vec![
+            ParamSpec {
+                name: "n",
+                kind: ParamKind::Int,
+                default: Some(ParamValue::Int(0)),
+                help: "any integer",
+            },
+            ParamSpec {
+                name: "m",
+                kind: ParamKind::Float,
+                default: Some(ParamValue::Float(1.0)),
+                help: "any float",
+            },
+        ],
+        move |cell| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            let n = cell.int("n")?;
+            let m = cell.float("m")?;
+            Ok(vec![
+                ("mix".to_string(), n as f64 * m + cell.seed as f64),
+                ("replicate".to_string(), cell.replicate as f64),
+            ])
+        },
+    ));
+    registry
+}
+
+fn unique_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "bicord-sweep-contract-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs `spec` once unsharded and once as `n_shards` shards + merge,
+/// returning both merged files' bytes.
+fn single_vs_sharded(
+    registry: &ScenarioRegistry,
+    spec: &SweepSpec,
+    n_shards: u32,
+) -> (Vec<u8>, Vec<u8>) {
+    let single_dir = unique_dir("single");
+    let outcome = run_shard(registry, spec, Shard::SINGLE, &single_dir, false).unwrap();
+    let single =
+        std::fs::read(outcome.merged.expect("single-shard runs write merged.json")).unwrap();
+
+    let sharded_dir = unique_dir("sharded");
+    for shard in Shard::all(n_shards) {
+        run_shard(registry, spec, shard, &sharded_dir, false).unwrap();
+    }
+    let (merged_path, _) = merge(spec, &sharded_dir).unwrap();
+    let sharded = std::fs::read(merged_path).unwrap();
+
+    std::fs::remove_dir_all(&single_dir).ok();
+    std::fs::remove_dir_all(&sharded_dir).ok();
+    (single, sharded)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        max_shrink_iters: 0,
+        ..ProptestConfig::default()
+    })]
+
+    /// expand → shard(K/N) → merge == unsharded, for random specs and
+    /// shard counts (including N larger than the cell count, where some
+    /// shards are legitimately empty).
+    #[test]
+    fn sharded_merge_is_byte_identical_for_random_specs(
+        n_values in proptest::collection::vec(-100i64..100, 1..5),
+        m_values in proptest::collection::vec(-2.0f64..2.0, 1..4),
+        replicates in 1u32..4,
+        n_shards in 1u32..7,
+        seed in 0u64..1_000_000,
+    ) {
+        let registry = synthetic_registry(Arc::new(AtomicUsize::new(0)));
+        let spec = registry
+            .resolve(
+                &SweepSpec::new("synthetic", seed, replicates)
+                    .axis("n", n_values.iter().map(|&n| ParamValue::Int(n)).collect())
+                    .axis("m", m_values.iter().map(|&m| ParamValue::Float(m)).collect()),
+            )
+            .unwrap();
+        let (single, sharded) = single_vs_sharded(&registry, &spec, n_shards);
+        prop_assert_eq!(single, sharded);
+    }
+}
+
+/// The acceptance path on a real scenario: a robustness spec run as two
+/// shards plus merge matches the one-process run byte for byte.
+#[test]
+fn real_scenario_sharded_merge_matches_single_process() {
+    let spec_dir = unique_dir("spec");
+    std::fs::create_dir_all(&spec_dir).unwrap();
+    let spec_path = spec_dir.join("quick.json");
+    std::fs::write(
+        &spec_path,
+        r#"{"scenario": "robustness", "seed": 7,
+            "params": {"fault_rate": [0.0, 0.5], "duration_secs": 1}}"#,
+    )
+    .unwrap();
+
+    let registry = ScenarioRegistry::builtin();
+    let spec = registry
+        .resolve(&bicord::sweep::load_spec(&spec_path).unwrap())
+        .unwrap();
+    assert_eq!(spec.cell_count(), 2);
+    let (single, sharded) = single_vs_sharded(&registry, &spec, 2);
+    assert_eq!(single, sharded);
+    assert!(!single.is_empty());
+    std::fs::remove_dir_all(&spec_dir).ok();
+}
+
+/// Kill-and-resume: after deleting one shard's artifact, `--resume`
+/// re-runs exactly that shard's cells — the surviving artifact is reused
+/// untouched — and the merge still reproduces the single-process bytes.
+#[test]
+fn resume_reruns_only_the_killed_shard() {
+    let counter = Arc::new(AtomicUsize::new(0));
+    let registry = synthetic_registry(counter.clone());
+    let spec = registry
+        .resolve(
+            &SweepSpec::new("synthetic", 11, 1).axis("n", (0..6).map(ParamValue::Int).collect()),
+        )
+        .unwrap();
+    let dir = unique_dir("resume");
+
+    for shard in Shard::all(3) {
+        run_shard(&registry, &spec, shard, &dir, false).unwrap();
+    }
+    assert_eq!(counter.swap(0, Ordering::Relaxed), 6);
+    let (_, before) = merge(&spec, &dir).unwrap();
+
+    // Simulate a killed worker: shard 2's artifact disappears.
+    let killed = Shard::new(2, 3).unwrap();
+    let killed_path = bicord::sweep::artifact::shard_path(&dir, &spec, killed);
+    std::fs::remove_file(&killed_path).unwrap();
+
+    for shard in Shard::all(3) {
+        let outcome = run_shard(&registry, &spec, shard, &dir, true).unwrap();
+        if shard == killed {
+            assert_eq!(outcome.cells_run, 2, "killed shard re-runs its cells");
+        } else {
+            assert_eq!(outcome.cells_run, 0, "surviving shard {shard} is reused");
+        }
+    }
+    assert_eq!(counter.swap(0, Ordering::Relaxed), 2);
+
+    let (path, after) = merge(&spec, &dir).unwrap();
+    let lines = |rows: &[bicord::sweep::ResultRow]| -> Vec<String> {
+        rows.iter().map(|r| r.to_json_line()).collect()
+    };
+    assert_eq!(lines(&before), lines(&after));
+    assert!(path.ends_with("merged.json"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A corrupt artifact (truncated file) is detected and re-run on resume
+/// rather than silently merged.
+#[test]
+fn corrupt_artifact_is_rerun_on_resume() {
+    let counter = Arc::new(AtomicUsize::new(0));
+    let registry = synthetic_registry(counter.clone());
+    let spec = registry
+        .resolve(
+            &SweepSpec::new("synthetic", 3, 1).axis("n", (0..4).map(ParamValue::Int).collect()),
+        )
+        .unwrap();
+    let dir = unique_dir("corrupt");
+    let shard = Shard::SINGLE;
+    run_shard(&registry, &spec, shard, &dir, false).unwrap();
+    counter.swap(0, Ordering::Relaxed);
+
+    let path = bicord::sweep::artifact::shard_path(&dir, &spec, shard);
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+    let outcome = run_shard(&registry, &spec, shard, &dir, true).unwrap();
+    assert_eq!(outcome.cells_run, 4);
+    assert_eq!(counter.swap(0, Ordering::Relaxed), 4);
+    std::fs::remove_dir_all(&dir).ok();
+}
