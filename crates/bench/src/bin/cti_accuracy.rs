@@ -2,14 +2,20 @@
 //! interference among RSSI traces of four technologies (paper: 96.39 %)
 //! and identifying which of three Wi-Fi devices transmitted (paper:
 //! 89.76 % ± 2.14).
+//!
+//! Also drivable through the sweep registry (`cti_accuracy` scenario):
+//! `cti_accuracy --spec specs/cti_accuracy_quick.json [--shard K/N]`.
 
-use bicord_bench::{run_count, PerfRecorder, BENCH_SEED};
+use bicord_bench::{run_count, run_spec_mode, PerfRecorder, BENCH_SEED};
 use bicord_metrics::table::{pct, TextTable};
 use bicord_scenario::experiments::cti_accuracy;
 
 fn main() {
-    let cli = bicord_bench::BenchCli::parse_or_exit("cti_accuracy");
+    let cli = bicord_bench::BenchCli::parse_or_exit_sweepable("cti_accuracy");
     cli.apply();
+    if run_spec_mode(&cli, "cti_accuracy") {
+        return;
+    }
     let traces = run_count(200, 40) as usize;
     eprintln!("CTI detection: {traces} traces per technology / device...");
     let mut perf = PerfRecorder::start("cti_accuracy");

@@ -17,7 +17,8 @@
 //! ```
 //!
 //! Binaries migrated onto the `bicord-sweep` scenario registry
-//! (`multi_node`, `robustness_sweep`, `dense_city_scaling`) additionally
+//! (`multi_node`, `robustness_sweep`, `dense_city_scaling`,
+//! `cti_accuracy`) additionally
 //! accept the sweep-contract flags and parse via
 //! [`BenchCli::parse_or_exit_sweepable`]:
 //!
@@ -27,6 +28,10 @@
 //!                  and --full are rejected alongside it)
 //!   --shard K/N    run only shard K of N of the spec's cells (requires
 //!                  --spec); artifacts land under sweep_out/
+//!   --cell-timeout S   abandon + quarantine a cell after S wall-clock
+//!                  seconds (requires --spec)
+//!   --max-retries N    re-runs per failed cell before quarantine
+//!                  (requires --spec; default 1)
 //! ```
 //!
 //! Flag conflicts are **errors**, never silently resolved: `--quick`
@@ -61,6 +66,10 @@ pub struct BenchCli {
     pub spec: Option<PathBuf>,
     /// The shard of the spec's cells to run (`None` = all of them).
     pub shard: Option<Shard>,
+    /// Wall-clock deadline per cell before quarantine (spec mode only).
+    pub cell_timeout: Option<std::time::Duration>,
+    /// Re-runs per failed cell before quarantine (spec mode only).
+    pub max_retries: Option<u32>,
 }
 
 /// The mode label used in trace headers (`"bicord"`, `"ecc"`, ...).
@@ -133,17 +142,33 @@ impl BenchCli {
                 }
                 "--trace" => cli.trace = Some(PathBuf::from(value("--trace")?)),
                 "--out" => cli.out = Some(PathBuf::from(value("--out")?)),
-                "--spec" | "--shard" if !sweepable => {
+                "--spec" | "--shard" | "--cell-timeout" | "--max-retries" if !sweepable => {
                     return Err(format!(
                         "{arg} is only supported by registry-driven binaries \
-                         (multi_node, robustness_sweep, dense_city_scaling) \
-                         and `bicord sweep`"
+                         (multi_node, robustness_sweep, dense_city_scaling, \
+                         cti_accuracy) and `bicord sweep`"
                     ));
                 }
                 "--spec" => cli.spec = Some(PathBuf::from(value("--spec")?)),
                 "--shard" => {
                     cli.shard = Some(
                         Shard::parse(&value("--shard")?).map_err(|e| format!("--shard: {e}"))?,
+                    );
+                }
+                "--cell-timeout" => {
+                    let secs: f64 = value("--cell-timeout")?
+                        .parse()
+                        .map_err(|e| format!("--cell-timeout: {e}"))?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err("--cell-timeout wants a positive number of seconds".to_string());
+                    }
+                    cli.cell_timeout = Some(std::time::Duration::from_secs_f64(secs));
+                }
+                "--max-retries" => {
+                    cli.max_retries = Some(
+                        value("--max-retries")?
+                            .parse()
+                            .map_err(|e| format!("--max-retries: {e}"))?,
                     );
                 }
                 "--help" | "-h" => return Err("help".to_string()),
@@ -161,7 +186,25 @@ impl BenchCli {
         if cli.shard.is_some() && cli.spec.is_none() {
             return Err("--shard needs --spec (the spec defines the cells to shard)".to_string());
         }
+        if (cli.cell_timeout.is_some() || cli.max_retries.is_some()) && cli.spec.is_none() {
+            return Err(
+                "--cell-timeout/--max-retries supervise spec-driven cells; add --spec".to_string(),
+            );
+        }
         Ok(cli)
+    }
+
+    /// The supervision policy the flags describe (spec mode only):
+    /// library defaults with `--cell-timeout`/`--max-retries` applied.
+    pub fn run_policy(&self) -> bicord_sweep::RunPolicy {
+        let mut policy = bicord_sweep::RunPolicy::default();
+        if self.cell_timeout.is_some() {
+            policy.cell_timeout = self.cell_timeout;
+        }
+        if let Some(n) = self.max_retries {
+            policy.max_retries = n;
+        }
+        policy
     }
 
     /// Applies the environment-variable-backed options. Must run before
@@ -224,7 +267,9 @@ impl BenchCli {
 fn usage(binary: &str, sweepable: bool) -> String {
     let sweep_flags = if sweepable {
         "\n  --spec PATH    drive the sweep from a JSON spec (see specs/)\n  \
-         --shard K/N    run shard K of N of the spec's cells (needs --spec)"
+         --shard K/N    run shard K of N of the spec's cells (needs --spec)\n  \
+         --cell-timeout S   abandon + quarantine a cell after S seconds (needs --spec)\n  \
+         --max-retries N    re-runs per failed cell before quarantine (needs --spec)"
     } else {
         ""
     };
@@ -318,6 +363,34 @@ mod tests {
     fn shard_requires_spec() {
         let err = parse_sweepable(&["--shard", "1/2"]).unwrap_err();
         assert!(err.contains("--shard needs --spec"), "{err}");
+    }
+
+    #[test]
+    fn supervision_flags_require_spec_and_shape_the_policy() {
+        let cli = parse_sweepable(&[
+            "--spec",
+            "s.json",
+            "--cell-timeout",
+            "1.5",
+            "--max-retries",
+            "0",
+        ])
+        .unwrap();
+        let policy = cli.run_policy();
+        assert_eq!(
+            policy.cell_timeout,
+            Some(std::time::Duration::from_millis(1500))
+        );
+        assert_eq!(policy.max_retries, 0);
+        // Without the flags the library defaults apply.
+        let cli = parse_sweepable(&["--spec", "s.json"]).unwrap();
+        assert_eq!(cli.run_policy(), bicord_sweep::RunPolicy::default());
+        // Orphaned flags are conflicts.
+        assert!(parse_sweepable(&["--cell-timeout", "1"]).is_err());
+        assert!(parse_sweepable(&["--max-retries", "2"]).is_err());
+        assert!(parse_sweepable(&["--spec", "s", "--cell-timeout", "0"]).is_err());
+        // Non-sweepable binaries reject them like --spec.
+        assert!(parse(&["--cell-timeout", "1"]).is_err());
     }
 
     #[test]

@@ -81,13 +81,14 @@ pub const BENCH_SEED: u64 = 20_210_705;
 /// The spec must name `expected_scenario` — each binary owns exactly one
 /// registry entry; `bicord sweep` is the driver for arbitrary specs.
 pub fn run_spec_mode(cli: &BenchCli, expected_scenario: &str) -> bool {
-    use bicord_sweep::{rows_table, run_shard, ScenarioRegistry};
+    use bicord_sweep::{rows_table, run_shard_supervised, ScenarioRegistry};
     let Some(spec_path) = &cli.spec else {
         return false;
     };
     let shard = cli.sweep_shard();
-    let run = || -> Result<(), bicord_sweep::SweepError> {
-        let registry = ScenarioRegistry::builtin();
+    let policy = cli.run_policy();
+    let run = || -> Result<usize, bicord_sweep::SweepError> {
+        let registry = std::sync::Arc::new(ScenarioRegistry::builtin());
         let spec = bicord_sweep::load_spec(spec_path)?;
         if spec.scenario != expected_scenario {
             return Err(bicord_sweep::SweepError::Param(format!(
@@ -107,12 +108,13 @@ pub fn run_spec_mode(cli: &BenchCli, expected_scenario: &str) -> bool {
             shard.contains_count(spec.cell_count()),
             spec.cell_count(),
         );
-        let outcome = run_shard(
+        let outcome = run_shard_supervised(
             &registry,
             &spec,
             shard,
             std::path::Path::new("sweep_out"),
             false,
+            &policy,
         )?;
         perf.cells(outcome.cells_run + outcome.cells_skipped);
         perf.finish();
@@ -127,14 +129,27 @@ pub fn run_spec_mode(cli: &BenchCli, expected_scenario: &str) -> bool {
             )
         );
         eprintln!("shard artifact: {}", outcome.artifact.display());
+        if !outcome.quarantined.is_empty() {
+            eprintln!(
+                "{} cells QUARANTINED {:?}; see quarantine-cell-*.json under sweep_out/",
+                outcome.quarantined.len(),
+                outcome.quarantined
+            );
+        }
         if let Some(merged) = &outcome.merged {
             eprintln!("merged results: {}", merged.display());
         }
-        Ok(())
+        Ok(outcome.quarantined.len())
     };
-    if let Err(e) = run() {
-        eprintln!("error: {e}");
-        std::process::exit(1);
+    match run() {
+        Ok(0) => {}
+        // The shard survived, but quarantined cells need a re-run before
+        // the sweep is usable; signal that distinctly from hard errors.
+        Ok(_) => std::process::exit(3),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
     true
 }

@@ -42,6 +42,7 @@ use bicord_phy::noise::{NoiseBurst, WIFI_NOISE_FLOOR, ZIGBEE_NOISE_FLOOR};
 use bicord_phy::reception::PrrModel;
 use bicord_phy::spectrum::{Band, WifiChannel, ZigbeeChannel};
 use bicord_phy::units::{Dbm, MilliWatt};
+use bicord_sim::guard::{GuardViolation, NoopGuard, SimGuard};
 use bicord_sim::obs::{EventSink, NoopSink, TraceEvent};
 use bicord_sim::{stream_rng, Engine, FaultInjector, SeedDomain, SimDuration, SimTime};
 use bicord_workloads::priority::TrafficClass;
@@ -205,8 +206,15 @@ struct ZbNode {
 /// let results = CoexistenceSim::with_sink(config, &mut sink).unwrap().run();
 /// assert_eq!(results.wifi.reservations, sink.of_kind("reservation").len() as u64);
 /// ```
-pub struct CoexistenceSim<S: EventSink = NoopSink> {
+///
+/// The guard type parameter likewise defaults to the zero-sized
+/// [`NoopGuard`]; pass a [`bicord_sim::RuntimeGuard`] via
+/// [`CoexistenceSim::with_guard`] and execute with
+/// [`CoexistenceSim::try_run`] to catch stalls, liveness and
+/// conservation violations as structured errors instead of hangs.
+pub struct CoexistenceSim<S: EventSink = NoopSink, G: SimGuard = NoopGuard> {
     sink: S,
+    guard: G,
     config: SimConfig,
     engine: Engine<Event>,
     medium: Medium,
@@ -306,6 +314,25 @@ impl<S: EventSink> CoexistenceSim<S> {
     /// Returns a [`ConfigError`] for inconsistent configurations (see
     /// [`SimConfig::validate`]).
     pub fn with_sink(config: SimConfig, sink: S) -> Result<Self, ConfigError> {
+        CoexistenceSim::with_guard(config, sink, NoopGuard)
+    }
+}
+
+impl<S: EventSink, G: SimGuard> CoexistenceSim<S, G> {
+    /// Builds the scenario with both an [`EventSink`] and a
+    /// [`SimGuard`] watching runtime invariants (see
+    /// [`bicord_sim::guard`]).
+    ///
+    /// Pass `&mut guard` to read [`bicord_sim::RuntimeGuard::summary`]
+    /// after the consuming [`CoexistenceSim::run`] /
+    /// [`CoexistenceSim::try_run`]. The guard draws no randomness, so a
+    /// guarded run produces bit-identical results to an unguarded one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for inconsistent configurations (see
+    /// [`SimConfig::validate`]).
+    pub fn with_guard(config: SimConfig, sink: S, guard: G) -> Result<Self, ConfigError> {
         config.validate()?;
         let seed = config.seed;
         let mut medium = Medium::new(ChannelConfig::default(), seed);
@@ -505,6 +532,7 @@ impl<S: EventSink> CoexistenceSim<S> {
 
         Ok(CoexistenceSim {
             sink,
+            guard,
             engine,
             medium,
             wifi,
@@ -556,7 +584,31 @@ impl<S: EventSink> CoexistenceSim<S> {
     }
 
     /// Runs the scenario to completion and returns the measured results.
-    pub fn run(mut self) -> RunResults {
+    ///
+    /// # Panics
+    ///
+    /// Panics if an enabled guard detects a fatal violation (a stall).
+    /// With the default [`NoopGuard`] this cannot happen; callers that
+    /// want the violation as a value use [`CoexistenceSim::try_run`].
+    pub fn run(self) -> RunResults {
+        self.try_run()
+            .unwrap_or_else(|v| panic!("simulation aborted by runtime guard: {v}"))
+    }
+
+    /// Runs the scenario to completion, aborting with a structured
+    /// [`GuardViolation`] if an enabled guard detects a stall.
+    ///
+    /// Non-fatal violations (overdue bursts, conservation mismatches)
+    /// are reported through the sink as `guard_*` trace records and the
+    /// run continues; only a stall — which would otherwise loop forever
+    /// — aborts. The `guard_stall` record is emitted before returning,
+    /// so sinks see the abort cause too.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GuardViolation::StallDetected`] when the guard's
+    /// same-instant dequeue budget is exhausted.
+    pub fn try_run(mut self) -> Result<RunResults, GuardViolation> {
         // Kick the Wi-Fi sender.
         if self.config.wifi.enqueue_interval.is_none() {
             self.wifi
@@ -578,8 +630,28 @@ impl<S: EventSink> CoexistenceSim<S> {
         let end = self.end_at;
         while let Some((now, event)) = self.engine.next_event_before(end) {
             self.handle(now, event);
+            if self.guard.enabled() {
+                if let Some(v) = self.guard.check_stall(now, self.engine.same_time_streak()) {
+                    if let GuardViolation::StallDetected { t_us, dequeues } = v {
+                        self.sink.emit(&TraceEvent::GuardStall { t_us, dequeues });
+                    }
+                    return Err(v);
+                }
+                if let Some(GuardViolation::BurstOverdue {
+                    t_us,
+                    node,
+                    started_us,
+                }) = self.guard.check_liveness(now)
+                {
+                    self.sink.emit(&TraceEvent::GuardLiveness {
+                        t_us,
+                        node,
+                        started_us,
+                    });
+                }
+            }
         }
-        self.finalize()
+        Ok(self.finalize())
     }
 
     // ------------------------------------------------------------------
@@ -693,6 +765,7 @@ impl<S: EventSink> CoexistenceSim<S> {
         let tx = self
             .medium
             .begin_transmission(source, power, band, now, now + airtime, payload);
+        self.guard.on_tx_begin();
         self.engine.schedule_at(now + airtime, Event::TxEnd(tx));
 
         // Contribute to existing reception watches. `RxWatch` is `Copy`,
@@ -801,6 +874,26 @@ impl<S: EventSink> CoexistenceSim<S> {
     }
 
     fn on_tx_end(&mut self, now: SimTime, tx_id: TxId) {
+        if self.guard.enabled() {
+            // Checked at entry: every path below ends exactly this one
+            // transmission, so the slab should still hold everything the
+            // guard counted as begun-but-not-ended.
+            let active = self.medium.active_count() as u64;
+            if let Some(GuardViolation::ConservationBroken {
+                t_us,
+                invariant,
+                expected,
+                actual,
+            }) = self.guard.check_tx_end(now, active)
+            {
+                self.sink.emit(&TraceEvent::GuardConservation {
+                    t_us,
+                    invariant,
+                    expected,
+                    actual,
+                });
+            }
+        }
         let tx = *self
             .medium
             .transmission(tx_id)
@@ -1208,7 +1301,12 @@ impl<S: EventSink> CoexistenceSim<S> {
         match &self.config.mode {
             Mode::Bicord => {
                 let actions = match self.nodes[node].client.as_mut() {
-                    Some(client) => client.on_burst(now, n, bytes),
+                    Some(client) => {
+                        // Only client-driven bursts report BurstComplete,
+                        // so only those arm the liveness watch.
+                        self.guard.on_burst_start(now, node as u32);
+                        client.on_burst(now, n, bytes)
+                    }
                     None => Vec::new(),
                 };
                 self.apply_client_actions(now, node, actions);
@@ -1810,6 +1908,7 @@ impl<S: EventSink> CoexistenceSim<S> {
                     self.record_delivery(now, node, seq);
                 }
                 ClientAction::BurstComplete { delivered, failed } => {
+                    self.guard.on_burst_end(node as u32);
                     self.sink.emit(&TraceEvent::BurstComplete {
                         t_us: now.as_micros(),
                         node: node as u32,
@@ -1883,6 +1982,39 @@ impl<S: EventSink> CoexistenceSim<S> {
             self.util.add(Occupant::ZigbeeData, e - s);
         }
         self.util.finish(end);
+        if self.guard.enabled() {
+            // Airtime conservation: the accrued busy time cannot exceed
+            // the run window times the number of concurrent occupancy
+            // sources (two Wi-Fi MACs + CTS protection, plus data and
+            // control per ZigBee node). A violation means double
+            // accounting, not congestion.
+            let busy_us: u64 = [
+                Occupant::WifiData,
+                Occupant::WifiCts,
+                Occupant::ZigbeeData,
+                Occupant::ZigbeeControl,
+            ]
+            .iter()
+            .map(|o| self.util.airtime(*o).as_micros())
+            .sum();
+            let window_us = end.as_micros();
+            let sources = 3 + 2 * self.nodes.len() as u64;
+            let capacity_us = window_us.saturating_mul(sources);
+            if let Some(GuardViolation::ConservationBroken {
+                t_us,
+                invariant,
+                expected,
+                actual,
+            }) = self.guard.check_airtime(window_us, busy_us, capacity_us)
+            {
+                self.sink.emit(&TraceEvent::GuardConservation {
+                    t_us,
+                    invariant,
+                    expected,
+                    actual,
+                });
+            }
+        }
         self.throughput.finish(end);
 
         let (mean_delay, p95_delay, max_delay) = if self.delay.count() > 0 {
@@ -2055,6 +2187,52 @@ mod tests {
         assert!(r.utilization > 0.5, "utilization {}", r.utilization);
         assert_eq!(r.per_node.len(), 1);
         assert_eq!(r.per_node[0].delivered, r.zigbee.delivered);
+    }
+
+    #[test]
+    fn guarded_run_is_bit_identical_and_clean() {
+        use bicord_sim::guard::{GuardConfig, RuntimeGuard};
+        use bicord_sim::obs::VecSink;
+
+        let mut config = SimConfig::bicord(Location::A, 13);
+        config.duration = SimDuration::from_secs(3);
+        let plain = CoexistenceSim::new(config.clone()).unwrap().run();
+
+        let mut sink = VecSink::new();
+        let mut guard = RuntimeGuard::new(GuardConfig::default());
+        let guarded = CoexistenceSim::with_guard(config, &mut sink, &mut guard)
+            .unwrap()
+            .try_run()
+            .expect("healthy run must not stall");
+
+        // The guard observes without perturbing: results are identical
+        // and a healthy run reports no violations.
+        assert_eq!(format!("{plain:?}"), format!("{guarded:?}"));
+        assert!(!guard.summary().any(), "summary: {}", guard.summary());
+        assert!(sink.of_kind("guard_stall").is_empty());
+        assert!(sink.of_kind("guard_liveness").is_empty());
+        assert!(sink.of_kind("guard_conservation").is_empty());
+    }
+
+    #[test]
+    fn guard_reports_a_seeded_conservation_mismatch() {
+        use bicord_sim::guard::{GuardConfig, RuntimeGuard, SimGuard as _};
+        use bicord_sim::obs::VecSink;
+
+        let mut config = SimConfig::bicord(Location::A, 13);
+        config.duration = SimDuration::from_secs(1);
+        let mut sink = VecSink::new();
+        let mut guard = RuntimeGuard::new(GuardConfig::default());
+        // Pre-charge the begin counter: the first real TxEnd now sees
+        // one more "active" transmission than the medium slab holds.
+        guard.on_tx_begin();
+        let _ = CoexistenceSim::with_guard(config, &mut sink, &mut guard)
+            .unwrap()
+            .try_run()
+            .expect("conservation mismatches are non-fatal");
+        assert!(guard.summary().conservation >= 1);
+        let records = sink.of_kind("guard_conservation");
+        assert!(!records.is_empty(), "mismatch must reach the sink");
     }
 
     #[test]

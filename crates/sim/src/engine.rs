@@ -38,6 +38,7 @@ pub struct Engine<E> {
     now: SimTime,
     queue: EventQueue<E>,
     processed: u64,
+    same_time_streak: u64,
 }
 
 impl<E> Default for Engine<E> {
@@ -53,6 +54,7 @@ impl<E> Engine<E> {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
             processed: 0,
+            same_time_streak: 0,
         }
     }
 
@@ -69,6 +71,17 @@ impl<E> Engine<E> {
     /// Number of events still pending.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Consecutive events delivered without the clock moving forward.
+    ///
+    /// Zero after an event that advanced the clock; otherwise the count
+    /// of same-instant deliveries since. A livelock (events forever
+    /// re-scheduled at the same instant) shows up as an unbounded
+    /// streak, which the [`guard`](crate::guard) module's stall
+    /// detector checks against a budget.
+    pub fn same_time_streak(&self) -> u64 {
+        self.same_time_streak
     }
 
     /// Schedules `event` at the absolute instant `at`.
@@ -101,6 +114,11 @@ impl<E> Engine<E> {
     pub fn next_event(&mut self) -> Option<(SimTime, E)> {
         let (t, e) = self.queue.pop()?;
         debug_assert!(t >= self.now, "event queue yielded a past event");
+        if t == self.now && self.processed > 0 {
+            self.same_time_streak += 1;
+        } else {
+            self.same_time_streak = 0;
+        }
         self.now = t;
         self.processed += 1;
         Some((t, e))
@@ -117,6 +135,7 @@ impl<E> Engine<E> {
             _ => {
                 if horizon > self.now {
                     self.now = horizon;
+                    self.same_time_streak = 0;
                 }
                 None
             }
@@ -190,6 +209,29 @@ mod tests {
         // A later horizon keeps advancing; an earlier one does not rewind.
         assert!(e.next_event_before(SimTime::from_millis(1)).is_none());
         assert_eq!(e.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn same_time_streak_tracks_clock_progress() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_millis(1), 0);
+        e.schedule_at(SimTime::from_millis(1), 1);
+        e.schedule_at(SimTime::from_millis(1), 2);
+        e.schedule_at(SimTime::from_millis(2), 3);
+        e.next_event();
+        assert_eq!(e.same_time_streak(), 0, "first delivery at a new instant");
+        e.next_event();
+        assert_eq!(e.same_time_streak(), 1);
+        e.next_event();
+        assert_eq!(e.same_time_streak(), 2);
+        e.next_event();
+        assert_eq!(e.same_time_streak(), 0, "clock moved, streak resets");
+        // Horizon-driven clock advance also resets the streak.
+        e.schedule_at(SimTime::from_millis(2), 4);
+        e.next_event();
+        assert_eq!(e.same_time_streak(), 1);
+        assert!(e.next_event_before(SimTime::from_millis(9)).is_none());
+        assert_eq!(e.same_time_streak(), 0);
     }
 
     #[test]

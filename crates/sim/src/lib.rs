@@ -15,7 +15,10 @@
 //! * [`obs`] — structured observability: the [`obs::EventSink`] trait,
 //!   the [`obs::TraceEvent`] taxonomy, and the JSONL timeline writer,
 //! * [`fault`] — deterministic fault injection ([`fault::FaultProfile`] /
-//!   [`fault::FaultInjector`]) for robustness studies.
+//!   [`fault::FaultInjector`]) for robustness studies,
+//! * [`guard`] — runtime invariant guard ([`guard::SimGuard`] /
+//!   [`guard::RuntimeGuard`]) catching stalls, liveness and conservation
+//!   violations, zero-cost when disabled via [`guard::NoopGuard`].
 //!
 //! # Example
 //!
@@ -40,6 +43,7 @@ pub mod dist;
 pub mod engine;
 pub mod event;
 pub mod fault;
+pub mod guard;
 pub mod obs;
 pub mod par;
 pub mod rng;
@@ -48,6 +52,7 @@ pub mod time;
 pub use engine::Engine;
 pub use event::EventQueue;
 pub use fault::{FaultInjector, FaultProfile};
+pub use guard::{GuardConfig, GuardSummary, GuardViolation, NoopGuard, RuntimeGuard, SimGuard};
 pub use obs::{EventSink, JsonlSink, NoopSink, TraceEvent, VecSink};
 pub use rng::{derive_seed, stream_rng, SeedDomain};
 pub use time::{SimDuration, SimTime};

@@ -251,6 +251,39 @@ pub enum TraceEvent {
         /// Rounds the suspicious burst had accumulated.
         rounds: u32,
     },
+    /// The runtime guard detected a livelock: the run dequeued `dequeues`
+    /// consecutive events without simulated time advancing. Fatal — the
+    /// run aborts right after emitting this record.
+    GuardStall {
+        /// Virtual time the clock is stuck at.
+        t_us: u64,
+        /// Consecutive same-instant dequeues observed.
+        dequeues: u64,
+    },
+    /// The runtime guard found a burst that exceeded its liveness bound
+    /// without completing or aborting (reported once per burst).
+    GuardLiveness {
+        /// Time of the check.
+        t_us: u64,
+        /// Node whose burst is overdue.
+        node: u32,
+        /// When the overdue burst started.
+        started_us: u64,
+    },
+    /// The runtime guard found a conservation invariant out of balance
+    /// (transmission accounting vs. the medium slab, or airtime vs.
+    /// window capacity).
+    GuardConservation {
+        /// Time of the check.
+        t_us: u64,
+        /// Which invariant broke (`"active_transmissions"`,
+        /// `"airtime_accounting"`).
+        invariant: &'static str,
+        /// The value the invariant predicts.
+        expected: u64,
+        /// The value actually observed.
+        actual: u64,
+    },
 }
 
 impl TraceEvent {
@@ -280,6 +313,9 @@ impl TraceEvent {
             TraceEvent::SignalingBackoff { .. } => "signaling_backoff",
             TraceEvent::CsmaFallback { .. } => "csma_fallback",
             TraceEvent::LearningAbort { .. } => "learning_abort",
+            TraceEvent::GuardStall { .. } => "guard_stall",
+            TraceEvent::GuardLiveness { .. } => "guard_liveness",
+            TraceEvent::GuardConservation { .. } => "guard_conservation",
         }
     }
 
@@ -307,7 +343,10 @@ impl TraceEvent {
             | TraceEvent::FaultChurn { t_us, .. }
             | TraceEvent::SignalingBackoff { t_us, .. }
             | TraceEvent::CsmaFallback { t_us, .. }
-            | TraceEvent::LearningAbort { t_us, .. } => t_us,
+            | TraceEvent::LearningAbort { t_us, .. }
+            | TraceEvent::GuardStall { t_us, .. }
+            | TraceEvent::GuardLiveness { t_us, .. }
+            | TraceEvent::GuardConservation { t_us, .. } => t_us,
         }
     }
 
@@ -435,6 +474,25 @@ impl TraceEvent {
             }
             TraceEvent::LearningAbort { rounds, .. } => {
                 let _ = write!(out, ",\"rounds\":{rounds}");
+            }
+            TraceEvent::GuardStall { dequeues, .. } => {
+                let _ = write!(out, ",\"dequeues\":{dequeues}");
+            }
+            TraceEvent::GuardLiveness {
+                node, started_us, ..
+            } => {
+                let _ = write!(out, ",\"node\":{node},\"started_us\":{started_us}");
+            }
+            TraceEvent::GuardConservation {
+                invariant,
+                expected,
+                actual,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"invariant\":\"{invariant}\",\"expected\":{expected},\"actual\":{actual}"
+                );
             }
         }
         out.push('}');
@@ -938,6 +996,21 @@ mod tests {
             TraceEvent::LearningAbort {
                 t_us: 0,
                 rounds: 40,
+            },
+            TraceEvent::GuardStall {
+                t_us: 0,
+                dequeues: 1_000_000,
+            },
+            TraceEvent::GuardLiveness {
+                t_us: 0,
+                node: 2,
+                started_us: 0,
+            },
+            TraceEvent::GuardConservation {
+                t_us: 0,
+                invariant: "active_transmissions",
+                expected: 1,
+                actual: 2,
             },
         ];
         for e in &events {

@@ -28,6 +28,8 @@ use crate::shard::Shard;
 pub const SHARD_SCHEMA: &str = "bicord-sweep/1";
 /// Schema tag of merged results.
 pub const MERGED_SCHEMA: &str = "bicord-sweep-merged/1";
+/// Schema tag of per-cell quarantine artifacts.
+pub const QUARANTINE_SCHEMA: &str = "bicord-quarantine/1";
 
 /// The content key of a (spec, shard) pair: 16 hex digits.
 pub fn shard_key(spec_hash: &str, shard: Shard) -> String {
@@ -76,7 +78,17 @@ fn render_rows(out: &mut String, rows: &[ResultRow]) {
 }
 
 /// Serializes one shard's artifact (header line + one row per line).
-pub fn render_shard(spec: &SweepSpec, shard: Shard, rows: &[ResultRow]) -> String {
+///
+/// `quarantined` lists cell ids this shard owns but could not produce
+/// rows for (the supervised runner isolated their failures). The field
+/// is only emitted when non-empty, so clean shards render byte-for-byte
+/// as they did before supervision existed.
+pub fn render_shard(
+    spec: &SweepSpec,
+    shard: Shard,
+    rows: &[ResultRow],
+    quarantined: &[u64],
+) -> String {
     let mut out = format!(
         "{{\"schema\": {}, \"spec_hash\": {}, \"scenario\": {}, \"shard\": {}, \"cells\": {}, \"rows_hash\": {},\n",
         json::escape(SHARD_SCHEMA),
@@ -86,6 +98,16 @@ pub fn render_shard(spec: &SweepSpec, shard: Shard, rows: &[ResultRow]) -> Strin
         rows.len(),
         json::escape(&rows_hash(rows)),
     );
+    if !quarantined.is_empty() {
+        out.push_str("\"quarantined\": [");
+        for (i, id) in quarantined.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&id.to_string());
+        }
+        out.push_str("],\n");
+    }
     render_rows(&mut out, rows);
     out
 }
@@ -141,15 +163,26 @@ impl std::fmt::Display for ArtifactIssue {
     }
 }
 
+/// What a shard artifact holds: completed rows plus the cell ids the
+/// supervised runner quarantined instead of producing rows for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardContents {
+    /// Completed result rows, in cell order.
+    pub rows: Vec<ResultRow>,
+    /// Quarantined cell ids, ascending. Empty for clean shards.
+    pub quarantined: Vec<u64>,
+}
+
 /// Reads and fully validates one shard artifact: schema and spec hash,
 /// declared shard, row-bytes hash, and coverage of exactly
-/// `expected_cells` (in order). Returns the rows on success.
-pub fn read_shard(
+/// `expected_cells` — every expected cell must appear either as a row
+/// or in the quarantine list, and nowhere twice.
+pub fn read_shard_full(
     path: &Path,
     spec: &SweepSpec,
     shard: Shard,
     expected_cells: &[u64],
-) -> Result<Vec<ResultRow>, ArtifactIssue> {
+) -> Result<ShardContents, ArtifactIssue> {
     let text = match fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(ArtifactIssue::Missing),
@@ -194,15 +227,169 @@ pub fn read_shard(
             "rows hash {declared_hash} does not match content"
         )));
     }
-    let cells: Vec<u64> = rows.iter().map(|r| r.cell).collect();
-    if cells != expected_cells {
+    let quarantined: Vec<u64> = match doc.get("quarantined") {
+        None => Vec::new(),
+        Some(v) => v
+            .as_array()
+            .ok_or_else(|| ArtifactIssue::Corrupt("\"quarantined\" is not an array".to_string()))?
+            .iter()
+            .map(|j| {
+                j.as_i64()
+                    .filter(|&id| id >= 0)
+                    .map(|id| id as u64)
+                    .ok_or_else(|| {
+                        ArtifactIssue::Corrupt("non-integer quarantined cell id".to_string())
+                    })
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    // Coverage: rows and quarantine must partition the expected cells.
+    let mut covered: Vec<u64> = rows
+        .iter()
+        .map(|r| r.cell)
+        .chain(quarantined.iter().copied())
+        .collect();
+    covered.sort_unstable();
+    covered.dedup();
+    let mut expected_sorted = expected_cells.to_vec();
+    expected_sorted.sort_unstable();
+    if covered != expected_sorted
+        || rows.len() + quarantined.len() != expected_cells.len()
+        || !rows.windows(2).all(|w| w[0].cell < w[1].cell)
+    {
         return Err(ArtifactIssue::Mismatch(format!(
-            "covers {} cells, expected {} for shard {shard}",
-            cells.len(),
+            "covers {} rows + {} quarantined, expected {} cells for shard {shard}",
+            rows.len(),
+            quarantined.len(),
             expected_cells.len()
         )));
     }
-    Ok(rows)
+    Ok(ShardContents { rows, quarantined })
+}
+
+/// [`read_shard_full`] for callers that require a *clean* shard: an
+/// artifact with quarantined cells is reported as a mismatch (the cells
+/// have no rows yet — resume the shard with the supervised runner).
+pub fn read_shard(
+    path: &Path,
+    spec: &SweepSpec,
+    shard: Shard,
+    expected_cells: &[u64],
+) -> Result<Vec<ResultRow>, ArtifactIssue> {
+    let contents = read_shard_full(path, spec, shard, expected_cells)?;
+    if !contents.quarantined.is_empty() {
+        return Err(ArtifactIssue::Mismatch(format!(
+            "{} cells quarantined: {:?}",
+            contents.quarantined.len(),
+            contents.quarantined
+        )));
+    }
+    Ok(contents.rows)
+}
+
+/// One quarantined cell: why the supervised runner could not produce a
+/// row for it, with enough identity to re-run it exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineRecord {
+    /// The failing cell's id.
+    pub cell: u64,
+    /// The seed the cell ran (and will re-run) with.
+    pub seed: u64,
+    /// The replicate index of the cell.
+    pub replicate: u32,
+    /// Failure class: `"panic"`, `"timeout"`, or `"stall"`.
+    pub cause: String,
+    /// Human-readable detail (panic payload, timeout bound, guard
+    /// counters for stalls).
+    pub message: String,
+    /// Attempts made before quarantining (1 = no retry configured).
+    pub attempts: u32,
+}
+
+/// The path of one cell's quarantine artifact. Keyed by spec and cell
+/// only — not by shard — so `merge` can attribute causes regardless of
+/// which shard layout produced the failure.
+pub fn quarantine_path(out_dir: &Path, spec: &SweepSpec, cell: u64) -> PathBuf {
+    let material = format!("{}:cell:{cell}", spec.content_hash());
+    let key = format!("{:016x}", fnv1a(material.as_bytes()));
+    sweep_dir(out_dir, spec).join(format!("quarantine-cell-{cell}-{key}.json"))
+}
+
+/// Serializes a quarantine artifact. The trailing `self_hash` is an
+/// FNV-1a over every byte before it, so a truncated or hand-edited file
+/// fails validation just like shard artifacts do.
+pub fn render_quarantine(spec: &SweepSpec, record: &QuarantineRecord) -> String {
+    let mut out = format!(
+        "{{\"schema\": {}, \"spec_hash\": {}, \"cell\": {}, \"seed\": {}, \"replicate\": {}, \
+         \"cause\": {}, \"message\": {}, \"attempts\": {}, ",
+        json::escape(QUARANTINE_SCHEMA),
+        json::escape(&spec.content_hash()),
+        record.cell,
+        record.seed,
+        record.replicate,
+        json::escape(&record.cause),
+        json::escape(&record.message),
+        record.attempts,
+    );
+    let hash = format!("{:016x}", fnv1a(out.as_bytes()));
+    out.push_str(&format!("\"self_hash\": {}}}\n", json::escape(&hash)));
+    out
+}
+
+/// Reads and validates one quarantine artifact (schema, spec hash, and
+/// the self hash over its own bytes).
+pub fn read_quarantine(path: &Path, spec: &SweepSpec) -> Result<QuarantineRecord, ArtifactIssue> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(ArtifactIssue::Missing),
+        Err(e) => return Err(ArtifactIssue::Corrupt(e.to_string())),
+    };
+    let doc = json::parse(&text).map_err(ArtifactIssue::Corrupt)?;
+    let sfield = |name: &str| -> Result<&str, ArtifactIssue> {
+        doc.get(name)
+            .and_then(Json::as_str)
+            .ok_or_else(|| ArtifactIssue::Corrupt(format!("no \"{name}\" string")))
+    };
+    let nfield = |name: &str| -> Result<u64, ArtifactIssue> {
+        doc.get(name)
+            .and_then(Json::as_i64)
+            .filter(|&v| v >= 0)
+            .map(|v| v as u64)
+            .ok_or_else(|| ArtifactIssue::Corrupt(format!("no \"{name}\" number")))
+    };
+    if sfield("schema")? != QUARANTINE_SCHEMA {
+        return Err(ArtifactIssue::Mismatch(format!(
+            "schema {:?} (want {QUARANTINE_SCHEMA:?})",
+            sfield("schema")?
+        )));
+    }
+    if sfield("spec_hash")? != spec.content_hash() {
+        return Err(ArtifactIssue::Mismatch(format!(
+            "spec hash {} (want {})",
+            sfield("spec_hash")?,
+            spec.content_hash()
+        )));
+    }
+    let declared = sfield("self_hash")?;
+    let marker = ", \"self_hash\"";
+    let prefix_end = text
+        .find(marker)
+        .ok_or_else(|| ArtifactIssue::Corrupt("no self_hash field".to_string()))?
+        + 2; // the hash covers everything up to and including ", "
+    let actual = format!("{:016x}", fnv1a(&text.as_bytes()[..prefix_end]));
+    if declared != actual {
+        return Err(ArtifactIssue::Corrupt(format!(
+            "self hash {declared} does not match content"
+        )));
+    }
+    Ok(QuarantineRecord {
+        cell: nfield("cell")?,
+        seed: nfield("seed")?,
+        replicate: nfield("replicate")? as u32,
+        cause: sfield("cause")?.to_string(),
+        message: sfield("message")?.to_string(),
+        attempts: nfield("attempts")? as u32,
+    })
 }
 
 #[cfg(test)]
@@ -246,7 +433,7 @@ mod tests {
         let shard = Shard::parse("1/2").unwrap();
         let rows = vec![row(0, 1.5), row(2, 2.5)];
         let path = shard_path(&dir, &spec, shard);
-        write_atomic(&path, &render_shard(&spec, shard, &rows)).unwrap();
+        write_atomic(&path, &render_shard(&spec, shard, &rows, &[])).unwrap();
         let back = read_shard(&path, &spec, shard, &[0, 2]).unwrap();
         assert_eq!(back, rows);
         fs::remove_dir_all(&dir).ok();
@@ -264,7 +451,7 @@ mod tests {
         );
 
         let rows = vec![row(0, 1.0), row(1, 2.0), row(2, 3.0)];
-        let rendered = render_shard(&spec, shard, &rows);
+        let rendered = render_shard(&spec, shard, &rows, &[]);
         // Corrupt: flip a metric byte so the rows hash no longer matches.
         write_atomic(&path, &rendered.replace("\"value\": 2", "\"value\": 9")).unwrap();
         assert!(matches!(
@@ -280,13 +467,13 @@ mod tests {
         // Mismatch: artifact of a different spec at the same path.
         let mut other = spec.clone();
         other.seed = 6;
-        write_atomic(&path, &render_shard(&other, shard, &rows)).unwrap();
+        write_atomic(&path, &render_shard(&other, shard, &rows, &[])).unwrap();
         assert!(matches!(
             read_shard(&path, &spec, shard, &[0, 1, 2]),
             Err(ArtifactIssue::Mismatch(_))
         ));
         // Mismatch: valid artifact, wrong cell coverage.
-        write_atomic(&path, &render_shard(&spec, shard, &rows[..2])).unwrap();
+        write_atomic(&path, &render_shard(&spec, shard, &rows[..2], &[])).unwrap();
         assert!(matches!(
             read_shard(&path, &spec, shard, &[0, 1, 2]),
             Err(ArtifactIssue::Mismatch(_))
@@ -313,6 +500,88 @@ mod tests {
     }
 
     #[test]
+    fn quarantined_shard_round_trips_and_is_rejected_by_clean_reader() {
+        let dir = tmpdir("quarantined");
+        let spec = spec();
+        let shard = Shard::SINGLE;
+        let rows = vec![row(0, 1.0), row(2, 3.0)];
+        let path = shard_path(&dir, &spec, shard);
+        write_atomic(&path, &render_shard(&spec, shard, &rows, &[1])).unwrap();
+        let contents = read_shard_full(&path, &spec, shard, &[0, 1, 2]).unwrap();
+        assert_eq!(contents.rows, rows);
+        assert_eq!(contents.quarantined, vec![1]);
+        // The clean reader treats quarantined cells as not-done.
+        let err = read_shard(&path, &spec, shard, &[0, 1, 2]).unwrap_err();
+        assert!(matches!(&err, ArtifactIssue::Mismatch(m) if m.contains("quarantined")));
+        // A cell listed both as a row and as quarantined is corrupt coverage.
+        write_atomic(&path, &render_shard(&spec, shard, &rows, &[1, 2])).unwrap();
+        assert!(read_shard_full(&path, &spec, shard, &[0, 1, 2]).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clean_shard_bytes_are_unchanged_by_the_quarantine_field() {
+        // Backwards compatibility: artifacts without quarantined cells
+        // must render exactly as they did before supervision existed, so
+        // existing goldens and resume hashes stay valid.
+        let spec = spec();
+        let rows = vec![row(0, 1.0)];
+        let rendered = render_shard(&spec, Shard::SINGLE, &rows, &[]);
+        assert!(!rendered.contains("quarantined"), "{rendered}");
+    }
+
+    #[test]
+    fn quarantine_record_round_trips_and_detects_tampering() {
+        let dir = tmpdir("qrecord");
+        let spec = spec();
+        let record = QuarantineRecord {
+            cell: 1,
+            seed: 5,
+            replicate: 0,
+            cause: "panic".to_string(),
+            message: "index out of bounds: len 3, index 7".to_string(),
+            attempts: 2,
+        };
+        let path = quarantine_path(&dir, &spec, record.cell);
+        write_atomic(&path, &render_quarantine(&spec, &record)).unwrap();
+        assert_eq!(read_quarantine(&path, &spec).unwrap(), record);
+
+        // Hand-editing the cause invalidates the self hash.
+        let text = fs::read_to_string(&path).unwrap();
+        write_atomic(&path, &text.replace("panic", "benign")).unwrap();
+        assert!(matches!(
+            read_quarantine(&path, &spec),
+            Err(ArtifactIssue::Corrupt(_))
+        ));
+        // A different spec rejects the artifact outright.
+        write_atomic(&path, &render_quarantine(&spec, &record)).unwrap();
+        let mut other = spec.clone();
+        other.seed = 99;
+        assert!(matches!(
+            read_quarantine(&path, &other),
+            Err(ArtifactIssue::Mismatch(_))
+        ));
+        assert_eq!(
+            read_quarantine(&dir.join("nope.json"), &spec),
+            Err(ArtifactIssue::Missing)
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantine_paths_are_content_addressed_per_cell() {
+        let dir = PathBuf::from("out");
+        let a = spec();
+        let mut b = a.clone();
+        b.seed += 1;
+        assert_ne!(quarantine_path(&dir, &a, 1), quarantine_path(&dir, &b, 1));
+        assert_ne!(quarantine_path(&dir, &a, 1), quarantine_path(&dir, &a, 2));
+        let name = quarantine_path(&dir, &a, 1);
+        let name = name.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(name.starts_with("quarantine-cell-1-"), "{name}");
+    }
+
+    #[test]
     fn merged_rendering_is_deterministic() {
         let spec = spec();
         let rows = vec![row(0, 1.0), row(1, 2.0)];
@@ -323,6 +592,6 @@ mod tests {
         assert!(a.ends_with("]}\n"));
         // The whole file is itself valid JSON.
         assert!(json::parse(&a).is_ok());
-        assert!(json::parse(&render_shard(&spec, Shard::SINGLE, &rows)).is_ok());
+        assert!(json::parse(&render_shard(&spec, Shard::SINGLE, &rows, &[])).is_ok());
     }
 }

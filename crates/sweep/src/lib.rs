@@ -23,6 +23,11 @@
 //! * [`runner`] — shard execution, resume (only missing/corrupt shards
 //!   re-run), and the `merge` reduce whose output is **byte-identical**
 //!   to a single-process run of the same cells.
+//! * [`supervise`] — crash-isolated cell execution: per-cell panic
+//!   capture, an optional wall-clock deadline, bounded deterministic
+//!   retry, and quarantine artifacts for cells that fail every attempt
+//!   ([`runner::run_shard_supervised`] keeps the shard alive around
+//!   them).
 //!
 //! # Example
 //!
@@ -69,11 +74,17 @@ pub mod json;
 pub mod registry;
 pub mod runner;
 pub mod shard;
+pub mod supervise;
 
+pub use artifact::{QuarantineRecord, ShardContents};
 pub use contract::{Cell, ParamKind, ParamValue, ResultRow, SweepSpec};
 pub use registry::{ParamSpec, Scenario, ScenarioRegistry};
-pub use runner::{merge, run_cells, run_shard, run_spec_file, ShardOutcome};
+pub use runner::{
+    merge, run_cells, run_shard, run_shard_supervised, run_spec_file, run_spec_file_supervised,
+    ShardOutcome,
+};
 pub use shard::{shard_index, Shard};
+pub use supervise::{run_cells_supervised, CellFailure, ChaosConfig, RunPolicy, SupervisedCells};
 
 use bicord_metrics::TextTable;
 

@@ -18,10 +18,12 @@
 use bicord_metrics::registry::CountingSink;
 use bicord_scenario::config::{ExtraWifiConfig, SimConfig};
 use bicord_scenario::dense_city::DenseCityConfig;
-use bicord_scenario::experiments::{multi_node_cell, Scheme};
+use bicord_scenario::experiments::{cti_accuracy, multi_node_cell, Scheme};
 use bicord_scenario::geometry::Location;
 use bicord_scenario::sim::CoexistenceSim;
-use bicord_sim::{FaultProfile, SimDuration};
+use bicord_sim::{FaultProfile, GuardConfig, RuntimeGuard, SimDuration};
+
+use crate::supervise::GUARD_STALL_MARKER;
 
 use crate::contract::{Cell, ParamKind, ParamValue, ResultRow, SweepSpec};
 use crate::SweepError;
@@ -110,6 +112,7 @@ impl ScenarioRegistry {
         registry.register(multi_node_scenario());
         registry.register(robustness_scenario());
         registry.register(dense_city_scenario());
+        registry.register(cti_accuracy_scenario());
         registry
     }
 
@@ -314,9 +317,14 @@ fn robustness_scenario() -> Scenario {
             let duration = SimDuration::from_secs(positive_secs(cell.int("duration_secs")?)?);
             let config = robustness_config(rate, cell.seed, duration);
             let mut sink = CountingSink::new();
-            let r = CoexistenceSim::with_sink(config, &mut sink)
+            // The runtime guard draws no randomness, so guarded cells
+            // stay bit-identical to unguarded ones; a livelock becomes a
+            // quarantinable "guard stall" error instead of a hang.
+            let mut guard = RuntimeGuard::new(GuardConfig::default());
+            let r = CoexistenceSim::with_guard(config, &mut sink, &mut guard)
                 .map_err(|e| format!("invalid robustness config: {e}"))?
-                .run();
+                .try_run()
+                .map_err(|v| format!("{GUARD_STALL_MARKER} {v} ({})", guard.summary()))?;
             Ok(vec![
                 ("pdr".to_string(), r.zigbee_pdr()),
                 (
@@ -410,6 +418,39 @@ fn dense_city_scenario() -> Scenario {
     )
 }
 
+/// The Sec. VII-A CTI accuracy experiment as a registry scenario:
+/// technology classification and Wi-Fi device identification accuracy
+/// over `traces_per_kind` synthetic traces per interferer kind.
+fn cti_accuracy_scenario() -> Scenario {
+    Scenario::new(
+        "cti_accuracy",
+        "Sec. VII-A CTI accuracy: Wi-Fi detection and device identification",
+        vec![ParamSpec {
+            name: "traces_per_kind",
+            kind: ParamKind::Int,
+            default: Some(ParamValue::Int(60)),
+            help: "synthetic traces per interferer kind (classification set)",
+        }],
+        |cell| {
+            let traces = cell.int("traces_per_kind")?;
+            if !(1..=100_000).contains(&traces) {
+                return Err(format!(
+                    "traces_per_kind must be in 1..=100000, got {traces}"
+                ));
+            }
+            let r = cti_accuracy(cell.seed, traces as usize);
+            Ok(vec![
+                (
+                    "wifi_detection_accuracy".to_string(),
+                    r.wifi_detection_accuracy,
+                ),
+                ("device_id_accuracy".to_string(), r.device_id_accuracy),
+                ("device_id_std".to_string(), r.device_id_std),
+            ])
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,10 +458,43 @@ mod tests {
     #[test]
     fn builtin_names_are_registered() {
         let registry = ScenarioRegistry::builtin();
-        for name in ["multi_node", "robustness", "dense_city"] {
+        for name in ["multi_node", "robustness", "dense_city", "cti_accuracy"] {
             assert!(registry.get(name).is_some(), "{name} missing");
         }
-        assert_eq!(registry.iter().count(), 3);
+        assert_eq!(registry.iter().count(), 4);
+    }
+
+    #[test]
+    fn cti_accuracy_cells_run_and_validate() {
+        let registry = ScenarioRegistry::builtin();
+        let spec = registry
+            .resolve(
+                &SweepSpec::new("cti_accuracy", 3, 1)
+                    .axis("traces_per_kind", vec![ParamValue::Int(4)]),
+            )
+            .unwrap();
+        let cells = spec.expand();
+        assert_eq!(cells.len(), 1);
+        let row = registry.run_cell("cti_accuracy", &cells[0]).unwrap();
+        for metric in [
+            "wifi_detection_accuracy",
+            "device_id_accuracy",
+            "device_id_std",
+        ] {
+            let v = row.metric(metric).unwrap();
+            assert!((0.0..=1.0).contains(&v), "{metric} = {v}");
+        }
+        // Same cell, same bytes — the registry closure is deterministic.
+        let again = registry.run_cell("cti_accuracy", &cells[0]).unwrap();
+        assert_eq!(row, again);
+        // Out-of-range trace counts are schema errors, not quarantines.
+        let bad = registry
+            .resolve(
+                &SweepSpec::new("cti_accuracy", 3, 1)
+                    .axis("traces_per_kind", vec![ParamValue::Int(0)]),
+            )
+            .unwrap();
+        assert!(registry.run_cell("cti_accuracy", &bad.expand()[0]).is_err());
     }
 
     #[test]

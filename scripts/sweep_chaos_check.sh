@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Supervision gate: `bicord sweep` must survive cells that crash or
+# hang. With the env-gated chaos injector (BICORD_SWEEP_CHAOS, see
+# bicord_sweep::supervise::ChaosConfig) forcing failures into a subset
+# of cells:
+#
+#   1. transient faults (first attempt only) are absorbed by the retry
+#      budget — exit 0, nothing quarantined, merged bytes identical to
+#      a fault-free run;
+#   2. persistent faults are quarantined with their cause on record
+#      (panic and timeout both), the shard still completes (exit 3),
+#      and --merge refuses with the recovery invocation;
+#   3. healing + --resume re-runs only the quarantined cells and the
+#      final merge is byte-identical to the fault-free run.
+#
+# Chaos decisions are pure functions of (spec_hash, cell, kind), so for
+# a fixed spec this script exercises the same cells on every machine:
+# with specs/robustness_quick.json (3 cells), panic:0.5 hits cell 1 and
+# hang:0.5 hits cell 2.
+#
+# Usage: scripts/sweep_chaos_check.sh [spec-file]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SPEC="${1:-specs/robustness_quick.json}"
+
+fail() {
+    echo "sweep_chaos_check: FAIL — $*" >&2
+    exit 1
+}
+
+echo "sweep_chaos_check: building bicord (release)..."
+cargo build -q --offline --release --bin bicord
+
+BICORD=target/release/bicord
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+echo "sweep_chaos_check: fault-free reference run..."
+"$BICORD" sweep --spec "$SPEC" --out-dir "$tmpdir/reference" >/dev/null
+reference=$(find "$tmpdir/reference" -name merged.json)
+[[ -n "$reference" ]] || fail "reference merged.json missing"
+
+echo "sweep_chaos_check: transient chaos is absorbed by retries..."
+set +e
+BICORD_SWEEP_CHAOS="panic:0.5,hang:0.5" \
+    "$BICORD" sweep --spec "$SPEC" --cell-timeout 2 --out-dir "$tmpdir/transient" >/dev/null
+code=$?
+set -e
+[[ $code -eq 0 ]] || fail "transient chaos run exited $code, want 0"
+find "$tmpdir/transient" -name 'quarantine-cell-*.json' | grep -q . \
+    && fail "transient faults left quarantine artifacts"
+transient=$(find "$tmpdir/transient" -name merged.json)
+cmp "$reference" "$transient" \
+    || fail "retried cells diverge from the fault-free run"
+
+echo "sweep_chaos_check: persistent chaos quarantines with cause..."
+set +e
+BICORD_SWEEP_CHAOS="panic:0.5,hang:0.5,persist" \
+    "$BICORD" sweep --spec "$SPEC" --cell-timeout 2 --max-retries 1 \
+    --out-dir "$tmpdir/chaos" >"$tmpdir/chaos_run.txt" 2>&1
+code=$?
+set -e
+[[ $code -eq 3 ]] || {
+    cat "$tmpdir/chaos_run.txt" >&2
+    fail "persistent chaos run exited $code, want 3 (quarantined)"
+}
+quarantines=$(find "$tmpdir/chaos" -name 'quarantine-cell-*.json')
+[[ -n "$quarantines" ]] || fail "exit 3 but no quarantine artifacts"
+grep -lq '"cause": "panic"' $quarantines || fail "no panic-cause quarantine artifact"
+grep -lq '"cause": "timeout"' $quarantines || fail "no timeout-cause quarantine artifact"
+
+set +e
+"$BICORD" sweep --spec "$SPEC" --merge --out-dir "$tmpdir/chaos" \
+    >"$tmpdir/merge_refused.txt" 2>&1
+code=$?
+set -e
+[[ $code -ne 0 ]] || fail "merge accepted a quarantined shard"
+grep -q "quarantined" "$tmpdir/merge_refused.txt" \
+    || fail "merge refusal does not name the quarantined cells"
+grep -q -- "--resume" "$tmpdir/merge_refused.txt" \
+    || fail "merge refusal does not point at --resume"
+
+echo "sweep_chaos_check: heal + resume recovers the exact bytes..."
+resume_out=$("$BICORD" sweep --spec "$SPEC" --shard 1/1 --resume --merge \
+    --out-dir "$tmpdir/chaos" 2>&1)
+grep -q "2 cells run" <<<"$resume_out" \
+    || fail "resume should re-run exactly the 2 quarantined cells: $resume_out"
+find "$tmpdir/chaos" -name 'quarantine-cell-*.json' | grep -q . \
+    && fail "recovered cells left stale quarantine artifacts"
+recovered=$(find "$tmpdir/chaos" -name merged.json)
+cmp "$reference" "$recovered" \
+    || fail "post-recovery merge diverges from the fault-free run"
+
+# Keep the recovered artifact for CI upload.
+cp "$recovered" sweep_chaos_merged.json
+echo "sweep_chaos_check: PASS — crashes and hangs quarantined, retried, and merged byte-identically"

@@ -100,15 +100,46 @@ fn parse_extra_node(s: &str) -> Result<(Location, u32, u64), String> {
     Ok((location, burst, interval))
 }
 
+/// The `--fault-profile` knobs: `(key, what it sets, valid range)`.
+/// Error messages are generated from this table so they can never drift
+/// from what the parser actually accepts.
+const FAULT_KNOBS: &[(&str, &str, &str)] = &[
+    ("control-loss", "control-frame loss rate", "[0,1]"),
+    ("cts-loss", "CTS loss rate", "[0,1]"),
+    ("csi-fp", "phantom-CSI false-positive rate", "[0,1]"),
+    ("churn-ms", "coordinator churn period in ms", ">=1"),
+    ("churn-m", "churn displacement range in meters", ">=0"),
+];
+
+fn fault_knob_names() -> String {
+    FAULT_KNOBS
+        .iter()
+        .map(|(key, _, _)| *key)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 fn parse_fault_profile(s: &str) -> Result<FaultProfile, String> {
     let mut profile = FaultProfile::default();
     for pair in s.split(',').filter(|p| !p.is_empty()) {
-        let (key, value) = pair
-            .split_once('=')
-            .ok_or_else(|| format!("--fault-profile wants KEY=VALUE pairs, got '{pair}'"))?;
-        let number: f64 = value
-            .parse()
-            .map_err(|_| format!("bad value '{value}' for fault knob '{key}'"))?;
+        let (key, value) = pair.split_once('=').ok_or_else(|| {
+            format!(
+                "--fault-profile wants comma-separated KEY=VALUE pairs, got '{pair}' \
+                 (valid keys: {}; example: control-loss=0.2,cts-loss=0.1)",
+                fault_knob_names()
+            )
+        })?;
+        let knob = FAULT_KNOBS.iter().find(|(k, _, _)| *k == key);
+        let Some(&(_, what, range)) = knob else {
+            return Err(format!(
+                "unknown fault knob '{key}' in '{pair}'; valid keys are {} \
+                 (KEY=VALUE, comma-separated)",
+                fault_knob_names()
+            ));
+        };
+        let number: f64 = value.parse().map_err(|_| {
+            format!("bad value '{value}' for fault knob '{key}' ({what}; want a number in {range})")
+        })?;
         match key {
             "control-loss" => profile.control_loss = number,
             "cts-loss" => profile.cts_loss = number,
@@ -117,16 +148,18 @@ fn parse_fault_profile(s: &str) -> Result<FaultProfile, String> {
                 profile.churn_period = Some(SimDuration::from_millis(number as u64));
             }
             "churn-m" => profile.churn_range_m = number,
-            other => {
-                return Err(format!(
-                    "unknown fault knob '{other}' \
-                     (control-loss, cts-loss, csi-fp, churn-ms, churn-m)"
-                ))
-            }
+            _ => unreachable!("key was validated against FAULT_KNOBS"),
         }
     }
     if let Some(field) = profile.invalid_field() {
-        return Err(format!("fault profile field '{field}' is out of range"));
+        let hint = FAULT_KNOBS
+            .iter()
+            .map(|(key, _, range)| format!("{key} in {range}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        return Err(format!(
+            "fault profile field '{field}' is out of range (valid: {hint})"
+        ));
     }
     Ok(profile)
 }
@@ -226,10 +259,13 @@ struct SweepOptions {
     out_dir: std::path::PathBuf,
     threads: Option<usize>,
     list_scenarios: bool,
+    cell_timeout: Option<std::time::Duration>,
+    max_retries: u32,
 }
 
 impl Default for SweepOptions {
     fn default() -> Self {
+        let policy = bicord::sweep::RunPolicy::default();
         SweepOptions {
             spec: None,
             shard: None,
@@ -238,6 +274,8 @@ impl Default for SweepOptions {
             out_dir: std::path::PathBuf::from("sweep_out"),
             threads: None,
             list_scenarios: false,
+            cell_timeout: policy.cell_timeout,
+            max_retries: policy.max_retries,
         }
     }
 }
@@ -268,6 +306,20 @@ fn parse_sweep_args<I: Iterator<Item = String>>(mut args: I) -> Result<SweepOpti
                     return Err("--threads wants at least 1".to_string());
                 }
                 options.threads = Some(n);
+            }
+            "--cell-timeout" => {
+                let secs: f64 = value("--cell-timeout")?
+                    .parse()
+                    .map_err(|e| format!("--cell-timeout: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--cell-timeout wants a positive number of seconds".to_string());
+                }
+                options.cell_timeout = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            "--max-retries" => {
+                options.max_retries = value("--max-retries")?
+                    .parse()
+                    .map_err(|e| format!("--max-retries: {e}"))?;
             }
             "--list-scenarios" => options.list_scenarios = true,
             "--help" | "-h" => return Err("help".to_string()),
@@ -300,18 +352,30 @@ OPTIONS:
                      corrupt shards only
   --out-dir DIR      artifact directory                        [sweep_out]
   --threads N        worker threads (sets BICORD_THREADS)
+  --cell-timeout S   wall-clock seconds per cell before the cell is
+                     abandoned and quarantined (fractions allowed; no
+                     timeout by default)
+  --max-retries N    re-runs per failed cell before quarantine    [1]
   --list-scenarios   print the scenario registry and exit
-  --help             this text"
+  --help             this text
+
+Failed cells (panic, guard stall, or timeout) are retried with the same
+seed and, if they keep failing, quarantined: the shard artifact lists
+them, a quarantine-cell-*.json records the cause, and the exit code is 3.
+`--resume` re-runs only quarantined/invalid cells; `--merge` refuses to
+reduce a sweep with quarantined cells and names them."
 }
 
 /// Runs the `sweep` subcommand; returns the process exit code.
 fn run_sweep(options: &SweepOptions) -> i32 {
-    use bicord::sweep::{merge, rows_table, run_shard, ScenarioRegistry, Shard};
+    use bicord::sweep::{
+        merge, rows_table, run_shard_supervised, RunPolicy, ScenarioRegistry, Shard,
+    };
 
     if let Some(n) = options.threads {
         std::env::set_var("BICORD_THREADS", n.to_string());
     }
-    let registry = ScenarioRegistry::builtin();
+    let registry = std::sync::Arc::new(ScenarioRegistry::builtin());
     if options.list_scenarios {
         for scenario in registry.iter() {
             println!("{} — {}", scenario.name, scenario.description);
@@ -328,10 +392,17 @@ fn run_sweep(options: &SweepOptions) -> i32 {
     }
 
     let spec_path = options.spec.as_deref().expect("checked by the parser");
-    let run = || -> Result<(), bicord::sweep::SweepError> {
+    let policy = RunPolicy {
+        cell_timeout: options.cell_timeout,
+        max_retries: options.max_retries,
+        ..RunPolicy::default()
+    };
+    // 0 = clean, 3 = the shard completed but some cells are quarantined.
+    let run = || -> Result<i32, bicord::sweep::SweepError> {
         let spec = registry.resolve(&bicord::sweep::load_spec(spec_path)?)?;
         let hash = spec.content_hash();
         let mut rows = None;
+        let mut quarantined = 0usize;
 
         if options.shard.is_some() || !options.merge {
             let shard = options.shard.unwrap_or(Shard::SINGLE);
@@ -342,13 +413,29 @@ fn run_sweep(options: &SweepOptions) -> i32 {
                 spec.cell_count(),
                 options.out_dir.display(),
             );
-            let outcome = run_shard(&registry, &spec, shard, &options.out_dir, options.resume)?;
+            let outcome = run_shard_supervised(
+                &registry,
+                &spec,
+                shard,
+                &options.out_dir,
+                options.resume,
+                &policy,
+            )?;
             eprintln!(
                 "sweep: shard {shard}: {} cells run, {} resumed -> {}",
                 outcome.cells_run,
                 outcome.cells_skipped,
                 outcome.artifact.display()
             );
+            if !outcome.quarantined.is_empty() {
+                eprintln!(
+                    "sweep: shard {shard}: {} cells QUARANTINED {:?}; \
+                     see quarantine-cell-*.json, then re-run with --resume",
+                    outcome.quarantined.len(),
+                    outcome.quarantined
+                );
+                quarantined = outcome.quarantined.len();
+            }
             if let Some(merged) = &outcome.merged {
                 eprintln!("sweep: merged results: {}", merged.display());
             }
@@ -374,10 +461,10 @@ fn run_sweep(options: &SweepOptions) -> i32 {
         if let Some((title, rows)) = rows {
             println!("{}", rows_table(&title, &rows));
         }
-        Ok(())
+        Ok(if quarantined > 0 { 3 } else { 0 })
     };
     match run() {
-        Ok(()) => 0,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             1
@@ -599,6 +686,34 @@ mod tests {
     }
 
     #[test]
+    fn fault_profile_errors_name_every_valid_knob_and_the_format() {
+        // Unknown key: the error must teach the full vocabulary and the
+        // KEY=VALUE shape, not just reject.
+        let err = parse_fault_profile("warp=1").unwrap_err();
+        for key in ["control-loss", "cts-loss", "csi-fp", "churn-ms", "churn-m"] {
+            assert!(err.contains(key), "unknown-key error lacks '{key}': {err}");
+        }
+        assert!(err.contains("KEY=VALUE"), "{err}");
+        assert!(err.contains("'warp'"), "{err}");
+
+        // Missing '=': same vocabulary plus a worked example.
+        let err = parse_fault_profile("control-loss").unwrap_err();
+        assert!(err.contains("KEY=VALUE"), "{err}");
+        assert!(err.contains("churn-m"), "{err}");
+        assert!(err.contains("example"), "{err}");
+
+        // Bad number: names the knob, what it means, and its range.
+        let err = parse_fault_profile("cts-loss=high").unwrap_err();
+        assert!(err.contains("'cts-loss'"), "{err}");
+        assert!(err.contains("[0,1]"), "{err}");
+
+        // Out of range: says which ranges are valid.
+        let err = parse_fault_profile("control-loss=1.5").unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        assert!(err.contains("control-loss in [0,1]"), "{err}");
+    }
+
+    #[test]
     fn fault_profile_flag_reaches_the_config() {
         let o = parse(&["--fault-profile", "control-loss=0.3"]).unwrap();
         let c = build_config(&o).unwrap();
@@ -653,6 +768,30 @@ mod tests {
         assert!(parse_sweep(&["--spec", "s.json", "--threads", "0"]).is_err());
         assert!(parse_sweep(&["--spec", "s.json", "--warp"]).is_err());
         assert_eq!(parse_sweep(&["--help"]).unwrap_err(), "help");
+    }
+
+    #[test]
+    fn sweep_supervision_flags_parse_and_validate() {
+        let o = parse_sweep(&[
+            "--spec",
+            "s.json",
+            "--cell-timeout",
+            "2.5",
+            "--max-retries",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(o.cell_timeout, Some(std::time::Duration::from_millis(2500)));
+        assert_eq!(o.max_retries, 3);
+        // Defaults mirror the library's RunPolicy.
+        let o = parse_sweep(&["--spec", "s.json"]).unwrap();
+        let policy = bicord::sweep::RunPolicy::default();
+        assert_eq!(o.cell_timeout, policy.cell_timeout);
+        assert_eq!(o.max_retries, policy.max_retries);
+        // Zero or negative deadlines make no sense.
+        assert!(parse_sweep(&["--spec", "s.json", "--cell-timeout", "0"]).is_err());
+        assert!(parse_sweep(&["--spec", "s.json", "--cell-timeout", "-1"]).is_err());
+        assert!(parse_sweep(&["--spec", "s.json", "--max-retries", "x"]).is_err());
     }
 
     #[test]
