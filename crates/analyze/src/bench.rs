@@ -1,0 +1,729 @@
+//! Perf-budget engine (`bicord analyze diff-bench`): compares two
+//! `BENCH_results.json` files under per-metric threshold rules and turns
+//! the perf trajectory into an enforced budget.
+//!
+//! Records are keyed by `(experiment, quick, shard)` — shard-tagged
+//! entries written by `--spec --shard K/N` bench runs diff against the
+//! matching shard of the baseline, never against the unsharded record.
+//!
+//! # Budget rules
+//!
+//! A [`BudgetRule`] selects metrics by substring match on the experiment
+//! name and the metric name (with an optional disqualifying substring)
+//! and applies one of three checks:
+//!
+//! * [`RuleKind::MaxRegressionPct`] — lower-is-better latencies: breach
+//!   when `current > baseline × (1 + limit/100)`.
+//! * [`RuleKind::MaxDropPct`] — higher-is-better throughput/quality
+//!   floors: breach when `current < baseline × (1 - limit/100)`.
+//! * [`RuleKind::MaxValue`] — absolute ceilings evaluated on the current
+//!   file alone (no baseline entry needed), e.g. quarantined-cell counts.
+//!
+//! The default rule set (see [`default_rules`]) reproduces the historic
+//! `bench_compare` gate — +25% on the `_ns` latency metrics of
+//! `medium_microbench` / `dense_city_scaling`, `nocull` contrast columns
+//! exempt — and adds PDR/utilization floors plus a zero ceiling on
+//! `quarantined_cells`. `--rules FILE` replaces it with a JSON list; see
+//! `docs/ANALYTICS.md` for the format.
+
+use std::fmt::Write as _;
+
+use bicord_metrics::table::{fmt1, TextTable};
+
+/// Default regression threshold for the latency rules, percent.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 25.0;
+
+/// Default allowed drop for higher-is-better metrics, percent. The gated
+/// quality metrics (PDR, utilization) are deterministic for a seeded run,
+/// so any real drop is a behavior change; 5% only absorbs float
+/// formatting drift.
+pub const DEFAULT_DROP_PCT: f64 = 5.0;
+
+/// One parsed `BENCH_results.json` entry.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Experiment name (`"medium_microbench"`, ...).
+    pub experiment: String,
+    /// Whether the record came from a `--quick` run.
+    pub quick: bool,
+    /// `"K/N"` for shard-tagged records, `None` for unsharded ones.
+    pub shard: Option<String>,
+    /// The raw single-line record, for `--bless` passthrough.
+    pub line: String,
+    /// The flat metrics map (non-finite values dropped).
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl BenchEntry {
+    /// The `(experiment, quick, shard)` identity used for matching.
+    fn key(&self) -> (&str, bool, Option<&str>) {
+        (&self.experiment, self.quick, self.shard.as_deref())
+    }
+
+    /// Display label: `experiment`, plus `[K/N]` for shard-tagged and
+    /// `:quick` for quick-mode records, so same-experiment rows stay
+    /// tellable apart in reports.
+    fn label(&self) -> String {
+        let mut label = self.experiment.clone();
+        if let Some(s) = &self.shard {
+            let _ = write!(label, "[{s}]");
+        }
+        if self.quick {
+            label.push_str(":quick");
+        }
+        label
+    }
+}
+
+/// Extracts the string value of `"key": "…"` from a record line.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\": \"");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extracts the boolean value of `"key": true|false` from a record line.
+fn field_bool(line: &str, key: &str) -> Option<bool> {
+    let marker = format!("\"{key}\": ");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Parses the flat `"metrics": {…}` map at the end of a record line.
+/// Entries with non-finite (`null`) values are skipped.
+fn parse_metrics(line: &str) -> Vec<(String, f64)> {
+    let Some(start) = line.find("\"metrics\": {") else {
+        return Vec::new();
+    };
+    let body = &line[start + "\"metrics\": {".len()..];
+    // First `}` closes the metrics map (values are plain numbers or
+    // `null`); the record's own closing brace follows it.
+    let Some(end) = body.find('}') else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for pair in body[..end].split(", \"") {
+        let pair = pair.trim_start_matches('"');
+        let Some((name, value)) = pair.split_once("\": ") else {
+            continue;
+        };
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.push((name.to_string(), v));
+        }
+    }
+    out
+}
+
+/// Parses every record line of a results file (the format
+/// `PerfRecorder::merge_record` writes: one JSON object per line inside a
+/// `[` … `]` array).
+pub fn parse_bench_file(text: &str) -> Vec<BenchEntry> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') {
+            continue;
+        }
+        let Some(experiment) = field_str(line, "experiment") else {
+            continue;
+        };
+        out.push(BenchEntry {
+            experiment,
+            quick: field_bool(line, "quick").unwrap_or(false),
+            shard: field_str(line, "shard"),
+            line: line.to_string(),
+            metrics: parse_metrics(line),
+        });
+    }
+    out
+}
+
+/// The check a [`BudgetRule`] applies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RuleKind {
+    /// Lower-is-better: breach when current exceeds baseline by more
+    /// than `limit` percent.
+    MaxRegressionPct,
+    /// Higher-is-better: breach when current falls below baseline by
+    /// more than `limit` percent.
+    MaxDropPct,
+    /// Absolute ceiling on the current value (baseline not consulted).
+    MaxValue,
+}
+
+impl RuleKind {
+    /// The identifier used in the JSON rules file.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RuleKind::MaxRegressionPct => "max_regression_pct",
+            RuleKind::MaxDropPct => "max_drop_pct",
+            RuleKind::MaxValue => "max_value",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "max_regression_pct" => Some(RuleKind::MaxRegressionPct),
+            "max_drop_pct" => Some(RuleKind::MaxDropPct),
+            "max_value" => Some(RuleKind::MaxValue),
+            _ => None,
+        }
+    }
+}
+
+/// One per-metric threshold rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetRule {
+    /// Substring match on the experiment name (empty = any experiment).
+    pub experiment: String,
+    /// Substring match on the metric name (empty = any metric).
+    pub metric: String,
+    /// Metrics containing this substring are exempt (empty = none).
+    pub exclude: String,
+    /// The check to apply.
+    pub kind: RuleKind,
+    /// The threshold (percent for the relative kinds, absolute for
+    /// [`RuleKind::MaxValue`]).
+    pub limit: f64,
+}
+
+impl BudgetRule {
+    fn matches(&self, experiment: &str, metric: &str) -> bool {
+        (self.experiment.is_empty() || experiment.contains(&self.experiment))
+            && (self.metric.is_empty() || metric.contains(&self.metric))
+            && (self.exclude.is_empty() || !metric.contains(&self.exclude))
+    }
+
+    /// Human-readable limit, e.g. `"<= +25%"` or `"<= 0"`.
+    pub fn limit_text(&self) -> String {
+        match self.kind {
+            RuleKind::MaxRegressionPct => format!("<= +{:.0}%", self.limit),
+            RuleKind::MaxDropPct => format!(">= -{:.0}%", self.limit),
+            RuleKind::MaxValue => format!("<= {}", self.limit),
+        }
+    }
+}
+
+/// The built-in rule set. `threshold_pct` overrides the latency
+/// regression limit (the historic `--threshold` flag).
+pub fn default_rules(threshold_pct: f64) -> Vec<BudgetRule> {
+    let latency = |experiment: &str| BudgetRule {
+        experiment: experiment.to_string(),
+        metric: "_ns".to_string(),
+        exclude: "nocull".to_string(),
+        kind: RuleKind::MaxRegressionPct,
+        limit: threshold_pct,
+    };
+    vec![
+        latency("medium_microbench"),
+        latency("dense_city_scaling"),
+        BudgetRule {
+            experiment: String::new(),
+            metric: "pdr".to_string(),
+            exclude: String::new(),
+            kind: RuleKind::MaxDropPct,
+            limit: DEFAULT_DROP_PCT,
+        },
+        BudgetRule {
+            experiment: String::new(),
+            metric: "utilization".to_string(),
+            exclude: String::new(),
+            kind: RuleKind::MaxDropPct,
+            limit: DEFAULT_DROP_PCT,
+        },
+        BudgetRule {
+            experiment: String::new(),
+            metric: "quarantined_cells".to_string(),
+            exclude: String::new(),
+            kind: RuleKind::MaxValue,
+            limit: 0.0,
+        },
+    ]
+}
+
+/// Parses a JSON rules file: an array of flat objects with string fields
+/// `experiment`, `metric`, optional `exclude`, `rule` (one of
+/// `max_regression_pct` / `max_drop_pct` / `max_value`) and a numeric
+/// `limit`. See `docs/ANALYTICS.md` for examples.
+pub fn parse_rules(text: &str) -> Result<Vec<BudgetRule>, String> {
+    let mut rules = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find('{') {
+        let end = rest[start..].find('}').ok_or("unterminated rule object")? + start;
+        let body = &rest[start + 1..end];
+        rest = &rest[end + 1..];
+        let field = |name: &str| -> Option<String> {
+            let marker = format!("\"{name}\"");
+            let at = body.find(&marker)? + marker.len();
+            let after = body[at..].trim_start().strip_prefix(':')?.trim_start();
+            if let Some(stripped) = after.strip_prefix('"') {
+                Some(stripped[..stripped.find('"')?].to_string())
+            } else {
+                let value: String = after
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == '+')
+                    .collect();
+                (!value.is_empty()).then_some(value)
+            }
+        };
+        let kind_name = field("rule").ok_or("rule object lacks a \"rule\" field")?;
+        let kind = RuleKind::parse(&kind_name).ok_or_else(|| {
+            format!(
+                "unknown rule kind \"{kind_name}\" (valid: max_regression_pct, \
+                 max_drop_pct, max_value)"
+            )
+        })?;
+        let limit = field("limit")
+            .and_then(|v| v.parse().ok())
+            .ok_or("rule object lacks a numeric \"limit\" field")?;
+        rules.push(BudgetRule {
+            experiment: field("experiment").unwrap_or_default(),
+            metric: field("metric").unwrap_or_default(),
+            exclude: field("exclude").unwrap_or_default(),
+            kind,
+            limit,
+        });
+    }
+    if rules.is_empty() {
+        return Err("rules file holds no rule objects".to_string());
+    }
+    Ok(rules)
+}
+
+/// The verdict for one gated metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within budget.
+    Ok,
+    /// Budget breached.
+    Breach,
+}
+
+/// One evaluated `(entry, metric)` pair.
+#[derive(Debug, Clone)]
+pub struct BudgetRow {
+    /// `experiment` or `experiment[K/N]`.
+    pub entry: String,
+    /// Metric name.
+    pub metric: String,
+    /// Baseline value (`None` for [`RuleKind::MaxValue`] rows).
+    pub baseline: Option<f64>,
+    /// Current value.
+    pub current: f64,
+    /// Relative change in percent (`None` for absolute-ceiling rows or a
+    /// zero baseline).
+    pub delta_pct: Option<f64>,
+    /// The applied limit, human-readable.
+    pub limit: String,
+    /// Pass/fail for this metric.
+    pub verdict: Verdict,
+}
+
+/// The full budget evaluation.
+#[derive(Debug, Clone)]
+pub struct BudgetReport {
+    /// Every gated metric, in current-file order.
+    pub rows: Vec<BudgetRow>,
+    /// The latency threshold in effect (for the title line).
+    pub threshold_pct: f64,
+    /// Current-file entries with no matching baseline entry.
+    pub unmatched: Vec<String>,
+}
+
+impl BudgetReport {
+    /// The breached rows.
+    pub fn breaches(&self) -> Vec<&BudgetRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.verdict == Verdict::Breach)
+            .collect()
+    }
+
+    /// One-line descriptions of every breach, naming the metric.
+    pub fn breach_lines(&self) -> Vec<String> {
+        self.breaches()
+            .iter()
+            .map(|r| match (r.baseline, r.delta_pct) {
+                (Some(base), Some(delta)) => format!(
+                    "{}/{}: {} -> {} ({delta:+.1}%, budget {})",
+                    r.entry,
+                    r.metric,
+                    fmt1(base),
+                    fmt1(r.current),
+                    r.limit
+                ),
+                _ => format!(
+                    "{}/{}: {} (budget {})",
+                    r.entry,
+                    r.metric,
+                    fmt1(r.current),
+                    r.limit
+                ),
+            })
+            .collect()
+    }
+
+    /// Renders the aligned text report with a PASS/FAIL trailer.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let mut table = TextTable::new(vec![
+            "entry", "metric", "baseline", "current", "delta %", "budget", "verdict",
+        ]);
+        table.title(format!(
+            "diff-bench — perf budget (latency threshold +{:.0}%)",
+            self.threshold_pct
+        ));
+        for r in &self.rows {
+            table.row(row_cells(r));
+        }
+        let _ = writeln!(out, "{table}");
+        for entry in &self.unmatched {
+            let _ = writeln!(
+                out,
+                "diff-bench: note — no baseline entry for {entry}, relative rules skipped"
+            );
+        }
+        let breaches = self.breach_lines();
+        if breaches.is_empty() {
+            let _ = writeln!(
+                out,
+                "diff-bench: PASS — {} metric(s) within budget",
+                self.rows.len()
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "diff-bench: FAIL — {} of {} metric(s) breached the budget:",
+                breaches.len(),
+                self.rows.len()
+            );
+            for b in &breaches {
+                let _ = writeln!(out, "  {b}");
+            }
+        }
+        out
+    }
+
+    /// Renders the report as a markdown document (the CI `perf-budget`
+    /// artifact).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::from("# Perf budget report\n\n");
+        let breaches = self.breach_lines();
+        if breaches.is_empty() {
+            let _ = writeln!(
+                out,
+                "**PASS** — {} gated metric(s) within budget.\n",
+                self.rows.len()
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "**FAIL** — {} of {} gated metric(s) breached the budget:\n",
+                breaches.len(),
+                self.rows.len()
+            );
+            for b in &breaches {
+                let _ = writeln!(out, "- `{b}`");
+            }
+            out.push('\n');
+        }
+        out.push_str("| entry | metric | baseline | current | delta % | budget | verdict |\n");
+        out.push_str("|---|---|---|---|---|---|---|\n");
+        for r in &self.rows {
+            let _ = writeln!(out, "| {} |", row_cells(r).join(" | "));
+        }
+        if !self.unmatched.is_empty() {
+            out.push('\n');
+            for entry in &self.unmatched {
+                let _ = writeln!(
+                    out,
+                    "*No baseline entry for `{entry}`; relative rules skipped.*"
+                );
+            }
+        }
+        out
+    }
+}
+
+fn row_cells(r: &BudgetRow) -> Vec<String> {
+    vec![
+        r.entry.clone(),
+        r.metric.clone(),
+        r.baseline.map(fmt1).unwrap_or_else(|| "-".to_string()),
+        fmt1(r.current),
+        r.delta_pct
+            .map(|d| format!("{d:+.1}"))
+            .unwrap_or_else(|| "-".to_string()),
+        r.limit.clone(),
+        match r.verdict {
+            Verdict::Ok => "ok".to_string(),
+            Verdict::Breach => "BREACH".to_string(),
+        },
+    ]
+}
+
+/// Evaluates `current` against `baseline` under `rules`.
+///
+/// Every current-file metric is gated by the *first* rule that matches
+/// it, so specific rules should precede catch-alls in a custom rules
+/// file.
+pub fn evaluate(
+    baseline: &[BenchEntry],
+    current: &[BenchEntry],
+    rules: &[BudgetRule],
+    threshold_pct: f64,
+) -> BudgetReport {
+    let mut rows = Vec::new();
+    let mut unmatched = Vec::new();
+    for cur in current {
+        let base = baseline.iter().find(|b| b.key() == cur.key());
+        let mut needed_baseline = false;
+        for (metric, cur_v) in &cur.metrics {
+            let Some(rule) = rules.iter().find(|r| r.matches(&cur.experiment, metric)) else {
+                continue;
+            };
+            match rule.kind {
+                RuleKind::MaxValue => {
+                    rows.push(BudgetRow {
+                        entry: cur.label(),
+                        metric: metric.clone(),
+                        baseline: None,
+                        current: *cur_v,
+                        delta_pct: None,
+                        limit: rule.limit_text(),
+                        verdict: if *cur_v > rule.limit {
+                            Verdict::Breach
+                        } else {
+                            Verdict::Ok
+                        },
+                    });
+                }
+                RuleKind::MaxRegressionPct | RuleKind::MaxDropPct => {
+                    let Some(base) = base else {
+                        needed_baseline = true;
+                        continue;
+                    };
+                    let Some((_, base_v)) = base.metrics.iter().find(|(n, _)| n == metric) else {
+                        continue;
+                    };
+                    let delta_pct = (*base_v != 0.0).then(|| 100.0 * (cur_v - base_v) / base_v);
+                    let breached = match rule.kind {
+                        RuleKind::MaxRegressionPct => *cur_v > base_v * (1.0 + rule.limit / 100.0),
+                        _ => *cur_v < base_v * (1.0 - rule.limit / 100.0),
+                    };
+                    rows.push(BudgetRow {
+                        entry: cur.label(),
+                        metric: metric.clone(),
+                        baseline: Some(*base_v),
+                        current: *cur_v,
+                        delta_pct,
+                        limit: rule.limit_text(),
+                        verdict: if breached {
+                            Verdict::Breach
+                        } else {
+                            Verdict::Ok
+                        },
+                    });
+                }
+            }
+        }
+        if needed_baseline {
+            unmatched.push(cur.label());
+        }
+    }
+    BudgetReport {
+        rows,
+        threshold_pct,
+        unmatched,
+    }
+}
+
+/// The `--bless` payload: the current entries worth baselining — those
+/// with at least one metric gated by a *relative* rule (absolute-ceiling
+/// rules need no baseline).
+pub fn blessable<'a>(current: &'a [BenchEntry], rules: &[BudgetRule]) -> Vec<&'a BenchEntry> {
+    current
+        .iter()
+        .filter(|e| {
+            e.metrics.iter().any(|(name, _)| {
+                rules
+                    .iter()
+                    .find(|r| r.matches(&e.experiment, name))
+                    .is_some_and(|r| r.kind != RuleKind::MaxValue)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINE: &str = "{\"experiment\": \"dense_city_scaling\", \"quick\": true, \
+         \"threads\": 8, \"cells\": 3, \"wall_ms\": 42.5, \"metrics\": \
+         {\"sensed_ns_100\": 236.2, \"sensed_nocull_ns_100\": 485.8, \
+         \"broken\": null, \"sensed_flatness\": 1.74}}";
+
+    const SHARDED: &str = "{\"experiment\": \"multi_node\", \"quick\": true, \
+         \"shard\": \"1/2\", \"threads\": 1, \"cells\": 3, \"wall_ms\": 9.5, \
+         \"metrics\": {\"mean_aggregate_pdr\": 0.92, \"quarantined_cells\": 0}}";
+
+    fn file(lines: &[&str]) -> Vec<BenchEntry> {
+        parse_bench_file(&format!("[\n{}\n]\n", lines.join(",\n")))
+    }
+
+    #[test]
+    fn parses_recorder_lines() {
+        let entries = file(&[LINE, LINE]);
+        assert_eq!(entries.len(), 2);
+        let e = &entries[0];
+        assert_eq!(e.experiment, "dense_city_scaling");
+        assert!(e.quick);
+        assert_eq!(e.shard, None);
+        // `null` metrics are dropped; finite ones keep their values —
+        // including the final metric, right against the closing braces.
+        assert_eq!(
+            e.metrics,
+            vec![
+                ("sensed_ns_100".to_string(), 236.2),
+                ("sensed_nocull_ns_100".to_string(), 485.8),
+                ("sensed_flatness".to_string(), 1.74),
+            ]
+        );
+    }
+
+    #[test]
+    fn shard_tags_key_records_apart() {
+        let entries = file(&[SHARDED, &SHARDED.replace("1/2", "2/2")]);
+        assert_eq!(entries[0].shard.as_deref(), Some("1/2"));
+        assert_eq!(entries[0].label(), "multi_node[1/2]:quick");
+        assert_ne!(entries[0].key(), entries[1].key());
+        // A sharded current entry only matches the same shard's baseline.
+        let report = evaluate(
+            &file(&[SHARDED]),
+            &file(&[&SHARDED.replace("1/2", "2/2")]),
+            &default_rules(25.0),
+            25.0,
+        );
+        assert!(report.rows.iter().all(|r| r.metric == "quarantined_cells"));
+        assert_eq!(report.unmatched, vec!["multi_node[2/2]:quick".to_string()]);
+    }
+
+    #[test]
+    fn default_rules_reproduce_the_bench_compare_gate() {
+        let rules = default_rules(25.0);
+        let gated = |exp: &str, metric: &str| {
+            rules
+                .iter()
+                .find(|r| r.matches(exp, metric))
+                .map(|r| r.kind)
+        };
+        assert_eq!(
+            gated("dense_city_scaling", "sensed_ns_100"),
+            Some(RuleKind::MaxRegressionPct)
+        );
+        assert_eq!(
+            gated("medium_microbench", "medium_sensed_power_8tx_ns_per_iter"),
+            Some(RuleKind::MaxRegressionPct)
+        );
+        assert_eq!(gated("dense_city_scaling", "sensed_nocull_ns_100"), None);
+        assert_eq!(gated("dense_city_scaling", "sensed_flatness"), None);
+        assert_eq!(gated("dense_city_scaling", "run_ms_100"), None);
+        assert_eq!(
+            gated("multi_node", "mean_aggregate_pdr"),
+            Some(RuleKind::MaxDropPct)
+        );
+        assert_eq!(
+            gated("robustness_sweep", "worst_rate_utilization"),
+            Some(RuleKind::MaxDropPct)
+        );
+        assert_eq!(
+            gated("anything", "quarantined_cells"),
+            Some(RuleKind::MaxValue)
+        );
+    }
+
+    #[test]
+    fn latency_regression_breaches_and_names_the_metric() {
+        let baseline = file(&[LINE]);
+        let current = file(&[&LINE.replace("236.2", "400.0")]);
+        let report = evaluate(&baseline, &current, &default_rules(25.0), 25.0);
+        let breaches = report.breach_lines();
+        assert_eq!(breaches.len(), 1);
+        assert!(breaches[0].contains("sensed_ns_100"), "{breaches:?}");
+        assert!(breaches[0].contains("+69.3%"), "{breaches:?}");
+        assert!(report.render_text().contains("FAIL"));
+        assert!(report.render_markdown().contains("**FAIL**"));
+    }
+
+    #[test]
+    fn improvement_and_nocull_growth_pass() {
+        let baseline = file(&[LINE]);
+        // Gated metric improves; the exempt nocull column explodes.
+        let current = file(&[&LINE.replace("236.2", "100.0").replace("485.8", "9999.0")]);
+        let report = evaluate(&baseline, &current, &default_rules(25.0), 25.0);
+        assert!(report.breaches().is_empty(), "{:?}", report.breach_lines());
+        assert!(report.render_text().contains("PASS"));
+    }
+
+    #[test]
+    fn throughput_floor_and_quarantine_ceiling() {
+        let baseline = file(&[SHARDED]);
+        let dropped = SHARDED
+            .replace("0.92", "0.80")
+            .replace("\"quarantined_cells\": 0", "\"quarantined_cells\": 2");
+        let current = file(&[&dropped]);
+        let report = evaluate(&baseline, &current, &default_rules(25.0), 25.0);
+        let breaches = report.breach_lines();
+        assert_eq!(breaches.len(), 2, "{breaches:?}");
+        assert!(breaches.iter().any(|b| b.contains("mean_aggregate_pdr")));
+        assert!(breaches.iter().any(|b| b.contains("quarantined_cells")));
+        // The ceiling row needs no baseline.
+        let report = evaluate(&[], &current, &default_rules(25.0), 25.0);
+        assert_eq!(report.breach_lines().len(), 1);
+        assert!(report.breach_lines()[0].contains("quarantined_cells"));
+    }
+
+    #[test]
+    fn rules_file_round_trip() {
+        let text = r#"[
+  {"experiment": "medium_microbench", "metric": "_ns", "exclude": "nocull",
+   "rule": "max_regression_pct", "limit": 10},
+  {"metric": "quarantined_cells", "rule": "max_value", "limit": 0}
+]"#;
+        let rules = parse_rules(text).unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].kind, RuleKind::MaxRegressionPct);
+        assert_eq!(rules[0].limit, 10.0);
+        assert_eq!(rules[0].exclude, "nocull");
+        assert_eq!(rules[1].kind, RuleKind::MaxValue);
+        assert_eq!(rules[1].experiment, "");
+
+        assert!(parse_rules("[]").is_err());
+        assert!(parse_rules("[{\"rule\": \"warp\", \"limit\": 1}]").is_err());
+        assert!(parse_rules("[{\"metric\": \"x\"}]").is_err());
+    }
+
+    #[test]
+    fn bless_selects_relative_rule_targets_only() {
+        let no_gated = "{\"experiment\": \"cti_accuracy\", \"quick\": false, \
+             \"threads\": 1, \"cells\": 4, \"wall_ms\": 18.5, \"metrics\": {}}";
+        let entries = file(&[LINE, SHARDED, no_gated]);
+        let names: Vec<String> = blessable(&entries, &default_rules(25.0))
+            .iter()
+            .map(|e| e.label())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["dense_city_scaling:quick", "multi_node[1/2]:quick"]
+        );
+    }
+}

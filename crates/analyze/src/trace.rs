@@ -1,0 +1,437 @@
+//! Parser for `bicord-trace/1` JSONL timelines.
+//!
+//! A trace file (written by `JsonlSink`, see `docs/OBSERVABILITY.md`) is
+//! one [`TraceHeader`] line, zero or more flat single-line event records,
+//! and a `{"summary":true,...}` trailer. This module reads the whole file
+//! into a [`TraceFile`]: every record becomes a [`Record`] whose fields
+//! keep their JSON names and primitive values, so the analytics layer
+//! never re-parses text.
+//!
+//! Parsing is **closed-world**: every `ev` kind must be listed in
+//! [`KNOWN_KINDS`]. An unknown kind is a hard [`TraceError::UnknownKind`]
+//! naming the offender — when a new `TraceEvent` variant is added to the
+//! sinks, the analyzer (this list, the summarizer's section routing, and
+//! the exhaustive round-trip test in `tests/record_kinds.rs`) must learn
+//! it in the same change, instead of silently dropping records.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+use bicord_sim::obs::TraceHeader;
+
+/// Every record kind the `bicord-trace/1` sinks emit, in taxonomy order
+/// (the table in `docs/OBSERVABILITY.md`). The exhaustive round-trip test
+/// (`tests/record_kinds.rs`) fails with the kind's name if the emitters
+/// and this list ever diverge.
+pub const KNOWN_KINDS: &[&str] = &[
+    "dequeue",
+    "csi_classified",
+    "detection",
+    "channel_request",
+    "reservation",
+    "white_space",
+    "n_round",
+    "estimate",
+    "re_estimate",
+    "burst_complete",
+    "packet_delivered",
+    "trial_resolved",
+    "medium_cache_invalidated",
+    "medium_cache_stats",
+    "medium_grid_stats",
+    "fault_control_lost",
+    "fault_cts_lost",
+    "fault_phantom_csi",
+    "fault_churn",
+    "signaling_backoff",
+    "csma_fallback",
+    "learning_abort",
+    "guard_stall",
+    "guard_liveness",
+    "guard_conservation",
+];
+
+/// One primitive field value of a trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A non-negative integer (`t_us`, counters, node indices).
+    U64(u64),
+    /// A float (`deviation`).
+    F64(f64),
+    /// `true` / `false` (`high`, `detected`).
+    Bool(bool),
+    /// A bare string (`phase`, `reason`, `invariant`, dequeue `kind`).
+    Str(String),
+}
+
+impl Value {
+    /// The value as `u64`, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Re-serializes the value exactly as the sink wrote it.
+    pub fn to_json(&self) -> String {
+        match self {
+            Value::U64(v) => v.to_string(),
+            Value::F64(v) => v.to_string(),
+            Value::Bool(v) => v.to_string(),
+            Value::Str(s) => format!("\"{s}\""),
+        }
+    }
+}
+
+/// One parsed event record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Virtual timestamp in microseconds.
+    pub t_us: u64,
+    /// The `ev` kind label (guaranteed to be in [`KNOWN_KINDS`]).
+    pub kind: String,
+    /// The record's extra fields, in file order, excluding `t_us`/`ev`.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Record {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// The `node` field, when the record is node-attributed.
+    pub fn node(&self) -> Option<u64> {
+        self.field("node").and_then(Value::as_u64)
+    }
+}
+
+/// The parsed `{"summary":true,...}` trailer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Records the sink reported writing (excludes header and trailer).
+    pub events: u64,
+    /// Aggregated per-DES-event-kind dequeue counts.
+    pub dequeues: BTreeMap<String, u64>,
+}
+
+/// A fully parsed `bicord-trace/1` file.
+#[derive(Debug, Clone)]
+pub struct TraceFile {
+    /// The schema-versioned header line.
+    pub header: TraceHeader,
+    /// All event records, in file (= virtual time) order.
+    pub records: Vec<Record>,
+    /// The summary trailer, if the run finished cleanly.
+    pub summary: Option<TraceSummary>,
+}
+
+/// Why a trace file failed to parse.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// Line 1 is not a `bicord-trace/1` header.
+    BadHeader,
+    /// A record line is not flat single-line JSON of the expected shape.
+    BadRecord {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A record carries an `ev` kind the analyzer does not know.
+    UnknownKind {
+        /// 1-based line number.
+        line: usize,
+        /// The offending kind label.
+        kind: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "cannot read trace: {e}"),
+            TraceError::BadHeader => write!(
+                f,
+                "line 1 is not a {} header (is this a JSONL trace written by \
+                 `bicord --trace` / a bench `--trace`?)",
+                bicord_sim::obs::TRACE_SCHEMA
+            ),
+            TraceError::BadRecord { line, reason } => {
+                write!(f, "line {line}: malformed trace record: {reason}")
+            }
+            TraceError::UnknownKind { line, kind } => write!(
+                f,
+                "line {line}: unknown record kind \"{kind}\" — the trace schema grew a \
+                 kind bicord_analyze does not consume yet; add it to \
+                 bicord_analyze::trace::KNOWN_KINDS and route it in the summarizer"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl TraceFile {
+    /// Reads and parses a trace file from disk.
+    pub fn read(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        let text = std::fs::read_to_string(path)?;
+        Self::parse(&text)
+    }
+
+    /// Parses the full text of a trace file.
+    pub fn parse(text: &str) -> Result<Self, TraceError> {
+        let mut lines = text.lines().enumerate();
+        let header = lines
+            .next()
+            .and_then(|(_, l)| TraceHeader::parse(l))
+            .ok_or(TraceError::BadHeader)?;
+        let mut records = Vec::new();
+        let mut summary = None;
+        for (idx, line) in lines {
+            let line_no = idx + 1;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.contains("\"summary\":true") {
+                summary = Some(parse_summary(line, line_no)?);
+                continue;
+            }
+            records.push(parse_record(line, line_no)?);
+        }
+        Ok(TraceFile {
+            header,
+            records,
+            summary,
+        })
+    }
+
+    /// Per-kind record counts, in [`KNOWN_KINDS`] order (kinds absent
+    /// from the trace are omitted).
+    pub fn populations(&self) -> Vec<(&'static str, usize)> {
+        KNOWN_KINDS
+            .iter()
+            .filter_map(|kind| {
+                let n = self.records.iter().filter(|r| r.kind == *kind).count();
+                (n > 0).then_some((*kind, n))
+            })
+            .collect()
+    }
+
+    /// All records of one kind, in time order.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Record> + 'a {
+        self.records.iter().filter(move |r| r.kind == kind)
+    }
+}
+
+/// Splits a flat single-line JSON object (`{"a":1,"b":"x"}`) into
+/// `(name, raw-value)` pairs. The sinks never emit nested objects,
+/// arrays (other than the summary's `dequeues` map, handled separately),
+/// escapes, or whitespace, so a linear scan suffices.
+fn split_flat_object(line: &str) -> Option<Vec<(&str, &str)>> {
+    let body = line.strip_prefix('{')?.strip_suffix('}')?;
+    let mut out = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        rest = rest.strip_prefix('"')?;
+        let name_end = rest.find('"')?;
+        let name = &rest[..name_end];
+        rest = rest[name_end + 1..].strip_prefix(':')?;
+        let value_end = if let Some(quoted) = rest.strip_prefix('"') {
+            quoted.find('"')? + 2
+        } else {
+            rest.find(',').unwrap_or(rest.len())
+        };
+        out.push((name, &rest[..value_end]));
+        rest = &rest[value_end..];
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+    }
+    Some(out)
+}
+
+/// Parses one raw JSON value the sinks can emit.
+fn parse_value(raw: &str) -> Option<Value> {
+    if let Some(stripped) = raw.strip_prefix('"') {
+        return Some(Value::Str(stripped.strip_suffix('"')?.to_string()));
+    }
+    match raw {
+        "true" => return Some(Value::Bool(true)),
+        "false" => return Some(Value::Bool(false)),
+        _ => {}
+    }
+    if let Ok(v) = raw.parse::<u64>() {
+        return Some(Value::U64(v));
+    }
+    raw.parse::<f64>().ok().map(Value::F64)
+}
+
+fn parse_record(line: &str, line_no: usize) -> Result<Record, TraceError> {
+    let bad = |reason: &str| TraceError::BadRecord {
+        line: line_no,
+        reason: reason.to_string(),
+    };
+    let pairs = split_flat_object(line).ok_or_else(|| bad("not a flat JSON object"))?;
+    let mut t_us = None;
+    let mut kind = None;
+    let mut fields = Vec::new();
+    for (name, raw) in pairs {
+        let value = parse_value(raw)
+            .ok_or_else(|| bad(&format!("field \"{name}\" has unparseable value {raw}")))?;
+        match name {
+            "t_us" => t_us = value.as_u64(),
+            "ev" => kind = value.as_str().map(str::to_string),
+            _ => fields.push((name.to_string(), value)),
+        }
+    }
+    let t_us = t_us.ok_or_else(|| bad("missing integer \"t_us\""))?;
+    let kind = kind.ok_or_else(|| bad("missing string \"ev\""))?;
+    if !KNOWN_KINDS.contains(&kind.as_str()) {
+        return Err(TraceError::UnknownKind {
+            line: line_no,
+            kind,
+        });
+    }
+    Ok(Record { t_us, kind, fields })
+}
+
+fn parse_summary(line: &str, line_no: usize) -> Result<TraceSummary, TraceError> {
+    let bad = |reason: &str| TraceError::BadRecord {
+        line: line_no,
+        reason: reason.to_string(),
+    };
+    let mut summary = TraceSummary::default();
+    let events_marker = "\"events\":";
+    if let Some(start) = line.find(events_marker) {
+        let digits: String = line[start + events_marker.len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        summary.events = digits.parse().map_err(|_| bad("bad \"events\" count"))?;
+    }
+    let dequeues_marker = "\"dequeues\":{";
+    if let Some(start) = line.find(dequeues_marker) {
+        let body = &line[start + dequeues_marker.len()..];
+        let end = body
+            .find('}')
+            .ok_or_else(|| bad("unterminated dequeues map"))?;
+        for pair in body[..end].split(',').filter(|p| !p.is_empty()) {
+            let (name, count) = pair
+                .split_once(':')
+                .ok_or_else(|| bad("malformed dequeues entry"))?;
+            let name = name.trim_matches('"').to_string();
+            let count = count.parse().map_err(|_| bad("bad dequeue count"))?;
+            summary.dequeues.insert(name, count);
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+{\"schema\":\"bicord-trace/1\",\"seed\":42,\"mode\":\"bicord\",\"duration_us\":2000000}
+{\"t_us\":100,\"ev\":\"channel_request\",\"node\":0}
+{\"t_us\":250,\"ev\":\"reservation\",\"ws_us\":30000}
+{\"t_us\":300,\"ev\":\"white_space\",\"nav_us\":28000}
+{\"t_us\":400,\"ev\":\"csi_classified\",\"deviation\":0.25,\"high\":true}
+{\"t_us\":900,\"ev\":\"estimate\",\"estimate_us\":42000,\"rounds\":3,\"phase\":\"learning\"}
+{\"t_us\":950,\"ev\":\"burst_complete\",\"node\":0,\"delivered\":5,\"failed\":0}
+{\"summary\":true,\"events\":6,\"dequeues\":{\"Timer\":12,\"TxEnd\":4}}
+";
+
+    #[test]
+    fn parses_a_full_file() {
+        let t = TraceFile::parse(SAMPLE).unwrap();
+        assert_eq!(t.header.seed, 42);
+        assert_eq!(t.records.len(), 6);
+        assert_eq!(t.records[0].kind, "channel_request");
+        assert_eq!(t.records[0].node(), Some(0));
+        assert_eq!(t.records[3].field("deviation"), Some(&Value::F64(0.25)));
+        assert_eq!(
+            t.records[4].field("phase").unwrap().as_str(),
+            Some("learning")
+        );
+        let s = t.summary.unwrap();
+        assert_eq!(s.events, 6);
+        assert_eq!(s.dequeues.get("Timer"), Some(&12));
+        assert_eq!(s.dequeues.get("TxEnd"), Some(&4));
+    }
+
+    #[test]
+    fn populations_follow_taxonomy_order() {
+        let t = TraceFile::parse(SAMPLE).unwrap();
+        let pops = t.populations();
+        assert_eq!(
+            pops,
+            vec![
+                ("csi_classified", 1),
+                ("channel_request", 1),
+                ("reservation", 1),
+                ("white_space", 1),
+                ("estimate", 1),
+                ("burst_complete", 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_missing_or_foreign_header() {
+        assert!(matches!(
+            TraceFile::parse("not json\n"),
+            Err(TraceError::BadHeader)
+        ));
+        let foreign =
+            "{\"schema\":\"bicord-trace/999\",\"seed\":1,\"mode\":\"x\",\"duration_us\":1}\n";
+        assert!(matches!(
+            TraceFile::parse(foreign),
+            Err(TraceError::BadHeader)
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_is_a_naming_error() {
+        let text = "{\"schema\":\"bicord-trace/1\",\"seed\":1,\"mode\":\"x\",\"duration_us\":1}\n\
+                    {\"t_us\":5,\"ev\":\"warp_drive\",\"x\":1}\n";
+        let err = TraceFile::parse(text).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("warp_drive"), "{msg}");
+        assert!(msg.contains("KNOWN_KINDS"), "{msg}");
+        assert!(msg.contains("line 2"), "{msg}");
+    }
+
+    #[test]
+    fn malformed_record_names_the_line() {
+        let text = "{\"schema\":\"bicord-trace/1\",\"seed\":1,\"mode\":\"x\",\"duration_us\":1}\n\
+                    {\"ev\":\"reservation\",\"ws_us\":1}\n";
+        let err = TraceFile::parse(text).unwrap_err();
+        assert!(err.to_string().contains("t_us"), "{err}");
+    }
+
+    #[test]
+    fn value_json_round_trip() {
+        for raw in ["12", "0.25", "true", "false", "\"learning\""] {
+            assert_eq!(parse_value(raw).unwrap().to_json(), raw);
+        }
+    }
+}

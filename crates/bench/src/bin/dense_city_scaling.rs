@@ -18,7 +18,8 @@
 //! size divided by the cost at the smallest — near 1 when culling works
 //! (the acceptance bound is ~2×), against a no-cull baseline that grows
 //! with devices. All metrics land in `BENCH_results.json` for
-//! `scripts/bench_compare.sh` to diff against the committed baseline.
+//! `bicord analyze diff-bench` (via `scripts/bench_compare.sh`) to diff
+//! against the committed baseline under the perf-budget rules.
 //!
 //! Pass `--spec FILE [--shard K/N]` to instead run the registry's
 //! "dense_city" scenario (deterministic outcome counters, shardable and

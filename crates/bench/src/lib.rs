@@ -32,7 +32,9 @@
 //! `BENCH_results.json` (override the path with `BICORD_BENCH_JSON`, or
 //! set it to `0`/`off` to disable): wall-clock time, worker threads used,
 //! cells run, and the experiment's key metric values — see
-//! [`PerfRecorder`].
+//! [`PerfRecorder`]. `bicord analyze diff-bench` compares those records
+//! against `scripts/bench_baseline.json` under the perf-budget rules
+//! (docs/ANALYTICS.md).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -117,6 +119,10 @@ pub fn run_spec_mode(cli: &BenchCli, expected_scenario: &str) -> bool {
             &policy,
         )?;
         perf.cells(outcome.cells_run + outcome.cells_skipped);
+        // Budget-gated by `bicord analyze diff-bench` (ceiling 0): a
+        // quarantined cell in a recorded run is a perf-budget breach,
+        // not just a console warning.
+        perf.metric("quarantined_cells", outcome.quarantined.len() as f64);
         perf.finish();
         println!(
             "{}",

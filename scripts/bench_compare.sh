@@ -1,20 +1,21 @@
 #!/usr/bin/env bash
-# Perf-regression gate: diffs the freshly-written BENCH_results.json
-# against the committed baseline (scripts/bench_baseline.json) and fails
-# if any gated latency metric of the medium-query benches
-# (medium_microbench, dense_city_scaling) regressed by more than 25%.
+# Perf-budget gate: thin wrapper over `bicord analyze diff-bench`, which
+# diffs the freshly-written BENCH_results.json against the committed
+# baseline (scripts/bench_baseline.json) under the budget rules in
+# docs/ANALYTICS.md — latency regressions, PDR/utilization floors, and
+# the quarantined-cell ceiling.
 #
 # Usage:
-#   scripts/bench_compare.sh            # compare, exit 1 on regression
+#   scripts/bench_compare.sh            # compare, exit 1 on breach
 #   scripts/bench_compare.sh --bless    # rewrite the baseline from the
 #                                       # current results (intentional
 #                                       # perf changes, new CI hardware)
 #
 # Run scripts/perf_smoke.sh first so BENCH_results.json holds fresh
-# quick-mode records for both gated experiments. All flags are passed
-# through to the bench_compare binary (--baseline/--current/--threshold).
+# quick-mode records for the gated experiments. All flags pass through
+# to `bicord analyze diff-bench` (--baseline/--threshold/--rules/--out).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-exec cargo run -q --offline --release -p bicord-bench --bin bench_compare -- "$@"
+exec cargo run -q --offline --release --bin bicord -- analyze diff-bench "$@"

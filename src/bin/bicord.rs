@@ -3,6 +3,7 @@
 //! ```text
 //! bicord [OPTIONS]
 //! bicord sweep --spec FILE [--shard K/N] [--merge] [--resume] ...
+//! bicord analyze <summarize|diff-trace|diff-bench> ...
 //!
 //! OPTIONS:
 //!   --mode <bicord|ecc-20|ecc-30|ecc-40|unprotected>   coordination scheme [bicord]
@@ -35,6 +36,17 @@
 //! bicord sweep --spec specs/robustness_quick.json --shard 1/2
 //! bicord sweep --spec specs/robustness_quick.json --shard 2/2
 //! bicord sweep --spec specs/robustness_quick.json --merge
+//! ```
+//!
+//! The `analyze` subcommand is the offline analysis layer
+//! (`bicord::analyze`, see docs/ANALYTICS.md): `summarize` a JSONL
+//! trace, `diff-trace` two traces, or `diff-bench` a
+//! `BENCH_results.json` against a baseline under perf-budget rules:
+//!
+//! ```text
+//! bicord analyze summarize trace.jsonl --assert bursts,utilization
+//! bicord analyze diff-trace a.jsonl b.jsonl
+//! bicord analyze diff-bench --baseline scripts/bench_baseline.json --out report.md
 //! ```
 
 use bicord::prelude::*;
@@ -479,6 +491,8 @@ USAGE:
   bicord [OPTIONS]
   bicord sweep --spec FILE [--shard K/N] [--merge] [--resume]
                (see `bicord sweep --help`)
+  bicord analyze <summarize|diff-trace|diff-bench> ...
+               (see `bicord analyze --help`)
 
 OPTIONS:
   --mode <bicord|ecc-20|ecc-30|ecc-40|unprotected>  scheme      [bicord]
@@ -498,6 +512,10 @@ OPTIONS:
 
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("analyze") {
+        args.next();
+        std::process::exit(bicord::analyze::cli::run(args));
+    }
     if args.peek().map(String::as_str) == Some("sweep") {
         args.next();
         let options = match parse_sweep_args(args) {

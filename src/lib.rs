@@ -22,6 +22,7 @@
 //! | [`metrics`] | utilization/delay/throughput/precision-recall and text tables |
 //! | [`scenario`] | the Fig. 6 office wiring and one runner per table/figure |
 //! | [`sweep`] | the sharded, resumable sweep contract and scenario registry (`bicord sweep`) |
+//! | [`analyze`] | trace analytics, trace diffing and perf budgets (`bicord analyze`) |
 //!
 //! # Quickstart
 //!
@@ -69,6 +70,7 @@
 #![warn(missing_docs)]
 #![deny(deprecated)]
 
+pub use bicord_analyze as analyze;
 pub use bicord_core as core;
 pub use bicord_ctc as ctc;
 pub use bicord_mac as mac;

@@ -1,0 +1,186 @@
+//! CLI-level contract of `bicord analyze` (the acceptance surface the
+//! CI gates call): exit codes, breach naming, bless round-trip.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bicord(args: &[&str], cwd: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bicord"))
+        .arg("analyze")
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("spawn bicord analyze")
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bicord-analyze-cli-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+const BASELINE: &str = r#"[
+{"experiment": "dense_city_scaling", "quick": true, "threads": 1, "cells": 3, "wall_ms": 150.0, "metrics": {"sensed_ns_100": 200.0, "sensed_nocull_ns_100": 400.0, "interference_ns_100": 180.0}},
+{"experiment": "multi_node", "quick": true, "threads": 1, "cells": 6, "wall_ms": 16.0, "metrics": {"mean_aggregate_pdr": 0.92}}
+]
+"#;
+
+/// The acceptance scenario: a synthetically-regressed results file must
+/// make `bicord analyze diff-bench` exit non-zero and NAME the breached
+/// metric.
+#[test]
+fn synthetic_regression_fails_naming_the_metric() {
+    let dir = tmpdir("regressed");
+    std::fs::write(dir.join("baseline.json"), BASELINE).unwrap();
+    // sensed_ns_100 regresses 2x; the exempt nocull column also moves.
+    std::fs::write(
+        dir.join("current.json"),
+        BASELINE
+            .replace("\"sensed_ns_100\": 200.0", "\"sensed_ns_100\": 400.0")
+            .replace(
+                "\"sensed_nocull_ns_100\": 400.0",
+                "\"sensed_nocull_ns_100\": 4000.0",
+            ),
+    )
+    .unwrap();
+    let out = bicord(
+        &["diff-bench", "current.json", "--baseline", "baseline.json"],
+        &dir,
+    );
+    assert_eq!(out.status.code(), Some(1), "regression must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAIL"), "{stdout}");
+    assert!(stdout.contains("sensed_ns_100"), "breach unnamed: {stdout}");
+    assert!(
+        !stdout.contains("sensed_nocull_ns_100: "),
+        "exempt nocull metric wrongly gated: {stdout}"
+    );
+}
+
+#[test]
+fn within_budget_passes_and_writes_the_markdown_report() {
+    let dir = tmpdir("pass");
+    std::fs::write(dir.join("baseline.json"), BASELINE).unwrap();
+    // 10% regression: inside the +25% budget.
+    std::fs::write(
+        dir.join("current.json"),
+        BASELINE.replace("\"sensed_ns_100\": 200.0", "\"sensed_ns_100\": 220.0"),
+    )
+    .unwrap();
+    let out = bicord(
+        &[
+            "diff-bench",
+            "current.json",
+            "--baseline",
+            "baseline.json",
+            "--out",
+            "report.md",
+        ],
+        &dir,
+    );
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let report = std::fs::read_to_string(dir.join("report.md")).expect("markdown report");
+    assert!(report.contains("**PASS**"), "{report}");
+    assert!(report.contains("| entry | metric |"), "{report}");
+}
+
+#[test]
+fn pdr_drop_and_quarantine_ceiling_breach() {
+    let dir = tmpdir("floors");
+    std::fs::write(dir.join("baseline.json"), BASELINE).unwrap();
+    std::fs::write(
+        dir.join("current.json"),
+        BASELINE
+            .replace(
+                "\"mean_aggregate_pdr\": 0.92",
+                "\"mean_aggregate_pdr\": 0.80",
+            )
+            .replace(
+                "\"sensed_ns_100\": 200.0",
+                "\"quarantined_cells\": 2, \"sensed_ns_100\": 200.0",
+            ),
+    )
+    .unwrap();
+    let out = bicord(
+        &["diff-bench", "current.json", "--baseline", "baseline.json"],
+        &dir,
+    );
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("mean_aggregate_pdr"), "{stdout}");
+    assert!(stdout.contains("quarantined_cells"), "{stdout}");
+}
+
+#[test]
+fn bless_round_trips_to_a_green_gate() {
+    let dir = tmpdir("bless");
+    // 2x regression vs. the old baseline...
+    let current = BASELINE.replace("\"sensed_ns_100\": 200.0", "\"sensed_ns_100\": 400.0");
+    std::fs::write(dir.join("baseline.json"), BASELINE).unwrap();
+    std::fs::write(dir.join("current.json"), &current).unwrap();
+    let out = bicord(
+        &[
+            "diff-bench",
+            "current.json",
+            "--baseline",
+            "baseline.json",
+            "--bless",
+        ],
+        &dir,
+    );
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    // ...is green after blessing: the baseline now holds the current values.
+    let out = bicord(
+        &["diff-bench", "current.json", "--baseline", "baseline.json"],
+        &dir,
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "blessed gate still red: {out:?}"
+    );
+}
+
+#[test]
+fn summarize_and_diff_trace_on_a_golden_trace() {
+    let golden = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/trace_seed1.jsonl");
+    let golden = golden.to_str().unwrap();
+    let dir = tmpdir("golden");
+
+    // The committed golden trace must summarize with the CI-smoke
+    // sections non-empty and exit 0.
+    let out = bicord(
+        &["summarize", golden, "--assert", "events,bursts,utilization"],
+        &dir,
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("event populations"), "{stdout}");
+
+    // Identical files: exit 0. Tampered copy: exit 1.
+    let out = bicord(&["diff-trace", golden, golden], &dir);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let tampered = dir.join("tampered.jsonl");
+    std::fs::write(
+        &tampered,
+        std::fs::read_to_string(golden)
+            .unwrap()
+            .replace("\"seed\":1", "\"seed\":9"),
+    )
+    .unwrap();
+    let out = bicord(&["diff-trace", golden, tampered.to_str().unwrap()], &dir);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("seed differs"), "{stdout}");
+
+    // Usage errors are exit 2.
+    let out = bicord(&["summarize", "no-such-file.jsonl"], &dir);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = bicord(&["frobnicate"], &dir);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
